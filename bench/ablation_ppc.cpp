@@ -1,0 +1,55 @@
+// E8/E13 — PPC topology ablation (paper Sec. 5.2, eq. (3)): the paper picks
+// the Ladner-Fischer recursion of Fig. 4. This bench swaps the prefix
+// topology inside 2-sort(B) and reports operator counts, gate counts, logic
+// depth and STA delay — quantifying why LF is the right choice (linear size
+// at logarithmic depth) and what Sklansky/Kogge-Stone/serial trade off.
+
+#include <iostream>
+
+#include "mcsn/mcsn.hpp"
+
+int main() {
+  using namespace mcsn;
+
+  std::cout << "PPC operator counts / depths (prefix width n = B-1):\n\n";
+  TextTable ops({"topology", "ops(n=15)", "depth(n=15)", "ops(n=31)",
+                 "depth(n=31)", "ops(n=63)", "depth(n=63)"});
+  for (const PpcTopology topo : kAllPpcTopologies) {
+    std::vector<std::string> row{std::string(ppc_topology_name(topo))};
+    for (const std::size_t n : {15u, 31u, 63u}) {
+      row.push_back(std::to_string(ppc_op_count(topo, n)));
+      row.push_back(std::to_string(ppc_op_depth(topo, n)));
+    }
+    ops.add_row(row);
+  }
+  ops.print(std::cout);
+
+  std::cout << "\n2-sort(B) with each PPC topology:\n\n";
+  TextTable t({"B", "topology", "gates", "depth", "area um^2", "delay ps"});
+  for (const int bits : {8, 16, 32}) {
+    t.add_rule();
+    for (const PpcTopology topo : kAllPpcTopologies) {
+      const Netlist nl =
+          make_sort2(static_cast<std::size_t>(bits), Sort2Options{topo});
+      const CircuitStats s = compute_stats(nl);
+      t.add_row({std::to_string(bits), std::string(ppc_topology_name(topo)),
+                 std::to_string(s.gates), std::to_string(s.depth),
+                 TextTable::num(s.area, 1), TextTable::num(s.delay, 0)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEq. (3) check for Ladner-Fischer (powers of two):\n";
+  TextTable eq({"n", "ops", "2n-log2(n)-2", "depth", "2log2(n)-1 bound"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::size_t log2n = 0;
+    while ((1u << log2n) < n) ++log2n;
+    eq.add_row({std::to_string(n),
+                std::to_string(ppc_op_count(PpcTopology::ladner_fischer, n)),
+                std::to_string(2 * n - log2n - 2),
+                std::to_string(ppc_op_depth(PpcTopology::ladner_fischer, n)),
+                std::to_string(2 * log2n - 1)});
+  }
+  eq.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E1-E7: regenerates the paper's definitional tables and the FSM of Fig. 2
+// from the library's data structures, so the reproduction is self-auditing:
+//   Table 1 — 4-bit binary reflected Gray code
+//   Table 2 — 4-bit valid inputs in the total order
+//   Table 3 — AND / OR / inverter closure behavior
+//   Table 4 — output selection per FSM state
+//   Table 5 — the ⋄ and out operators
+//   Table 6 — selection-circuit wiring (with Fig. 3's formula)
+//   Fig. 2  — FSM transition structure
+
+#include <iostream>
+
+#include "mcsn/mcsn.hpp"
+
+namespace {
+
+using namespace mcsn;
+
+void table1() {
+  std::cout << "Table 1: 4-bit binary reflected Gray code\n";
+  TextTable t({"#", "g1, g2..4", "#", "g1, g2..4"});
+  for (int x = 0; x < 8; ++x) {
+    const Word a = gray_encode(static_cast<std::uint64_t>(x), 4);
+    const Word b = gray_encode(static_cast<std::uint64_t>(x + 8), 4);
+    t.add_row({std::to_string(x),
+               a.str().substr(0, 1) + ", " + a.str().substr(1),
+               std::to_string(x + 8),
+               b.str().substr(0, 1) + ", " + b.str().substr(1)});
+  }
+  t.print(std::cout);
+}
+
+void table2() {
+  std::cout << "\nTable 2: 4-bit valid inputs (ascending rank)\n";
+  TextTable t({"g", "<g>", "rank"});
+  for (const Word& w : all_valid_strings(4)) {
+    const std::uint64_t r = *valid_rank(w);
+    t.add_row({w.str(), w.is_stable() ? std::to_string(r / 2) : "-",
+               std::to_string(r)});
+  }
+  t.print(std::cout);
+}
+
+void table3() {
+  std::cout << "\nTable 3: gate behavior (metastable closure)\n";
+  for (const char* gate : {"AND", "OR"}) {
+    TextTable t({std::string(gate) + " a\\b", "0", "1", "M"});
+    for (const Trit a : kAllTrits) {
+      std::vector<std::string> row{std::string{to_char(a)}};
+      for (const Trit b : kAllTrits) {
+        const Trit r = gate[0] == 'A' ? trit_and(a, b) : trit_or(a, b);
+        row.push_back(std::string{to_char(r)});
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+  TextTable t({"a", "NOT a"});
+  for (const Trit a : kAllTrits) {
+    t.add_row({std::string{to_char(a)}, std::string{to_char(trit_not(a))}});
+  }
+  t.print(std::cout);
+}
+
+void table45() {
+  std::cout << "\nTable 4/5: the ⋄ (diamond) and out operators\n";
+  const char* states[4] = {"00", "01", "11", "10"};
+  TextTable td({"s ⋄ b", "00", "01", "11", "10"});
+  TextTable to({"out(s,b)", "00", "01", "11", "10"});
+  for (const char* srow : states) {
+    const Word sw = *Word::parse(srow);
+    std::vector<std::string> drow{srow}, orow{srow};
+    for (const char* bcol : states) {
+      const Word bw = *Word::parse(bcol);
+      const TritPair s{sw[0], sw[1]}, b{bw[0], bw[1]};
+      drow.push_back(diamond_stable(s, b).str());
+      orow.push_back(out_stable(s, b).str());
+    }
+    td.add_row(drow);
+    to.add_row(orow);
+  }
+  td.print(std::cout);
+  to.print(std::cout);
+}
+
+void table6() {
+  std::cout << "\nFig. 3 / Table 6: selection circuit"
+               "  f = ((sel1 | a) & b) | (~sel2 & a)\n";
+  TextTable t({"f computes", "a", "b", "sel1", "sel2"});
+  t.add_row({"(s ^⋄M b)1", "q=Ns2", "p=Ns1", "Nb1", "Nb1"});
+  t.add_row({"(s ^⋄M b)2", "q=Ns2", "p=Ns1", "Nb2", "Nb2"});
+  t.add_row({"outM(s,b)1 = max_i", "g_i", "h_i", "Ns1", "Ns2"});
+  t.add_row({"outM(s,b)2 = min_i", "h_i", "g_i", "Ns2", "Ns1"});
+  t.print(std::cout);
+  std::cout << "(5 gates: 2 AND2, 2 OR2, 1 INV; both blocks = 10 gates)\n";
+}
+
+void fig2() {
+  std::cout << "\nFig. 2: comparison FSM transitions (state --g_i h_i--> "
+               "state)\n";
+  TextTable t({"from", "label", "on 00", "on 01", "on 11", "on 10"});
+  for (const char* srow : {"00", "11", "01", "10"}) {
+    const Word sw = *Word::parse(srow);
+    const TritPair s{sw[0], sw[1]};
+    std::vector<std::string> row{srow, std::string(fsm_state_label(s))};
+    for (const char* bcol : {"00", "01", "11", "10"}) {
+      const Word bw = *Word::parse(bcol);
+      row.push_back(diamond_stable(s, TritPair{bw[0], bw[1]}).str());
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  table1();
+  table2();
+  table3();
+  table45();
+  table6();
+  fig2();
+  return 0;
+}

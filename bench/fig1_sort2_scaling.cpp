@@ -1,0 +1,81 @@
+// E10 — Figure 1: area, delay and gate count of 2-sort(B) for
+// B in {2, 4, 8, 16}, this paper vs the DATE'17 state of the art [2],
+// rendered as data series plus the improvement percentages the paper
+// quotes (Sec. 1 / Sec. 6).
+
+#include <iostream>
+
+#include "mcsn/mcsn.hpp"
+
+int main() {
+  using namespace mcsn;
+  using refdata::Circuit;
+
+  std::cout << "Figure 1: 2-sort(B) scaling, this paper vs [2]\n\n";
+
+  TextTable t({"metric", "series", "B=2", "B=4", "B=8", "B=16"});
+  const auto series = [&](const char* metric, const char* label,
+                          auto getter) {
+    std::vector<std::string> row{metric, label};
+    for (const int bits : {2, 4, 8, 16}) {
+      row.push_back(getter(bits));
+    }
+    t.add_row(row);
+  };
+
+  series("# gates", "this paper (measured)", [](int bits) {
+    return std::to_string(sort2_gate_count(static_cast<std::size_t>(bits)));
+  });
+  series("# gates", "[2] (published)", [](int bits) {
+    return std::to_string(refdata::table7_row(Circuit::date17, bits)->gates);
+  });
+  t.add_rule();
+  series("area um^2", "this paper (measured)", [](int bits) {
+    return TextTable::num(
+        compute_stats(make_sort2(static_cast<std::size_t>(bits))).area, 2);
+  });
+  series("area um^2", "[2] (published)", [](int bits) {
+    return TextTable::num(refdata::table7_row(Circuit::date17, bits)->area,
+                          2);
+  });
+  t.add_rule();
+  series("delay ps", "this paper (measured)", [](int bits) {
+    return TextTable::num(
+        compute_stats(make_sort2(static_cast<std::size_t>(bits))).delay, 0);
+  });
+  series("delay ps", "[2] (published)", [](int bits) {
+    return TextTable::num(refdata::table7_row(Circuit::date17, bits)->delay,
+                          0);
+  });
+  t.print(std::cout);
+
+  std::cout << "\nImprovement over [2] (from published reference rows):\n";
+  TextTable imp({"B", "gates", "area", "delay"});
+  for (const int bits : {2, 4, 8, 16}) {
+    const auto here = refdata::table7_row(Circuit::here, bits);
+    const auto old = refdata::table7_row(Circuit::date17, bits);
+    imp.add_row(
+        {std::to_string(bits),
+         TextTable::pct(100.0 * (1.0 - static_cast<double>(here->gates) /
+                                           static_cast<double>(old->gates))),
+         TextTable::pct(100.0 * (1.0 - here->area / old->area)),
+         TextTable::pct(100.0 * (1.0 - here->delay / old->delay))});
+  }
+  imp.print(std::cout);
+  std::cout << "\nAbstract headline (10-sortd networks, B=16): area "
+            << TextTable::pct(
+                   100.0 *
+                   (1.0 -
+                    refdata::table8_row(Circuit::here, "10-sortd", 16)->area /
+                        refdata::table8_row(Circuit::date17, "10-sortd", 16)
+                            ->area))
+            << ", delay "
+            << TextTable::pct(
+                   100.0 *
+                   (1.0 -
+                    refdata::table8_row(Circuit::here, "10-sortd", 16)->delay /
+                        refdata::table8_row(Circuit::date17, "10-sortd", 16)
+                            ->delay))
+            << "  (paper: 71.58% / 48.46%)\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E15 — simulator micro-benchmarks (google-benchmark): scalar vs 64-lane
+// packed ternary evaluation of the paper's circuits, FSM reference model
+// throughput, and the bitsliced 0-1 validity checker.
+
+#include <benchmark/benchmark.h>
+
+#include "mcsn/mcsn.hpp"
+
+namespace {
+
+using namespace mcsn;
+
+void BM_ScalarEval(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const Netlist nl = make_sort2(bits);
+  Evaluator ev(nl);
+  Xoshiro256 rng(1);
+  std::vector<Trit> in;
+  const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
+  const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
+  const Word joined = g + h;
+  in.assign(joined.begin(), joined.end());
+  Word out;
+  for (auto _ : state) {
+    ev.run_outputs(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(nl.gate_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScalarEval)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PackedEval64Lanes(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const Netlist nl = make_sort2(bits);
+  PackedEvaluator ev(nl);
+  Xoshiro256 rng(2);
+  std::vector<PackedTrit> in(2 * bits);
+  for (int lane = 0; lane < 64; ++lane) {
+    const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
+    const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      in[i].set_lane(lane, g[i]);
+      in[bits + i].set_lane(lane, h[i]);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.run(in));
+  }
+  // 64 input vectors per run.
+  state.SetItemsProcessed(64 * static_cast<std::int64_t>(state.iterations()));
+  state.counters["lane-gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 64.0 *
+          static_cast<double>(nl.gate_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackedEval64Lanes)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FsmReferenceModel(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
+  const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GrayCompareFsm::sort2(g, h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FsmReferenceModel)->Arg(16)->Arg(64);
+
+void BM_ZeroOneBitsliced(benchmark::State& state) {
+  const ComparatorNetwork net =
+      batcher_odd_even(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_unsorted_bitsliced(net));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (std::int64_t{1} << state.range(0)));
+}
+BENCHMARK(BM_ZeroOneBitsliced)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_ElaboratedNetworkEval(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const Netlist nl = elaborate_network(depth_optimal_10(), bits,
+                                       sort2_builder());
+  Evaluator ev(nl);
+  Xoshiro256 rng(4);
+  std::vector<Trit> in;
+  for (int c = 0; c < 10; ++c) {
+    const Word w = valid_from_rank(rng.below(valid_count(bits)), bits);
+    in.insert(in.end(), w.begin(), w.end());
+  }
+  Word out;
+  for (auto _ : state) {
+    ev.run_outputs(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ElaboratedNetworkEval)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

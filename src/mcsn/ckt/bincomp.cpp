@@ -1,0 +1,68 @@
+#include "mcsn/ckt/bincomp.hpp"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mcsn {
+
+namespace {
+
+struct GtEq {
+  NodeId gt;  // this block of a is strictly greater than the block of b
+  NodeId eq;  // blocks are equal
+};
+
+// Combines high block H with low block L: gt = gt_H | (eq_H & gt_L).
+GtEq combine(Netlist& nl, GtEq hi, GtEq lo) {
+  return GtEq{nl.ao21(hi.eq, lo.gt, hi.gt), nl.and2(hi.eq, lo.eq)};
+}
+
+GtEq tree(Netlist& nl, const std::vector<GtEq>& leaves, std::size_t first,
+          std::size_t last) {
+  if (first == last) return leaves[first];
+  const std::size_t mid = first + (last - first) / 2;
+  return combine(nl, tree(nl, leaves, first, mid),
+                 tree(nl, leaves, mid + 1, last));
+}
+
+}  // namespace
+
+BusPair build_bincomp(Netlist& nl, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size() && !a.empty());
+  const std::size_t bits = a.size();
+
+  // Per-bit (gt, eq), index 0 = MSB.
+  std::vector<GtEq> leaves(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NodeId nb = nl.inv(b[i]);
+    leaves[i] = GtEq{nl.and2(a[i], nb), nl.xnor2(a[i], b[i])};
+  }
+  const NodeId greater = tree(nl, leaves, 0, bits - 1).gt;
+
+  BusPair out;
+  out.max.resize(bits);
+  out.min.resize(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    out.max[i] = nl.mux2(b[i], a[i], greater);  // greater ? a : b
+    out.min[i] = nl.mux2(a[i], b[i], greater);  // greater ? b : a
+  }
+  return out;
+}
+
+Netlist make_bincomp(std::size_t bits) {
+  Netlist nl("bincomp_b" + std::to_string(bits));
+  const Bus a = nl.add_input_bus("a", bits);
+  const Bus b = nl.add_input_bus("b", bits);
+  const BusPair out = build_bincomp(nl, a, b);
+  nl.mark_output_bus(out.max, "max");
+  nl.mark_output_bus(out.min, "min");
+  return nl;
+}
+
+std::size_t bincomp_gate_count(std::size_t bits) {
+  // 3 leaf gates per bit, 2 gates per tree combine, 2 muxes per bit.
+  return 3 * bits + 2 * (bits - 1) + 2 * bits;
+}
+
+}  // namespace mcsn

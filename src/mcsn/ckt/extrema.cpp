@@ -1,0 +1,62 @@
+#include "mcsn/ckt/extrema.hpp"
+
+#include <cassert>
+
+#include "mcsn/ckt/ops.hpp"
+
+namespace mcsn {
+
+Bus build_extreme2(Netlist& nl, const Bus& g, const Bus& h, bool maximum,
+                   const Sort2Options& opt) {
+  assert(g.size() == h.size() && !g.empty());
+  const std::size_t bits = g.size();
+  Bus out(bits);
+  out[0] = maximum ? nl.or2(g[0], h[0]) : nl.and2(g[0], h[0]);
+  if (bits == 1) return out;
+
+  std::vector<PairWires> leaves(bits - 1);
+  for (std::size_t i = 0; i + 1 < bits; ++i) {
+    leaves[i] = PairWires{nl.inv(g[i]), h[i]};
+  }
+  const std::vector<PairWires> prefix = parallel_prefix<PairWires>(
+      opt.topology, leaves, [&nl, &opt](PairWires a, PairWires b) {
+        return diamond_hat_block(nl, a, b, opt.style);
+      });
+  for (std::size_t i = 1; i < bits; ++i) {
+    out[i] =
+        out_block_half(nl, prefix[i - 1], PairWires{g[i], h[i]}, maximum);
+  }
+  return out;
+}
+
+Bus build_extreme_tree(Netlist& nl, const std::vector<Bus>& channels,
+                       bool maximum, const Sort2Options& opt) {
+  assert(!channels.empty());
+  std::vector<Bus> layer = channels;
+  while (layer.size() > 1) {
+    std::vector<Bus> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(build_extreme2(nl, layer[i], layer[i + 1], maximum, opt));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer.front();
+}
+
+Netlist make_extreme_tree(std::size_t channels, std::size_t bits,
+                          bool maximum, const Sort2Options& opt) {
+  Netlist nl(std::string(maximum ? "max" : "min") + std::to_string(channels) +
+             "_b" + std::to_string(bits));
+  std::vector<Bus> ins;
+  ins.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    ins.push_back(nl.add_input_bus("ch" + std::to_string(c), bits));
+  }
+  const Bus out = build_extreme_tree(nl, ins, maximum, opt);
+  nl.mark_output_bus(out, maximum ? "max" : "min");
+  return nl;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,32 @@
+#pragma once
+// N-input metastability-containing extrema circuits: max / min of n valid
+// strings via a balanced tournament of "half" 2-sort circuits (each node
+// computes only the needed output, i.e. inverters + PPC + max-half or
+// min-half blocks). Cost Theta(n * B), depth Theta(log n * log B).
+//
+// Useful on their own (e.g. fault-tolerant clock sync takes the max of the
+// k-th order statistics); also the building block the DATE'17
+// reconstruction composes.
+
+#include "mcsn/ckt/sort2.hpp"
+
+namespace mcsn {
+
+/// Emits the max (or min) of two buses only — roughly half a 2-sort:
+/// B-1 inverters, one PPC, B-1 half out-blocks and one OR (AND for min).
+[[nodiscard]] Bus build_extreme2(Netlist& nl, const Bus& g, const Bus& h,
+                                 bool maximum,
+                                 const Sort2Options& opt = {});
+
+/// Balanced tournament over n >= 1 input buses.
+[[nodiscard]] Bus build_extreme_tree(Netlist& nl,
+                                     const std::vector<Bus>& channels,
+                                     bool maximum,
+                                     const Sort2Options& opt = {});
+
+/// Standalone circuit: inputs ch<i>[.], output max[.] (or min[.]).
+[[nodiscard]] Netlist make_extreme_tree(std::size_t channels,
+                                        std::size_t bits, bool maximum,
+                                        const Sort2Options& opt = {});
+
+}  // namespace mcsn

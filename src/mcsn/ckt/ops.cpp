@@ -1,0 +1,57 @@
+#include "mcsn/ckt/ops.hpp"
+
+namespace mcsn {
+
+NodeId selection_circuit(Netlist& nl, NodeId a, NodeId b, NodeId sel1,
+                         NodeId sel2, OpStyle style) {
+  if (style == OpStyle::aoi_cells) {
+    // Same formula tree, fused: ((sel1 | a) & b) | (~sel2 & a).
+    const NodeId t1 = nl.add_gate(CellKind::oa21, sel1, a, b);
+    return nl.ao21(nl.inv(sel2), a, t1);
+  }
+  const NodeId t1 = nl.and2(nl.or2(sel1, a), b);
+  const NodeId t2 = nl.and2(nl.inv(sel2), a);
+  return nl.or2(t1, t2);
+}
+
+NodeId cmux(Netlist& nl, NodeId a, NodeId b, NodeId sel) {
+  // F(a, b, sel, sel): sel=0 -> a, sel=1 -> b; closure for metastable sel.
+  return selection_circuit(nl, a, b, sel, sel);
+}
+
+PairWires diamond_hat_block(Netlist& nl, PairWires x, PairWires y,
+                            OpStyle style) {
+  // x = N(s) = (p, q), y = N(b) = (r, u). Stable semantics (with s, b the
+  // un-transformed values): s=00 passes b, s=01/10 absorb, s=11 passes the
+  // complement of b. In N-encoding both output bits follow the same formula
+  // with the respective y component as select:
+  //   out.first  = ((r | q) & p) | (~r & q)
+  //   out.second = ((u | q) & p) | (~u & q)
+  const NodeId p = x.first;
+  const NodeId q = x.second;
+  return PairWires{selection_circuit(nl, q, p, y.first, y.first, style),
+                   selection_circuit(nl, q, p, y.second, y.second, style)};
+}
+
+PairWires out_block(Netlist& nl, PairWires s, PairWires gh, OpStyle style) {
+  // s = N(state) = (p, q); gh = (g_i, h_i).
+  //   max_i = ((p | g_i) & h_i) | (~q & g_i)
+  //   min_i = ((q | h_i) & g_i) | (~p & h_i)
+  const NodeId p = s.first;
+  const NodeId q = s.second;
+  return PairWires{selection_circuit(nl, gh.first, gh.second, p, q, style),
+                   selection_circuit(nl, gh.second, gh.first, q, p, style)};
+}
+
+PairWires out_block_first(Netlist& nl, PairWires gh) {
+  return PairWires{nl.or2(gh.first, gh.second), nl.and2(gh.first, gh.second)};
+}
+
+NodeId out_block_half(Netlist& nl, PairWires s, PairWires gh, bool max_half) {
+  const NodeId p = s.first;
+  const NodeId q = s.second;
+  if (max_half) return selection_circuit(nl, gh.first, gh.second, p, q);
+  return selection_circuit(nl, gh.second, gh.first, q, p);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,72 @@
+#pragma once
+// Gate-level operator blocks (paper Sec. 5.1, Fig. 3, Table 6).
+//
+// A single 5-gate "selection circuit" shape implements one output bit of
+// either the PPC operator or the output operator:
+//
+//   F(a, b, sel1, sel2) = ((sel1 | a) & b) | (~sel2 & a)
+//
+// (2 AND, 2 OR, 1 INV; depth 3). With sel1 = sel2 it degenerates to the
+// metastability-containing multiplexer (cmux) of Friedrichs et al.
+//
+// The PPC works on the N-transform of FSM states (first bit inverted,
+// paper's "^⋄M"), so its leaf inputs are (inv(g_i), h_i) and its internal
+// wiring needs no further inverters beyond the ones inside the blocks.
+//
+// Both blocks compute the exact metastable closure of their operator for
+// *all* ternary inputs — not every Boolean formula for the same function
+// does (the paper's footnote 2 shows a counterexample); the test suite
+// verifies this exhaustively.
+
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+/// A 2-bit quantity on wires (FSM state or bit pair g_i h_i).
+struct PairWires {
+  NodeId first = 0;
+  NodeId second = 0;
+};
+
+/// Implementation style for the operator blocks. The paper's circuits use
+/// only AND2/OR2/INV (5 gates per selection circuit). The AOI style fuses
+/// the same formula tree into OA21 + AO21 + INV (3 cells) — the
+/// "straightforward transistor-level optimization" the paper's discussion
+/// anticipates. Ternary semantics are identical (same formula, each input
+/// read once), which the test suite verifies exhaustively.
+enum class OpStyle { simple_gates, aoi_cells };
+
+/// The shared selection circuit F (Fig. 3): 2 AND2 + 2 OR2 + 1 INV
+/// (simple_gates) or OA21 + AO21 + INV (aoi_cells).
+[[nodiscard]] NodeId selection_circuit(Netlist& nl, NodeId a, NodeId b,
+                                       NodeId sel1, NodeId sel2,
+                                       OpStyle style = OpStyle::simple_gates);
+
+/// Metastability-containing multiplexer: sel==0 -> a, sel==1 -> b,
+/// sel==M with a==b -> that common value. Selection circuit with tied sels.
+[[nodiscard]] NodeId cmux(Netlist& nl, NodeId a, NodeId b, NodeId sel);
+
+/// ^⋄M block: combines two N-encoded states/inputs into the N-encoded
+/// composite state. 10 gates (4 AND, 4 OR, 2 INV), depth 3. (Table 6 rows
+/// 1-2.)
+[[nodiscard]] PairWires diamond_hat_block(Netlist& nl, PairWires x,
+                                          PairWires y,
+                                          OpStyle style = OpStyle::simple_gates);
+
+/// outM block: from the N-encoded prefix state s and the raw bit pair
+/// (g_i, h_i), computes (max_i, min_i). 10 gates, depth 3. (Table 6 rows
+/// 3-4.)
+[[nodiscard]] PairWires out_block(Netlist& nl, PairWires s_n_encoded,
+                                  PairWires gh,
+                                  OpStyle style = OpStyle::simple_gates);
+
+/// Degenerate outM for position 1 where Ns^{(0)} = (1, 0): reduces to
+/// (max_1, min_1) = (g_1 | h_1, g_1 & h_1). 2 gates. (Fig. 5, bottom left.)
+[[nodiscard]] PairWires out_block_first(Netlist& nl, PairWires gh);
+
+/// One output bit of the outM block only (max if `max_half`, else min);
+/// 5 gates. Used by the split max/min baseline reconstruction.
+[[nodiscard]] NodeId out_block_half(Netlist& nl, PairWires s_n_encoded,
+                                    PairWires gh, bool max_half);
+
+}  // namespace mcsn

@@ -1,0 +1,47 @@
+#include "mcsn/ckt/ppc.hpp"
+
+#include <algorithm>
+
+namespace mcsn {
+
+std::string_view ppc_topology_name(PpcTopology t) noexcept {
+  switch (t) {
+    case PpcTopology::ladner_fischer: return "ladner-fischer";
+    case PpcTopology::sklansky: return "sklansky";
+    case PpcTopology::kogge_stone: return "kogge-stone";
+    case PpcTopology::han_carlson: return "han-carlson";
+    case PpcTopology::serial: return "serial";
+  }
+  return "?";
+}
+
+std::optional<PpcTopology> ppc_topology_from_name(
+    std::string_view name) noexcept {
+  for (const PpcTopology t : kAllPpcTopologies) {
+    if (ppc_topology_name(t) == name) return t;
+  }
+  return std::nullopt;
+}
+
+std::size_t ppc_op_count(PpcTopology topo, std::size_t n) {
+  std::size_t count = 0;
+  std::vector<int> x(n, 0);
+  parallel_prefix<int>(topo, x, [&count](int a, int b) {
+    ++count;
+    return std::max(a, b) + 1;
+  });
+  return count;
+}
+
+std::size_t ppc_op_depth(PpcTopology topo, std::size_t n) {
+  std::vector<int> x(n, 0);
+  const std::vector<int> out =
+      parallel_prefix<int>(topo, x, [](int a, int b) {
+        return std::max(a, b) + 1;
+      });
+  int depth = 0;
+  for (const int d : out) depth = std::max(depth, d);
+  return static_cast<std::size_t>(depth);
+}
+
+}  // namespace mcsn

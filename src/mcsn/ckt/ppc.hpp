@@ -1,0 +1,166 @@
+#pragma once
+// Parallel prefix computation (PPC) topologies, generic over the element
+// type and combine operation (Ladner & Fischer; paper Sec. 5.2, Fig. 4).
+//
+// Given x_0 .. x_{n-1} and an associative operator OP, a PPC returns all
+// inclusive prefixes pi_i = x_0 OP ... OP x_i. Every topology below combines
+// only *adjacent, disjoint* ranges, so by Theorem 4.1 each is a valid
+// evaluation order for the closure operator ⋄M on valid strings even though
+// ⋄M is not associative in general.
+//
+// Topologies:
+//   ladner_fischer — the paper's Fig. 4 recursion (Even's presentation):
+//                    cost 2n - log2(n) - 2 for powers of two, depth
+//                    <= 2 log2(n) - 1. This is the paper's choice.
+//   sklansky       — minimal depth ceil(log2 n), cost Theta(n log n),
+//                    unbounded fanout.
+//   kogge_stone    — minimal depth, cost Theta(n log n), fanout 2.
+//   han_carlson    — one odd/even level around kogge_stone.
+//   serial         — chain: cost n-1, depth n-1 (FSM unrolling).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mcsn {
+
+enum class PpcTopology {
+  ladner_fischer,
+  sklansky,
+  kogge_stone,
+  han_carlson,
+  serial,
+};
+
+inline constexpr PpcTopology kAllPpcTopologies[] = {
+    PpcTopology::ladner_fischer, PpcTopology::sklansky,
+    PpcTopology::kogge_stone, PpcTopology::han_carlson, PpcTopology::serial};
+
+[[nodiscard]] std::string_view ppc_topology_name(PpcTopology t) noexcept;
+[[nodiscard]] std::optional<PpcTopology> ppc_topology_from_name(
+    std::string_view name) noexcept;
+
+namespace detail {
+
+template <typename E, typename F>
+std::vector<E> ppc_lf(std::span<const E> x, F& combine) {
+  const std::size_t n = x.size();
+  std::vector<E> out(n);
+  if (n == 0) return out;
+  out[0] = x[0];
+  if (n == 1) return out;
+
+  // Pair up adjacent inputs; a lone last input passes through (odd n).
+  std::vector<E> paired;
+  paired.reserve((n + 1) / 2);
+  for (std::size_t k = 0; 2 * k + 1 < n; ++k) {
+    paired.push_back(combine(x[2 * k], x[2 * k + 1]));
+  }
+  if (n % 2 == 1) paired.push_back(x[n - 1]);
+
+  const std::vector<E> inner =
+      ppc_lf(std::span<const E>(paired), combine);
+
+  // Odd positions come straight from the inner prefixes; even positions
+  // need one more combine. The last position of odd n is inner.back().
+  for (std::size_t k = 0; 2 * k + 1 < n; ++k) out[2 * k + 1] = inner[k];
+  for (std::size_t k = 1; 2 * k < n; ++k) {
+    if (n % 2 == 1 && 2 * k == n - 1) {
+      out[n - 1] = inner.back();
+    } else {
+      out[2 * k] = combine(inner[k - 1], x[2 * k]);
+    }
+  }
+  return out;
+}
+
+template <typename E, typename F>
+std::vector<E> ppc_sklansky(std::span<const E> x, F& combine) {
+  const std::size_t n = x.size();
+  if (n <= 1) return std::vector<E>(x.begin(), x.end());
+  const std::size_t m = (n + 1) / 2;
+  std::vector<E> left = ppc_sklansky(x.subspan(0, m), combine);
+  const std::vector<E> right = ppc_sklansky(x.subspan(m), combine);
+  std::vector<E> out = std::move(left);
+  out.reserve(n);
+  for (const E& r : right) out.push_back(combine(out[m - 1], r));
+  return out;
+}
+
+template <typename E, typename F>
+std::vector<E> ppc_kogge_stone(std::span<const E> x, F& combine) {
+  std::vector<E> cur(x.begin(), x.end());
+  const std::size_t n = cur.size();
+  for (std::size_t d = 1; d < n; d *= 2) {
+    std::vector<E> next = cur;
+    for (std::size_t i = n; i-- > d;) {
+      next[i] = combine(cur[i - d], cur[i]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+template <typename E, typename F>
+std::vector<E> ppc_han_carlson(std::span<const E> x, F& combine) {
+  const std::size_t n = x.size();
+  std::vector<E> out(n);
+  if (n == 0) return out;
+  out[0] = x[0];
+  if (n == 1) return out;
+  std::vector<E> paired;
+  paired.reserve((n + 1) / 2);
+  for (std::size_t k = 0; 2 * k + 1 < n; ++k) {
+    paired.push_back(combine(x[2 * k], x[2 * k + 1]));
+  }
+  if (n % 2 == 1) paired.push_back(x[n - 1]);
+  const std::vector<E> inner =
+      ppc_kogge_stone(std::span<const E>(paired), combine);
+  for (std::size_t k = 0; 2 * k + 1 < n; ++k) out[2 * k + 1] = inner[k];
+  for (std::size_t k = 1; 2 * k < n; ++k) {
+    if (n % 2 == 1 && 2 * k == n - 1) {
+      out[n - 1] = inner.back();
+    } else {
+      out[2 * k] = combine(inner[k - 1], x[2 * k]);
+    }
+  }
+  return out;
+}
+
+template <typename E, typename F>
+std::vector<E> ppc_serial(std::span<const E> x, F& combine) {
+  std::vector<E> out(x.begin(), x.end());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    out[i] = combine(out[i - 1], out[i]);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Computes all inclusive prefixes of `x` under `combine` with the chosen
+/// topology. `combine` may be stateful (e.g. emits gates into a netlist);
+/// it is invoked once per operator node of the topology.
+template <typename E, typename F>
+std::vector<E> parallel_prefix(PpcTopology topo, std::span<const E> x,
+                               F combine) {
+  switch (topo) {
+    case PpcTopology::ladner_fischer: return detail::ppc_lf(x, combine);
+    case PpcTopology::sklansky: return detail::ppc_sklansky(x, combine);
+    case PpcTopology::kogge_stone: return detail::ppc_kogge_stone(x, combine);
+    case PpcTopology::han_carlson: return detail::ppc_han_carlson(x, combine);
+    case PpcTopology::serial: return detail::ppc_serial(x, combine);
+  }
+  return {};
+}
+
+/// Number of operator instances the topology uses on n inputs.
+[[nodiscard]] std::size_t ppc_op_count(PpcTopology topo, std::size_t n);
+
+/// Operator depth (longest chain of combines) on n inputs.
+[[nodiscard]] std::size_t ppc_op_depth(PpcTopology topo, std::size_t n);
+
+}  // namespace mcsn

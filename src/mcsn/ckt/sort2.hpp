@@ -1,0 +1,53 @@
+#pragma once
+// The paper's contribution: metastability-containing 2-sort(B) with
+// asymptotically optimal depth O(log B) and size O(B) (paper Fig. 5).
+//
+// Structure:
+//   - one inverter per position 1..B-1 produces the N-encoded leaf
+//     (inv(g_i), h_i) feeding the PPC;
+//   - a PPC over B-1 leaves computes the N-encoded prefix states
+//     Ns^{(1)} .. Ns^{(B-1)} with the ^⋄M block as operator;
+//   - position 1 output degenerates to (OR, AND); positions 2..B use the
+//     outM block on (Ns^{(i-1)}, g_i h_i).
+//
+// With the Ladner-Fischer topology the gate count is exactly
+//   10 * ppc_op_count(B-1) + 10 * (B-1) + (B-1) + 2,
+// i.e. 13 / 55 / 169 / 407 gates for B = 2 / 4 / 8 / 16 — matching the
+// paper's Table 7 row "This paper".
+
+#include <cstddef>
+
+#include "mcsn/ckt/ops.hpp"
+#include "mcsn/ckt/ppc.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct Sort2Options {
+  PpcTopology topology = PpcTopology::ladner_fischer;
+  /// aoi_cells swaps each 5-gate selection circuit for a fused 3-cell
+  /// OA21/AO21/INV version (the paper's anticipated transistor-level
+  /// optimization); identical ternary behavior, not counted as "MC-safe
+  /// simple gates" by Netlist::mc_safe().
+  OpStyle style = OpStyle::simple_gates;
+};
+
+struct BusPair {
+  Bus max;
+  Bus min;
+};
+
+/// Emits a 2-sort(B) into `nl` operating on existing buses g, h (equal
+/// width >= 1); returns the (max, min) output buses. Does not mark outputs.
+[[nodiscard]] BusPair build_sort2(Netlist& nl, const Bus& g, const Bus& h,
+                                  const Sort2Options& opt = {});
+
+/// Standalone circuit with inputs g[.], h[.] and outputs max[.], min[.].
+[[nodiscard]] Netlist make_sort2(std::size_t bits,
+                                 const Sort2Options& opt = {});
+
+/// Closed-form gate count of the construction (any topology).
+[[nodiscard]] std::size_t sort2_gate_count(
+    std::size_t bits, PpcTopology topo = PpcTopology::ladner_fischer);
+
+}  // namespace mcsn

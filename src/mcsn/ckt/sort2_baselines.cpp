@@ -1,0 +1,116 @@
+#include "mcsn/ckt/sort2_baselines.hpp"
+
+#include <cassert>
+#include <functional>
+#include <string>
+
+namespace mcsn {
+
+namespace {
+
+// Balanced tree fold of ^⋄M blocks over leaves [first, last].
+PairWires fold_tree(Netlist& nl, const std::vector<PairWires>& leaves,
+                    std::size_t first, std::size_t last) {
+  if (first == last) return leaves[first];
+  const std::size_t mid = first + (last - first) / 2;
+  return diamond_hat_block(nl, fold_tree(nl, leaves, first, mid),
+                           fold_tree(nl, leaves, mid + 1, last));
+}
+
+// One half (max or min) of the split construction: independent inverters,
+// independent Kogge-Stone PPC, 5-gate half output blocks.
+void build_half(Netlist& nl, const Bus& g, const Bus& h, bool max_half,
+                Bus& out) {
+  const std::size_t bits = g.size();
+  out.resize(bits);
+  const PairWires first{g[0], h[0]};
+  out[0] = max_half ? nl.or2(first.first, first.second)
+                    : nl.and2(first.first, first.second);
+  if (bits == 1) return;
+
+  std::vector<PairWires> leaves(bits - 1);
+  for (std::size_t i = 0; i + 1 < bits; ++i) {
+    leaves[i] = PairWires{nl.inv(g[i]), h[i]};
+  }
+  const std::vector<PairWires> prefix = parallel_prefix<PairWires>(
+      PpcTopology::kogge_stone, leaves,
+      [&nl](PairWires a, PairWires b) { return diamond_hat_block(nl, a, b); });
+  for (std::size_t i = 1; i < bits; ++i) {
+    out[i] = out_block_half(nl, prefix[i - 1], PairWires{g[i], h[i]},
+                            max_half);
+  }
+}
+
+}  // namespace
+
+BusPair build_sort2_naive_trees(Netlist& nl, const Bus& g, const Bus& h) {
+  assert(g.size() == h.size() && !g.empty());
+  const std::size_t bits = g.size();
+  BusPair out;
+  out.max.resize(bits);
+  out.min.resize(bits);
+
+  const PairWires first = out_block_first(nl, PairWires{g[0], h[0]});
+  out.max[0] = first.first;
+  out.min[0] = first.second;
+  if (bits == 1) return out;
+
+  // Leaf inverters are shared (as any sane implementation would), but each
+  // prefix state gets a fresh balanced tree.
+  std::vector<PairWires> leaves(bits - 1);
+  for (std::size_t i = 0; i + 1 < bits; ++i) {
+    leaves[i] = PairWires{nl.inv(g[i]), h[i]};
+  }
+  for (std::size_t i = 1; i < bits; ++i) {
+    const PairWires state = fold_tree(nl, leaves, 0, i - 1);
+    const PairWires o = out_block(nl, state, PairWires{g[i], h[i]});
+    out.max[i] = o.first;
+    out.min[i] = o.second;
+  }
+  return out;
+}
+
+Netlist make_sort2_naive_trees(std::size_t bits) {
+  Netlist nl("sort2_naive_trees_b" + std::to_string(bits));
+  const Bus g = nl.add_input_bus("g", bits);
+  const Bus h = nl.add_input_bus("h", bits);
+  const BusPair out = build_sort2_naive_trees(nl, g, h);
+  nl.mark_output_bus(out.max, "max");
+  nl.mark_output_bus(out.min, "min");
+  return nl;
+}
+
+std::size_t sort2_naive_trees_gate_count(std::size_t bits) {
+  if (bits == 1) return 2;
+  std::size_t tree_ops = 0;
+  for (std::size_t i = 1; i < bits; ++i) tree_ops += i - 1;
+  return 10 * tree_ops + 10 * (bits - 1) + (bits - 1) + 2;
+}
+
+BusPair build_sort2_date17_style(Netlist& nl, const Bus& g, const Bus& h) {
+  assert(g.size() == h.size() && !g.empty());
+  BusPair out;
+  build_half(nl, g, h, /*max_half=*/true, out.max);
+  build_half(nl, g, h, /*max_half=*/false, out.min);
+  return out;
+}
+
+Netlist make_sort2_date17_style(std::size_t bits) {
+  Netlist nl("sort2_date17_style_b" + std::to_string(bits));
+  const Bus g = nl.add_input_bus("g", bits);
+  const Bus h = nl.add_input_bus("h", bits);
+  const BusPair out = build_sort2_date17_style(nl, g, h);
+  nl.mark_output_bus(out.max, "max");
+  nl.mark_output_bus(out.min, "min");
+  return nl;
+}
+
+std::size_t sort2_date17_style_gate_count(std::size_t bits) {
+  if (bits == 1) return 2;
+  const std::size_t half =
+      10 * ppc_op_count(PpcTopology::kogge_stone, bits - 1) +
+      5 * (bits - 1) + (bits - 1) + 1;
+  return 2 * half;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,35 @@
+#pragma once
+// Baseline MC 2-sort circuits for comparison and ablation.
+//
+// 1. make_sort2_naive_trees: computes every prefix state s^{(i)} with its own
+//    balanced tree of ^⋄M blocks (no sharing). Theta(B^2) gates, O(log B)
+//    depth. Provably correct by Theorem 4.1; the "do not share prefixes"
+//    strawman.
+//
+// 2. make_sort2_date17_style: complexity-faithful reconstruction of the
+//    DATE 2017 state of the art [2]: Theta(B log B) gates, O(log B) depth.
+//    The max and min halves are built as two *independent* circuits (own
+//    inverters, own Kogge-Stone prefix network, 5-gate half output blocks).
+//    The original netlists are not public; this reconstruction matches the
+//    asymptotic class and lands within ~15% of the published gate counts at
+//    B=16 (see refdata/paper_tables.hpp for the published numbers, which the
+//    benches print side by side).
+//
+// 3. The serial (depth Theta(B)) variant is make_sort2 with
+//    PpcTopology::serial — the unrolled FSM.
+
+#include "mcsn/ckt/sort2.hpp"
+
+namespace mcsn {
+
+[[nodiscard]] BusPair build_sort2_naive_trees(Netlist& nl, const Bus& g,
+                                              const Bus& h);
+[[nodiscard]] Netlist make_sort2_naive_trees(std::size_t bits);
+[[nodiscard]] std::size_t sort2_naive_trees_gate_count(std::size_t bits);
+
+[[nodiscard]] BusPair build_sort2_date17_style(Netlist& nl, const Bus& g,
+                                               const Bus& h);
+[[nodiscard]] Netlist make_sort2_date17_style(std::size_t bits);
+[[nodiscard]] std::size_t sort2_date17_style_gate_count(std::size_t bits);
+
+}  // namespace mcsn

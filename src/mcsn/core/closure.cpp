@@ -1,0 +1,46 @@
+#include "mcsn/core/closure.hpp"
+
+#include <cassert>
+#include <optional>
+
+namespace mcsn {
+
+Word closure_unary(const std::function<Word(const Word&)>& f, const Word& x) {
+  std::optional<Word> acc;
+  x.for_each_resolution([&](const Word& xr) {
+    const Word y = f(xr);
+    acc = acc ? Word::star(*acc, y) : y;
+  });
+  assert(acc);
+  return *acc;
+}
+
+Word closure_binary(const std::function<Word(const Word&, const Word&)>& f,
+                    const Word& x, const Word& y) {
+  std::optional<Word> acc;
+  x.for_each_resolution([&](const Word& xr) {
+    y.for_each_resolution([&](const Word& yr) {
+      const Word z = f(xr, yr);
+      acc = acc ? Word::star(*acc, z) : z;
+    });
+  });
+  assert(acc);
+  return *acc;
+}
+
+std::pair<Word, Word> closure_binary_pair(
+    const std::function<std::pair<Word, Word>(const Word&, const Word&)>& f,
+    const Word& x, const Word& y) {
+  std::optional<Word> first, second;
+  x.for_each_resolution([&](const Word& xr) {
+    y.for_each_resolution([&](const Word& yr) {
+      const auto [a, b] = f(xr, yr);
+      first = first ? Word::star(*first, a) : a;
+      second = second ? Word::star(*second, b) : b;
+    });
+  });
+  assert(first && second);
+  return {*first, *second};
+}
+
+}  // namespace mcsn

@@ -1,0 +1,32 @@
+#pragma once
+// Metastable closure of arbitrary word-level operators (paper Def. 2.7):
+//
+//   f_M(x) := * f(res(x))
+//
+// i.e. apply f to every resolution of the (possibly metastable) input and
+// superpose the results. This is the *specification* device of the
+// metastability-containment framework; circuits are verified against it.
+
+#include <functional>
+#include <utility>
+
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// Closure of a unary operator on stable words.
+[[nodiscard]] Word closure_unary(const std::function<Word(const Word&)>& f,
+                                 const Word& x);
+
+/// Closure of a binary operator on stable words. res(xy) = res(x) x res(y).
+[[nodiscard]] Word closure_binary(
+    const std::function<Word(const Word&, const Word&)>& f, const Word& x,
+    const Word& y);
+
+/// Closure of a binary operator with a pair result; both components are
+/// superposed independently (used for (max, min) style specifications).
+[[nodiscard]] std::pair<Word, Word> closure_binary_pair(
+    const std::function<std::pair<Word, Word>(const Word&, const Word&)>& f,
+    const Word& x, const Word& y);
+
+}  // namespace mcsn

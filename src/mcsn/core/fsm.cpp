@@ -1,0 +1,154 @@
+#include "mcsn/core/fsm.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace mcsn {
+
+namespace {
+
+// Resolutions of a TritPair as stable 2-bit encodings.
+struct PairResolutions {
+  std::array<unsigned, 4> bits{};
+  int count = 0;
+};
+
+PairResolutions resolutions_of(TritPair p) {
+  PairResolutions r;
+  for (const Trit a : {Trit::zero, Trit::one}) {
+    if (is_stable(p.first) && p.first != a) continue;
+    for (const Trit b : {Trit::zero, Trit::one}) {
+      if (is_stable(p.second) && p.second != b) continue;
+      r.bits[r.count++] = TritPair{a, b}.to_bits();
+    }
+  }
+  return r;
+}
+
+TritPair superpose(TritPair a, TritPair b) {
+  return {trit_star(a.first, b.first), trit_star(a.second, b.second)};
+}
+
+using StableOp = unsigned (*)(unsigned, unsigned);
+
+TritPair closure_of(StableOp op, TritPair s, TritPair b) {
+  const PairResolutions rs = resolutions_of(s);
+  const PairResolutions rb = resolutions_of(b);
+  TritPair acc;
+  bool have = false;
+  for (int i = 0; i < rs.count; ++i) {
+    for (int j = 0; j < rb.count; ++j) {
+      const TritPair v = TritPair::from_bits(op(rs.bits[i], rb.bits[j]));
+      acc = have ? superpose(acc, v) : v;
+      have = true;
+    }
+  }
+  assert(have);
+  return acc;
+}
+
+// 9x9 lookup tables, built once.
+struct PairTable {
+  std::array<std::array<TritPair, kPairCount>, kPairCount> t{};
+};
+
+PairTable build_table(StableOp op) {
+  PairTable tab;
+  for (int i = 0; i < kPairCount; ++i) {
+    for (int j = 0; j < kPairCount; ++j) {
+      tab.t[i][j] =
+          closure_of(op, TritPair::from_index(i), TritPair::from_index(j));
+    }
+  }
+  return tab;
+}
+
+const PairTable& diamond_table() {
+  static const PairTable tab = build_table(&diamond_bits);
+  return tab;
+}
+
+const PairTable& out_table() {
+  static const PairTable tab = build_table(&out_bits);
+  return tab;
+}
+
+const PairTable& diamond_hat_table() {
+  static const PairTable tab = [] {
+    PairTable hat;
+    for (int i = 0; i < kPairCount; ++i) {
+      for (int j = 0; j < kPairCount; ++j) {
+        const TritPair x = TritPair::from_index(i).n_transformed();
+        const TritPair y = TritPair::from_index(j).n_transformed();
+        hat.t[i][j] = diamond_m(x, y).n_transformed();
+      }
+    }
+    return hat;
+  }();
+  return tab;
+}
+
+}  // namespace
+
+Word TritPair::to_word() const { return Word{first, second}; }
+
+std::string TritPair::str() const {
+  return std::string{to_char(first), to_char(second)};
+}
+
+TritPair diamond_stable(TritPair s, TritPair b) {
+  assert(s.is_stable() && b.is_stable());
+  return TritPair::from_bits(diamond_bits(s.to_bits(), b.to_bits()));
+}
+
+TritPair out_stable(TritPair s, TritPair b) {
+  assert(s.is_stable() && b.is_stable());
+  return TritPair::from_bits(out_bits(s.to_bits(), b.to_bits()));
+}
+
+TritPair diamond_m(TritPair s, TritPair b) {
+  return diamond_table().t[s.index()][b.index()];
+}
+
+TritPair out_m(TritPair s, TritPair b) {
+  return out_table().t[s.index()][b.index()];
+}
+
+TritPair diamond_hat_m(TritPair x, TritPair y) {
+  return diamond_hat_table().t[x.index()][y.index()];
+}
+
+TritPair GrayCompareFsm::step(Trit gi, Trit hi) {
+  const TritPair in{gi, hi};
+  const TritPair out = out_m(state_, in);
+  state_ = diamond_m(state_, in);
+  return out;
+}
+
+std::pair<Word, Word> GrayCompareFsm::sort2(const Word& g, const Word& h) {
+  assert(g.size() == h.size());
+  GrayCompareFsm fsm;
+  Word mx(g.size()), mn(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const TritPair o = fsm.step(g[i], h[i]);
+    mx[i] = o.first;
+    mn[i] = o.second;
+  }
+  return {mx, mn};
+}
+
+std::string_view fsm_state_label(TritPair s) {
+  if (!s.is_stable()) return "(superposed)";
+  switch (s.to_bits()) {
+    case 0u: return "eq,par=0";
+    case 1u: return "g<h";
+    case 2u: return "g>h";
+    default: return "eq,par=1";
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, TritPair p) {
+  return os << to_char(p.first) << to_char(p.second);
+}
+
+}  // namespace mcsn

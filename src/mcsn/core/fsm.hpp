@@ -1,0 +1,146 @@
+#pragma once
+// The Gray code comparison FSM (paper Fig. 2) and its transition/output
+// operators (Tables 4 and 5), plus their metastable closures.
+//
+// States (encoding in brackets):
+//   [00] prefixes equal, parity 0      [11] prefixes equal, parity 1
+//   [01] <g> < <h>                     [10] <g> > <h>
+//
+// The transition operator `diamond` (the paper's squared-diamond) takes the
+// current state and the next input bit pair g_i h_i and is *associative* on
+// {0,1}^2 with identity 00, so prefix states can be computed by a parallel
+// prefix network. Its closure `diamond_m` behaves associatively on inputs
+// arising from valid strings (Theorem 4.1) but is NOT associative in general.
+//
+// The output operator `out_op` (Table 4/5) maps (s^{(i-1)}, g_i h_i) to
+// (max^rg{g,h}_i, min^rg{g,h}_i); its closure gives the i-th output bits for
+// valid inputs (Theorem 4.3).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "mcsn/core/trit.hpp"
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// A pair of trits; doubles as FSM state and as input symbol g_i h_i.
+struct TritPair {
+  Trit first = Trit::zero;
+  Trit second = Trit::zero;
+
+  friend bool operator==(const TritPair&, const TritPair&) = default;
+
+  [[nodiscard]] constexpr bool is_stable() const noexcept {
+    return mcsn::is_stable(first) && mcsn::is_stable(second);
+  }
+
+  /// Index in [0,9) for table lookups: 3*first + second.
+  [[nodiscard]] constexpr int index() const noexcept {
+    return 3 * mcsn::index(first) + mcsn::index(second);
+  }
+
+  [[nodiscard]] static constexpr TritPair from_index(int i) noexcept {
+    return {trit_from_index(i / 3), trit_from_index(i % 3)};
+  }
+
+  /// Encodes a *stable* pair as 2-bit integer (first bit is the high bit).
+  [[nodiscard]] constexpr unsigned to_bits() const noexcept {
+    return (to_bool(first) ? 2u : 0u) | (to_bool(second) ? 1u : 0u);
+  }
+
+  [[nodiscard]] static constexpr TritPair from_bits(unsigned b) noexcept {
+    return {to_trit((b & 2u) != 0), to_trit((b & 1u) != 0)};
+  }
+
+  /// The paper's N operator: invert the first component only.
+  [[nodiscard]] constexpr TritPair n_transformed() const noexcept {
+    return {trit_not(first), second};
+  }
+
+  [[nodiscard]] Word to_word() const;
+  [[nodiscard]] std::string str() const;
+};
+
+inline constexpr int kPairCount = 9;
+
+/// FSM initial state s^{(0)} = 00 (identity of diamond).
+inline constexpr TritPair kFsmInit{Trit::zero, Trit::zero};
+
+// --- Stable operators (Table 5) --------------------------------------------
+
+/// Transition operator on stable 2-bit encodings: 00 is the identity,
+/// 01 and 10 absorb, 11 complements the second operand.
+[[nodiscard]] constexpr unsigned diamond_bits(unsigned s, unsigned b) noexcept {
+  switch (s) {
+    case 0u: return b;       // 00: pass
+    case 1u: return 1u;      // 01: absorbed, <g> < <h>
+    case 2u: return 2u;      // 10: absorbed, <g> > <h>
+    default: return b ^ 3u;  // 11: parity-flipped pass
+  }
+}
+
+/// Output operator on stable 2-bit encodings (Table 4 / Table 5 right):
+/// result high bit = max^rg{g,h}_i, low bit = min^rg{g,h}_i.
+[[nodiscard]] constexpr unsigned out_bits(unsigned s, unsigned b) noexcept {
+  const unsigned b1 = (b >> 1) & 1u;
+  const unsigned b2 = b & 1u;
+  switch (s) {
+    case 0u: return ((b1 | b2) << 1) | (b1 & b2);  // (max, min) of bits
+    case 1u: return (b2 << 1) | b1;                // swap: (h_i, g_i)
+    case 2u: return b;                             // keep: (g_i, h_i)
+    default: return ((b1 & b2) << 1) | (b1 | b2);  // (min, max) of bits
+  }
+}
+
+[[nodiscard]] TritPair diamond_stable(TritPair s, TritPair b);
+[[nodiscard]] TritPair out_stable(TritPair s, TritPair b);
+
+// --- Closures ---------------------------------------------------------------
+
+/// diamond_m: metastable closure of the transition operator.
+[[nodiscard]] TritPair diamond_m(TritPair s, TritPair b);
+
+/// out_m: metastable closure of the output operator.
+[[nodiscard]] TritPair out_m(TritPair s, TritPair b);
+
+/// diamond_hat_m: the N-conjugated closure used by the hardware,
+///   x ^⋄M y = N(Nx ⋄M Ny),
+/// operating directly on N-encoded (inverted-first-bit) pairs.
+[[nodiscard]] TritPair diamond_hat_m(TritPair x, TritPair y);
+
+// --- FSM runner -------------------------------------------------------------
+
+/// Sequential reference implementation: feeds bit pairs one by one through
+/// diamond_m and collects outputs through out_m. On valid strings this equals
+/// the paper's specification (Theorems 4.1/4.3); it is the golden model the
+/// gate-level circuits are tested against, and is itself tested against the
+/// brute-force closure spec.
+class GrayCompareFsm {
+ public:
+  GrayCompareFsm() = default;
+
+  [[nodiscard]] TritPair state() const noexcept { return state_; }
+
+  /// Processes one bit pair; returns the output pair
+  /// (max_i, min_i) = out_m(previous state, g_i h_i).
+  TritPair step(Trit gi, Trit hi);
+
+  void reset() noexcept { state_ = kFsmInit; }
+
+  /// Runs the full FSM over two equal-width words; returns (max, min).
+  [[nodiscard]] static std::pair<Word, Word> sort2(const Word& g,
+                                                   const Word& h);
+
+ private:
+  TritPair state_ = kFsmInit;
+};
+
+/// Human-readable state label for tracing (Fig. 2), e.g. "eq,par=0".
+[[nodiscard]] std::string_view fsm_state_label(TritPair stable_state);
+
+std::ostream& operator<<(std::ostream& os, TritPair p);
+
+}  // namespace mcsn

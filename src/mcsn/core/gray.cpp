@@ -1,0 +1,29 @@
+#include "mcsn/core/gray.hpp"
+
+#include <cassert>
+
+namespace mcsn {
+
+Word gray_encode(std::uint64_t x, std::size_t bits) {
+  assert(bits > 0 && bits <= 64);
+  assert(bits == 64 || x < (std::uint64_t{1} << bits));
+  return Word::from_uint(gray_encode_uint(x), bits);
+}
+
+std::uint64_t gray_decode(const Word& g) {
+  assert(g.is_stable());
+  return gray_decode_uint(g.to_uint());
+}
+
+std::size_t gray_flip_index(std::uint64_t x, std::size_t bits) {
+  const std::uint64_t a = gray_encode_uint(x);
+  const std::uint64_t b = gray_encode_uint(x + 1);
+  const std::uint64_t diff = a ^ b;
+  assert(diff != 0 && (diff & (diff - 1)) == 0);
+  std::size_t lsb = 0;
+  while (((diff >> lsb) & 1u) == 0) ++lsb;
+  assert(lsb < bits);
+  return bits - 1 - lsb;
+}
+
+}  // namespace mcsn

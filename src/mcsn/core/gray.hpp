@@ -1,0 +1,42 @@
+#pragma once
+// Binary reflected Gray code (paper Sec. 2, Table 1).
+//
+// rg_B : [2^B] -> {0,1}^B with the recursive definition
+//   rg_1(0) = 0, rg_1(1) = 1,
+//   rg_B(x) = 0 rg_{B-1}(x)              for x in [2^{B-1}],
+//   rg_B(x) = 1 rg_{B-1}(2^B - 1 - x)    otherwise.
+//
+// This equals the classic x ^ (x >> 1) encoding, MSB first; we implement
+// both and test them against each other. Word index 0 carries g_1.
+
+#include <cstdint>
+
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// Gray-encodes `x` into a stable B-bit word. Precondition: x < 2^bits.
+[[nodiscard]] Word gray_encode(std::uint64_t x, std::size_t bits);
+
+/// Decodes a *stable* Gray code word (the paper's <g>).
+[[nodiscard]] std::uint64_t gray_decode(const Word& g);
+
+/// Direct bit-twiddling encoder on integers: g = x ^ (x >> 1).
+[[nodiscard]] constexpr std::uint64_t gray_encode_uint(
+    std::uint64_t x) noexcept {
+  return x ^ (x >> 1);
+}
+
+/// Inverse of gray_encode_uint.
+[[nodiscard]] constexpr std::uint64_t gray_decode_uint(
+    std::uint64_t g) noexcept {
+  std::uint64_t x = g;
+  for (int shift = 1; shift < 64; shift <<= 1) x ^= x >> shift;
+  return x;
+}
+
+/// Index of the single bit in which rg(x) and rg(x+1) differ (0 = MSB/g_1).
+/// Precondition: x + 1 < 2^bits.
+[[nodiscard]] std::size_t gray_flip_index(std::uint64_t x, std::size_t bits);
+
+}  // namespace mcsn

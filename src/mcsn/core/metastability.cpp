@@ -1,0 +1,35 @@
+#include "mcsn/core/metastability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcsn {
+
+double synchronizer_mtbf(const SynchronizerParams& p, double settle_seconds) {
+  return std::exp(settle_seconds / p.tau) /
+         (p.window * p.clock_hz * p.data_hz);
+}
+
+double settle_time_for_mtbf(const SynchronizerParams& p,
+                            double target_mtbf_seconds) {
+  // Invert MTBF(t) = exp(t/tau) / (Tw fc fd).
+  const double x = target_mtbf_seconds * p.window * p.clock_hz * p.data_hz;
+  return x <= 1.0 ? 0.0 : p.tau * std::log(x);
+}
+
+int synchronizer_stages_for_mtbf(const SynchronizerParams& p,
+                                 double target_mtbf_seconds) {
+  const double t = settle_time_for_mtbf(p, target_mtbf_seconds);
+  const double period = 1.0 / p.clock_hz;
+  return std::max(1, static_cast<int>(std::ceil(t / period)));
+}
+
+double failure_probability(const SynchronizerParams& p, double settle_seconds,
+                           std::uint64_t elements) {
+  const double per_bit =
+      p.window * p.data_hz * std::exp(-settle_seconds / p.tau);
+  const double total = per_bit * static_cast<double>(elements);
+  return std::min(1.0, total);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,48 @@
+#pragma once
+// Quantitative synchronizer model (Ginosar's tutorial, the paper's ref [8]),
+// used to put numbers on the paper's motivation: a synchronizer trades
+// *time* for failure probability, while an MC sorting network costs zero
+// extra settling time and never fails (in the model).
+//
+// Standard exponential resolution model: a flip-flop that samples a changing
+// input goes metastable with a window of T_w seconds per transition; once
+// metastable, the probability it has not resolved after time t is
+// exp(-t / tau). With clock frequency f_c and data transition rate f_d,
+//
+//   MTBF(t) = exp(t / tau) / (T_w * f_c * f_d).
+//
+// All times in seconds, rates in Hz.
+
+#include <cstdint>
+
+namespace mcsn {
+
+struct SynchronizerParams {
+  double tau = 20e-12;       // metastability resolution constant [s]
+  double window = 50e-12;    // susceptibility window T_w [s]
+  double clock_hz = 1e9;     // sampling clock f_c
+  double data_hz = 100e6;    // data transition rate f_d
+};
+
+/// Mean time between synchronizer failures given `settle` seconds of
+/// resolution time.
+[[nodiscard]] double synchronizer_mtbf(const SynchronizerParams& p,
+                                       double settle_seconds);
+
+/// Resolution time needed to reach a target MTBF (inverse of the above).
+[[nodiscard]] double settle_time_for_mtbf(const SynchronizerParams& p,
+                                          double target_mtbf_seconds);
+
+/// Number of full clock cycles a brute-force flop-chain synchronizer needs
+/// to reach the target MTBF (each stage contributes one clock period of
+/// resolution time). Always >= 1.
+[[nodiscard]] int synchronizer_stages_for_mtbf(const SynchronizerParams& p,
+                                               double target_mtbf_seconds);
+
+/// Probability that at least one of `elements` independent sampled bits is
+/// still metastable after `settle` seconds (union bound, per sample).
+[[nodiscard]] double failure_probability(const SynchronizerParams& p,
+                                         double settle_seconds,
+                                         std::uint64_t elements);
+
+}  // namespace mcsn

@@ -1,0 +1,2 @@
+// packed.hpp is header-only; this translation unit only anchors the target.
+#include "mcsn/core/packed.hpp"

@@ -1,0 +1,84 @@
+#pragma once
+// Packed dual-rail representation of 64 independent ternary values.
+//
+// Each lane (bit position) of a PackedTrit carries one ternary value encoded
+// on two rails:
+//   can0 bit set  -> the value can resolve to 0
+//   can1 bit set  -> the value can resolve to 1
+// 0 = (1,0), 1 = (0,1), M = (1,1). (0,0) is invalid and never produced.
+//
+// Kleene gate semantics become plain bitwise ops, giving 64-way parallel
+// netlist evaluation for property sweeps and throughput benchmarks.
+
+#include <cstdint>
+
+#include "mcsn/core/trit.hpp"
+
+namespace mcsn {
+
+struct PackedTrit {
+  std::uint64_t can0 = ~std::uint64_t{0};  // default: all lanes 0
+  std::uint64_t can1 = 0;
+
+  friend bool operator==(const PackedTrit&, const PackedTrit&) = default;
+
+  /// All 64 lanes set to the same value.
+  [[nodiscard]] static constexpr PackedTrit splat(Trit t) noexcept {
+    switch (t) {
+      case Trit::zero: return {~std::uint64_t{0}, 0};
+      case Trit::one: return {0, ~std::uint64_t{0}};
+      default: return {~std::uint64_t{0}, ~std::uint64_t{0}};
+    }
+  }
+
+  /// Reads one lane back as a Trit.
+  [[nodiscard]] constexpr Trit lane(int i) const noexcept {
+    const bool c0 = ((can0 >> i) & 1u) != 0;
+    const bool c1 = ((can1 >> i) & 1u) != 0;
+    if (c0 && c1) return Trit::meta;
+    return c1 ? Trit::one : Trit::zero;
+  }
+
+  /// Writes one lane.
+  constexpr void set_lane(int i, Trit t) noexcept {
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    can0 &= ~bit;
+    can1 &= ~bit;
+    if (t != Trit::one) can0 |= bit;
+    if (t != Trit::zero) can1 |= bit;
+  }
+};
+
+// An AND output can be 1 only if both inputs can be 1; it can be 0 if either
+// input can be 0. OR dually; NOT swaps rails. These are exactly the closure
+// (Kleene) semantics of Table 3, lane-parallel.
+
+[[nodiscard]] constexpr PackedTrit packed_and(PackedTrit a,
+                                              PackedTrit b) noexcept {
+  return {a.can0 | b.can0, a.can1 & b.can1};
+}
+
+[[nodiscard]] constexpr PackedTrit packed_or(PackedTrit a,
+                                             PackedTrit b) noexcept {
+  return {a.can0 & b.can0, a.can1 | b.can1};
+}
+
+[[nodiscard]] constexpr PackedTrit packed_not(PackedTrit a) noexcept {
+  return {a.can1, a.can0};
+}
+
+[[nodiscard]] constexpr PackedTrit packed_xor(PackedTrit a,
+                                              PackedTrit b) noexcept {
+  // can be 0: (a can0 & b can0) | (a can1 & b can1); can be 1 dually.
+  return {(a.can0 & b.can0) | (a.can1 & b.can1),
+          (a.can0 & b.can1) | (a.can1 & b.can0)};
+}
+
+/// Closure of mux(d0, d1, s) = s ? d1 : d0, lane-parallel.
+[[nodiscard]] constexpr PackedTrit packed_mux(PackedTrit d0, PackedTrit d1,
+                                              PackedTrit s) noexcept {
+  return {(s.can0 & d0.can0) | (s.can1 & d1.can0),
+          (s.can0 & d0.can1) | (s.can1 & d1.can1)};
+}
+
+}  // namespace mcsn

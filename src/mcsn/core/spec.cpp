@@ -1,0 +1,25 @@
+#include "mcsn/core/spec.hpp"
+
+#include <cassert>
+
+#include "mcsn/core/closure.hpp"
+#include "mcsn/core/gray.hpp"
+#include "mcsn/core/valid.hpp"
+
+namespace mcsn {
+
+std::pair<Word, Word> sort2_spec_closure(const Word& g, const Word& h) {
+  assert(g.size() == h.size());
+  return closure_binary_pair(
+      [](const Word& a, const Word& b) -> std::pair<Word, Word> {
+        return gray_decode(a) >= gray_decode(b) ? std::pair{a, b}
+                                                : std::pair{b, a};
+      },
+      g, h);
+}
+
+std::pair<Word, Word> sort2_spec_rank(const Word& g, const Word& h) {
+  return {valid_max(g, h), valid_min(g, h)};
+}
+
+}  // namespace mcsn

@@ -1,0 +1,34 @@
+#pragma once
+// Behavioral specification of the 2-sort(B) primitive (paper Def. 2.8):
+//
+//   inputs  g, h in S^B_rg,
+//   outputs (max^rg_M{g,h}, min^rg_M{g,h}).
+//
+// Three independent reference implementations are provided; the test suite
+// proves them equal on their common domain, and all gate-level circuits are
+// verified against them:
+//
+//  1. sort2_spec_closure  — literally Def. 2.7/2.8: enumerate resolutions,
+//                           sort by decoded value, superpose. Works for any
+//                           ternary input, not only valid strings.
+//  2. sort2_spec_rank     — max/min w.r.t. the total order (Table 2 ranks);
+//                           valid strings only.
+//  3. GrayCompareFsm::sort2 (fsm.hpp) — sequential diamond_m/out_m model.
+
+#include <utility>
+
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// (max, min) by brute-force metastable closure of the stable Gray-code
+/// comparison. Inputs may be arbitrary ternary words of equal width
+/// (resolution count guarded by Word::for_each_resolution).
+[[nodiscard]] std::pair<Word, Word> sort2_spec_closure(const Word& g,
+                                                       const Word& h);
+
+/// (max, min) via rank order. Preconditions: g, h valid strings.
+[[nodiscard]] std::pair<Word, Word> sort2_spec_rank(const Word& g,
+                                                    const Word& h);
+
+}  // namespace mcsn

@@ -1,0 +1,29 @@
+#include "mcsn/core/trit.hpp"
+
+#include <ostream>
+
+namespace mcsn {
+
+char to_char(Trit t) noexcept {
+  switch (t) {
+    case Trit::zero: return '0';
+    case Trit::one: return '1';
+    default: return 'M';
+  }
+}
+
+std::optional<Trit> trit_from_char(char c) noexcept {
+  switch (c) {
+    case '0': return Trit::zero;
+    case '1': return Trit::one;
+    case 'M':
+    case 'm':
+    case 'X':
+    case 'x': return Trit::meta;
+    default: return std::nullopt;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Trit t) { return os << to_char(t); }
+
+}  // namespace mcsn

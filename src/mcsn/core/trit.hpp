@@ -1,0 +1,114 @@
+#pragma once
+// Ternary (Kleene) logic values for worst-case metastability modeling.
+//
+// The paper (Bund/Lenzen/Medina, DATE 2018) models a metastable signal by a
+// third value M. Basic gates (AND, OR, inverter) compute the *metastable
+// closure* of their Boolean function (paper Table 3), which coincides with
+// Kleene's strong three-valued logic: M behaves as "could be 0 or 1, possibly
+// a time-varying voltage in between".
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace mcsn {
+
+/// One ternary signal value: stable 0, stable 1, or metastable M.
+enum class Trit : std::uint8_t {
+  zero = 0,
+  one = 1,
+  meta = 2,
+};
+
+/// Number of distinct Trit values (used to size lookup tables).
+inline constexpr int kTritCount = 3;
+
+/// All trits in canonical order {0, 1, M}; handy for exhaustive loops.
+inline constexpr Trit kAllTrits[kTritCount] = {Trit::zero, Trit::one,
+                                               Trit::meta};
+
+[[nodiscard]] constexpr bool is_stable(Trit t) noexcept {
+  return t != Trit::meta;
+}
+
+[[nodiscard]] constexpr bool is_meta(Trit t) noexcept {
+  return t == Trit::meta;
+}
+
+/// Converts a stable trit to bool. Precondition: is_stable(t).
+[[nodiscard]] constexpr bool to_bool(Trit t) noexcept {
+  return t == Trit::one;
+}
+
+[[nodiscard]] constexpr Trit to_trit(bool b) noexcept {
+  return b ? Trit::one : Trit::zero;
+}
+
+/// Index in [0,3) for table lookups.
+[[nodiscard]] constexpr int index(Trit t) noexcept {
+  return static_cast<int>(t);
+}
+
+[[nodiscard]] constexpr Trit trit_from_index(int i) noexcept {
+  return static_cast<Trit>(i);
+}
+
+// --- Gate semantics (paper Table 3) ---------------------------------------
+//
+// AND: a 0 on either input forces 0 (suppresses metastability), otherwise any
+// M propagates. OR dually. The inverter maps M to M.
+
+[[nodiscard]] constexpr Trit trit_and(Trit a, Trit b) noexcept {
+  if (a == Trit::zero || b == Trit::zero) return Trit::zero;
+  if (a == Trit::one && b == Trit::one) return Trit::one;
+  return Trit::meta;
+}
+
+[[nodiscard]] constexpr Trit trit_or(Trit a, Trit b) noexcept {
+  if (a == Trit::one || b == Trit::one) return Trit::one;
+  if (a == Trit::zero && b == Trit::zero) return Trit::zero;
+  return Trit::meta;
+}
+
+[[nodiscard]] constexpr Trit trit_not(Trit a) noexcept {
+  switch (a) {
+    case Trit::zero: return Trit::one;
+    case Trit::one: return Trit::zero;
+    default: return Trit::meta;
+  }
+}
+
+/// XOR under the closure: any metastable input makes the output metastable
+/// (flipping either input always flips the output).
+[[nodiscard]] constexpr Trit trit_xor(Trit a, Trit b) noexcept {
+  if (is_meta(a) || is_meta(b)) return Trit::meta;
+  return to_trit(to_bool(a) != to_bool(b));
+}
+
+/// Metastability-containing multiplexer behavior ("cmux" of Friedrichs et
+/// al.): with a metastable select but equal stable data inputs, the output is
+/// that data value. This is the closure of the Boolean mux:
+///   mux(d0, d1, s) = s ? d1 : d0.
+[[nodiscard]] constexpr Trit trit_mux(Trit d0, Trit d1, Trit s) noexcept {
+  if (s == Trit::zero) return d0;
+  if (s == Trit::one) return d1;
+  return d0 == d1 ? d0 : Trit::meta;
+}
+
+/// The * ("superposition") operator of Def. 2.1, on single trits:
+/// equal values stay, differing values become M.
+[[nodiscard]] constexpr Trit trit_star(Trit a, Trit b) noexcept {
+  return a == b ? a : Trit::meta;
+}
+
+/// '0', '1', or 'M'.
+[[nodiscard]] char to_char(Trit t) noexcept;
+
+/// Parses '0', '1', 'M' (also accepts 'm', 'X', 'x' for M). Returns nullopt
+/// on any other character.
+[[nodiscard]] std::optional<Trit> trit_from_char(char c) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Trit t);
+
+}  // namespace mcsn

@@ -1,0 +1,64 @@
+#include "mcsn/core/valid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mcsn/core/gray.hpp"
+
+namespace mcsn {
+
+Word valid_from_rank(std::uint64_t rank, std::size_t bits) {
+  assert(rank < valid_count(bits));
+  const std::uint64_t x = rank / 2;
+  if (rank % 2 == 0) return gray_encode(x, bits);
+  Word w = gray_encode(x, bits);
+  w[gray_flip_index(x, bits)] = Trit::meta;
+  return w;
+}
+
+std::optional<std::uint64_t> valid_rank(const Word& w) {
+  if (w.empty() || w.size() > 63) return std::nullopt;
+  const std::size_t metas = w.meta_count();
+  if (metas == 0) return 2 * gray_decode(w);
+  if (metas > 1) return std::nullopt;
+
+  // One metastable bit: both resolutions must decode to consecutive values.
+  Word lo = w, hi = w;
+  const std::size_t pos = *w.first_meta();
+  lo[pos] = Trit::zero;
+  hi[pos] = Trit::one;
+  std::uint64_t a = gray_decode(lo);
+  std::uint64_t b = gray_decode(hi);
+  if (a > b) std::swap(a, b);
+  if (b != a + 1) return std::nullopt;
+  return 2 * a + 1;
+}
+
+bool is_valid_string(const Word& w) { return valid_rank(w).has_value(); }
+
+std::vector<Word> all_valid_strings(std::size_t bits) {
+  if (bits == 0 || bits > 20) {
+    throw std::length_error("all_valid_strings: bits out of range");
+  }
+  std::vector<Word> out;
+  const std::uint64_t n = valid_count(bits);
+  out.reserve(n);
+  for (std::uint64_t r = 0; r < n; ++r) out.push_back(valid_from_rank(r, bits));
+  return out;
+}
+
+Word valid_max(const Word& g, const Word& h) {
+  const auto rg = valid_rank(g);
+  const auto rh = valid_rank(h);
+  assert(rg && rh);
+  return *rg >= *rh ? g : h;
+}
+
+Word valid_min(const Word& g, const Word& h) {
+  const auto rg = valid_rank(g);
+  const auto rh = valid_rank(h);
+  assert(rg && rh);
+  return *rg <= *rh ? g : h;
+}
+
+}  // namespace mcsn

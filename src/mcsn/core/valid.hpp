@@ -1,0 +1,46 @@
+#pragma once
+// Valid strings S^B_rg (paper Def. 2.3, Table 2) and their total order.
+//
+// A valid string is either a stable Gray codeword rg(x) or the superposition
+// rg(x) * rg(x+1), which has exactly one metastable bit (consecutive Gray
+// codewords differ in one position). The natural total order interleaves
+// them:
+//
+//   rg(0) < rg(0)*rg(1) < rg(1) < rg(1)*rg(2) < ... < rg(N-1)
+//
+// We assign each valid string a *rank*: rank(rg(x)) = 2x and
+// rank(rg(x)*rg(x+1)) = 2x+1, so comparisons become integer comparisons.
+// max^rg_M / min^rg_M on valid strings coincide with max/min of ranks
+// (shown in [2]; we verify against the brute-force closure in tests).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// Number of valid strings of width `bits`: 2^{B+1} - 1.
+[[nodiscard]] constexpr std::uint64_t valid_count(std::size_t bits) noexcept {
+  return (std::uint64_t{2} << bits) - 1;
+}
+
+/// The valid string with the given rank in [0, valid_count(bits)).
+[[nodiscard]] Word valid_from_rank(std::uint64_t rank, std::size_t bits);
+
+/// Rank of a valid string, or nullopt if `w` is not in S^B_rg.
+[[nodiscard]] std::optional<std::uint64_t> valid_rank(const Word& w);
+
+[[nodiscard]] bool is_valid_string(const Word& w);
+
+/// All valid strings of width `bits` in ascending rank order.
+/// Guarded to bits <= 20.
+[[nodiscard]] std::vector<Word> all_valid_strings(std::size_t bits);
+
+/// max/min w.r.t. the total order on valid strings (rank comparison).
+/// Preconditions: both arguments valid, equal width.
+[[nodiscard]] Word valid_max(const Word& g, const Word& h);
+[[nodiscard]] Word valid_min(const Word& g, const Word& h);
+
+}  // namespace mcsn

@@ -1,0 +1,135 @@
+#include "mcsn/netlist/bdd.hpp"
+#include <functional>
+
+#include <cassert>
+#include <cmath>
+
+namespace mcsn {
+
+namespace {
+
+constexpr std::uint64_t kFieldBits = 21;
+constexpr std::uint64_t kFieldMask = (std::uint64_t{1} << kFieldBits) - 1;
+
+std::uint64_t pack3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return (a << (2 * kFieldBits)) | (b << kFieldBits) | c;
+}
+
+}  // namespace
+
+Bdd::Bdd(int var_count, std::size_t node_limit)
+    : var_count_(var_count),
+      node_limit_(std::min<std::size_t>(node_limit, kFieldMask)) {
+  if (var_count < 0 || static_cast<std::uint64_t>(var_count) >= kFieldMask) {
+    throw std::length_error("Bdd: variable count out of range");
+  }
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue});    // 1 = true
+}
+
+Bdd::Ref Bdd::var(int i) {
+  assert(i >= 0 && i < var_count_);
+  return mk(i, kFalse, kTrue);
+}
+
+Bdd::Ref Bdd::nvar(int i) {
+  assert(i >= 0 && i < var_count_);
+  return mk(i, kTrue, kFalse);
+}
+
+Bdd::Ref Bdd::mk(int var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key =
+      pack3(static_cast<std::uint64_t>(var), lo, hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) {
+    throw std::length_error("Bdd: node limit exceeded");
+  }
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+int Bdd::top_var(Ref f, Ref g, Ref h) const {
+  int v = nodes_[f].var;
+  v = std::min(v, nodes_[g].var);
+  v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+Bdd::Ref Bdd::cofactor(Ref f, int var, bool positive) const {
+  const Node& n = nodes_[f];
+  if (n.var != var) return f;  // ordered: var < n.var or terminal
+  return positive ? n.hi : n.lo;
+}
+
+Bdd::Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = pack3(f, g, h);
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
+                     cofactor(h, v, false));
+  const Ref hi = ite(cofactor(f, v, true), cofactor(g, v, true),
+                     cofactor(h, v, true));
+  const Ref res = mk(v, lo, hi);
+  ite_cache_.emplace(key, res);
+  return res;
+}
+
+std::optional<std::vector<std::optional<bool>>> Bdd::satisfy_one(
+    Ref f) const {
+  if (f == kFalse) return std::nullopt;
+  std::vector<std::optional<bool>> assign(
+      static_cast<std::size_t>(var_count_));
+  Ref cur = f;
+  while (cur != kTrue) {
+    const Node& n = nodes_[cur];
+    // Every non-false ROBDD node has a path to true; prefer the hi branch.
+    if (n.hi != kFalse) {
+      assign[static_cast<std::size_t>(n.var)] = true;
+      cur = n.hi;
+    } else {
+      assign[static_cast<std::size_t>(n.var)] = false;
+      cur = n.lo;
+    }
+  }
+  return assign;
+}
+
+double Bdd::sat_count(Ref f) const {
+  std::unordered_map<Ref, double> memo;
+  // count(node) = number of assignments of variables var(node)..n-1
+  // (inclusive) satisfying the function.
+  const std::function<double(Ref)> count = [&](Ref r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    const auto it = memo.find(r);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[r];
+    const auto level = [this](Ref x) {
+      return nodes_[x].var == kTerminalVar ? var_count_ : nodes_[x].var;
+    };
+    const double lo =
+        count(n.lo) * std::exp2(level(n.lo) - n.var - 1);
+    const double hi =
+        count(n.hi) * std::exp2(level(n.hi) - n.var - 1);
+    const double total = lo + hi;
+    memo.emplace(r, total);
+    return total;
+  };
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return std::exp2(var_count_);
+  return count(f) * std::exp2(nodes_[f].var);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,47 @@
+#include "mcsn/netlist/cell.hpp"
+
+namespace mcsn {
+
+std::string_view cell_name(CellKind k) noexcept {
+  switch (k) {
+    case CellKind::input: return "input";
+    case CellKind::const0: return "const0";
+    case CellKind::const1: return "const1";
+    case CellKind::inv: return "inv";
+    case CellKind::and2: return "and2";
+    case CellKind::or2: return "or2";
+    case CellKind::nand2: return "nand2";
+    case CellKind::nor2: return "nor2";
+    case CellKind::xor2: return "xor2";
+    case CellKind::xnor2: return "xnor2";
+    case CellKind::mux2: return "mux2";
+    case CellKind::aoi21: return "aoi21";
+    case CellKind::oai21: return "oai21";
+    case CellKind::ao21: return "ao21";
+    case CellKind::oa21: return "oa21";
+  }
+  return "?";
+}
+
+std::string_view cell_lib_name(CellKind k) noexcept {
+  switch (k) {
+    case CellKind::input: return "PIN";
+    case CellKind::const0: return "LOGIC0";
+    case CellKind::const1: return "LOGIC1";
+    case CellKind::inv: return "INV_X1";
+    case CellKind::and2: return "AND2_X1";
+    case CellKind::or2: return "OR2_X1";
+    case CellKind::nand2: return "NAND2_X1";
+    case CellKind::nor2: return "NOR2_X1";
+    case CellKind::xor2: return "XOR2_X1";
+    case CellKind::xnor2: return "XNOR2_X1";
+    case CellKind::mux2: return "MUX2_X1";
+    case CellKind::aoi21: return "AOI21_X1";
+    case CellKind::oai21: return "OAI21_X1";
+    case CellKind::ao21: return "AO21_X1";
+    case CellKind::oa21: return "OA21_X1";
+  }
+  return "?";
+}
+
+}  // namespace mcsn

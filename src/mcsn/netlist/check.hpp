@@ -1,0 +1,39 @@
+#pragma once
+// Verification helpers: equivalence against a specification function and the
+// refinement-monotonicity ("containment") property of ternary circuits.
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "mcsn/core/word.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct CheckFailure {
+  Word input;
+  Word expected;
+  Word actual;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Checks circuit(input) == spec(input) for every input produced by
+/// `generator` (call it until it returns nullopt). Returns the first failure.
+[[nodiscard]] std::optional<CheckFailure> check_against_spec(
+    const Netlist& nl, const std::function<Word(const Word&)>& spec,
+    const std::function<std::optional<Word>()>& generator);
+
+/// Containment/monotonicity property: for a ternary input x and any stable
+/// refinement y in res(x), circuit(y) must lie in res(circuit(x)). Every
+/// closure-semantics circuit satisfies this; it is the "no surprise after
+/// resolution" guarantee. Checks all resolutions of each generated input.
+[[nodiscard]] std::optional<CheckFailure> check_refinement_monotone(
+    const Netlist& nl, const std::function<std::optional<Word>()>& generator);
+
+/// Exhaustively enumerates all ternary input vectors of the netlist's input
+/// width (3^width combinations; width guarded <= 12) and checks against spec.
+[[nodiscard]] std::optional<CheckFailure> check_exhaustive_ternary(
+    const Netlist& nl, const std::function<Word(const Word&)>& spec);
+
+}  // namespace mcsn

@@ -1,0 +1,88 @@
+#include "mcsn/netlist/eval.hpp"
+
+#include <cassert>
+
+namespace mcsn {
+
+namespace {
+
+template <typename V, V (*EvalFn)(CellKind, V, V, V), V (*Splat)(Trit)>
+void eval_pass(const Netlist& nl, std::span<const V> inputs,
+               std::vector<V>& values) {
+  assert(inputs.size() == nl.inputs().size());
+  values.resize(nl.node_count());
+  std::size_t next_input = 0;
+  const auto& nodes = nl.nodes();
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const GateNode& g = nodes[id];
+    switch (g.kind) {
+      case CellKind::input: values[id] = inputs[next_input++]; break;
+      case CellKind::const0: values[id] = Splat(Trit::zero); break;
+      case CellKind::const1: values[id] = Splat(Trit::one); break;
+      default:
+        values[id] =
+            EvalFn(g.kind, values[g.in[0]], values[g.in[1]], values[g.in[2]]);
+    }
+  }
+}
+
+Trit splat_trit(Trit t) { return t; }
+PackedTrit splat_packed(Trit t) { return PackedTrit::splat(t); }
+
+}  // namespace
+
+std::vector<Trit> evaluate_nodes(const Netlist& nl,
+                                 std::span<const Trit> inputs) {
+  std::vector<Trit> values;
+  eval_pass<Trit, &cell_eval, &splat_trit>(nl, inputs, values);
+  return values;
+}
+
+Word evaluate(const Netlist& nl, std::span<const Trit> inputs) {
+  const std::vector<Trit> values = evaluate_nodes(nl, inputs);
+  Word out(nl.outputs().size());
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out[i] = values[nl.outputs()[i].node];
+  }
+  return out;
+}
+
+Word evaluate(const Netlist& nl, const Word& inputs) {
+  std::vector<Trit> in(inputs.begin(), inputs.end());
+  return evaluate(nl, in);
+}
+
+Evaluator::Evaluator(const Netlist& nl) : nl_(&nl) {
+  values_.reserve(nl.node_count());
+}
+
+std::span<const Trit> Evaluator::run(std::span<const Trit> inputs) {
+  eval_pass<Trit, &cell_eval, &splat_trit>(*nl_, inputs, values_);
+  return values_;
+}
+
+void Evaluator::run_outputs(std::span<const Trit> inputs, Word& out) {
+  run(inputs);
+  const auto& outs = nl_->outputs();
+  if (out.size() != outs.size()) out = Word(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out[i] = values_[outs[i].node];
+  }
+}
+
+PackedEvaluator::PackedEvaluator(const Netlist& nl) : nl_(&nl) {
+  values_.reserve(nl.node_count());
+}
+
+std::span<const PackedTrit> PackedEvaluator::run(
+    std::span<const PackedTrit> inputs) {
+  eval_pass<PackedTrit, &cell_eval_packed, &splat_packed>(*nl_, inputs,
+                                                          values_);
+  return values_;
+}
+
+Trit PackedEvaluator::output_lane(std::size_t o, int lane) const {
+  return values_[nl_->outputs()[o].node].lane(lane);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,62 @@
+#pragma once
+// Netlist evaluation under the ternary (metastable closure) semantics of the
+// paper's computational model, plus a 64-lane packed variant.
+
+#include <span>
+#include <vector>
+
+#include "mcsn/core/packed.hpp"
+#include "mcsn/core/word.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+/// Evaluates every node; `inputs` are assigned to the primary inputs in
+/// creation order. Returns values of all nodes (indexable by NodeId).
+[[nodiscard]] std::vector<Trit> evaluate_nodes(const Netlist& nl,
+                                               std::span<const Trit> inputs);
+
+/// Evaluates and extracts the outputs (in mark_output order) as a Word.
+[[nodiscard]] Word evaluate(const Netlist& nl, std::span<const Trit> inputs);
+
+/// Convenience: input vector given as a Word.
+[[nodiscard]] Word evaluate(const Netlist& nl, const Word& inputs);
+
+/// Reusable evaluator that amortizes allocation across calls — preferred in
+/// exhaustive test sweeps and benchmarks.
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& nl);
+
+  /// Returns node values; valid until the next run().
+  std::span<const Trit> run(std::span<const Trit> inputs);
+
+  /// Runs and copies outputs into `out` (resized as needed).
+  void run_outputs(std::span<const Trit> inputs, Word& out);
+
+ private:
+  const Netlist* nl_;
+  std::vector<Trit> values_;
+};
+
+/// 64-lane packed evaluator: lane k of every input PackedTrit forms one
+/// independent input vector; outputs come back lane-aligned.
+class PackedEvaluator {
+ public:
+  explicit PackedEvaluator(const Netlist& nl);
+
+  std::span<const PackedTrit> run(std::span<const PackedTrit> inputs);
+
+  [[nodiscard]] std::span<const PackedTrit> last_values() const {
+    return values_;
+  }
+
+  /// Extracts output `o`, lane `lane` from the last run.
+  [[nodiscard]] Trit output_lane(std::size_t o, int lane) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<PackedTrit> values_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,128 @@
+#include "mcsn/netlist/eventsim.hpp"
+
+#include <cassert>
+
+namespace mcsn {
+
+EventSimulator::EventSimulator(const Netlist& nl, const CellLibrary& lib)
+    : nl_(&nl) {
+  const std::size_t n = nl.node_count();
+  fanout_.resize(n);
+  gate_delay_.assign(n, 0.0);
+  values_.assign(n, Trit::zero);
+  waves_.resize(n);
+  pending_time_.assign(n, 0.0);
+  pending_value_.assign(n, Trit::zero);
+  has_pending_.assign(n, false);
+
+  // Static per-gate delay: intrinsic + slope * load (same model as STA).
+  std::vector<double> load(n, 0.0);
+  for (NodeId id = 0; id < n; ++id) {
+    const GateNode& g = nl.node(id);
+    const double cap = lib.params(g.kind).input_cap;
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) {
+      load[g.in[pin]] += cap;
+      fanout_[g.in[pin]].push_back(id);
+    }
+  }
+  for (const OutputPort& o : nl.outputs()) load[o.node] += lib.port_cap();
+  for (NodeId id = 0; id < n; ++id) {
+    const GateNode& g = nl.node(id);
+    if (is_gate(g.kind)) {
+      const CellParams& p = lib.params(g.kind);
+      gate_delay_[id] = p.intrinsic + p.slope * load[id];
+    }
+  }
+
+  // Initialize: inputs at 0, constants at their value, gates evaluated in
+  // topological order so the circuit starts settled.
+  for (NodeId id = 0; id < n; ++id) {
+    const GateNode& g = nl.node(id);
+    switch (g.kind) {
+      case CellKind::input: values_[id] = Trit::zero; break;
+      case CellKind::const0: values_[id] = Trit::zero; break;
+      case CellKind::const1: values_[id] = Trit::one; break;
+      default:
+        values_[id] = cell_eval(g.kind, values_[g.in[0]], values_[g.in[1]],
+                                values_[g.in[2]]);
+    }
+    waves_[id].push_back(WaveEvent{0.0, values_[id]});
+  }
+}
+
+void EventSimulator::set_input(std::size_t input_idx, Trit value,
+                               double time) {
+  assert(input_idx < nl_->inputs().size());
+  schedule(nl_->inputs()[input_idx], value, time);
+}
+
+void EventSimulator::schedule(NodeId node, Trit value, double time) {
+  // Inertial delay: a newer scheduled value supersedes the pending one.
+  pending_time_[node] = time;
+  pending_value_[node] = value;
+  if (!has_pending_[node]) {
+    has_pending_[node] = true;
+  }
+  queue_.emplace(time, node);
+}
+
+void EventSimulator::commit(NodeId node, Trit value, double time) {
+  if (values_[node] == value) return;
+  values_[node] = value;
+  waves_[node].push_back(WaveEvent{time, value});
+  for (const NodeId f : fanout_[node]) {
+    const GateNode& g = nl_->node(f);
+    const Trit next = cell_eval(g.kind, values_[g.in[0]], values_[g.in[1]],
+                                values_[g.in[2]]);
+    schedule(f, next, time + gate_delay_[f]);
+  }
+}
+
+double EventSimulator::run() {
+  double last_change = 0.0;
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    const double t = it->first;
+    const NodeId node = it->second;
+    queue_.erase(it);
+    if (!has_pending_[node] || pending_time_[node] != t) {
+      continue;  // superseded by a later (inertial) event
+    }
+    has_pending_[node] = false;
+    const Trit v = pending_value_[node];
+    if (values_[node] != v) last_change = t;
+    commit(node, v, t);
+  }
+  return last_change;
+}
+
+std::size_t EventSimulator::transition_count(NodeId id) const {
+  return waves_[id].size() - 1;
+}
+
+void EventSimulator::clear_waveforms(double time) {
+  for (NodeId id = 0; id < waves_.size(); ++id) {
+    waves_[id].assign(1, WaveEvent{time, values_[id]});
+  }
+}
+
+bool EventSimulator::glitch_free() const {
+  for (const Waveform& w : waves_) {
+    // Accept waveforms of the form v* M* u* (values may start at M after a
+    // baseline reset): at most two value changes, and if there are two, the
+    // middle value must be M. Excludes stable->stable->stable bounces and
+    // repeated excursions through M.
+    std::size_t changes = 0;
+    Trit middle = Trit::meta;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      if (w[i].value == w[i - 1].value) continue;
+      ++changes;
+      if (changes == 1) middle = w[i].value;
+    }
+    if (changes > 2) return false;
+    if (changes == 2 && !is_meta(middle)) return false;
+  }
+  return true;
+}
+
+}  // namespace mcsn

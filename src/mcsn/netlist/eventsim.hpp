@@ -1,0 +1,78 @@
+#pragma once
+// Event-driven ternary simulation with per-gate propagation delays.
+//
+// Used to visualize containment dynamics: a rising input that violates a
+// sampling window is modeled as 0 -> M -> 1 (the M phase is the interval in
+// which the signal is out-of-spec). Because every cell computes the closure
+// of its Boolean function, the simulation demonstrates that MC circuits are
+// glitch-free in this model: once the inputs settle, each node settles and
+// no node oscillates between stable values.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mcsn/core/trit.hpp"
+#include "mcsn/netlist/library.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct WaveEvent {
+  double time = 0.0;
+  Trit value = Trit::meta;
+};
+
+/// Per-node waveform: the value at time t is the value of the latest event
+/// with time <= t (initial value = first event at t=0).
+using Waveform = std::vector<WaveEvent>;
+
+class EventSimulator {
+ public:
+  EventSimulator(const Netlist& nl, const CellLibrary& lib);
+
+  /// Schedules a primary-input change (input index, not NodeId).
+  void set_input(std::size_t input_idx, Trit value, double time);
+
+  /// Runs until the event queue drains (combinational circuits always
+  /// converge). Returns the time of the last value change.
+  double run();
+
+  [[nodiscard]] const Waveform& waveform(NodeId id) const {
+    return waves_[id];
+  }
+  [[nodiscard]] Trit value(NodeId id) const { return values_[id]; }
+
+  /// Number of value-change events on `id`, excluding the initial value.
+  [[nodiscard]] std::size_t transition_count(NodeId id) const;
+
+  /// Truncates all waveform history to the current settled values (new
+  /// baseline at `time`). Glitch analysis is per stimulus phase: the initial
+  /// application from the power-up state is not a refinement and may bounce,
+  /// but after clear_waveforms() any *refinement* of the inputs (resolving
+  /// or un-resolving single bits) must be glitch-free in an MC circuit.
+  void clear_waveforms(double time = 0.0);
+
+  /// True iff no node ever changed between the two stable values without
+  /// passing through M, and no node left M more than once — i.e. every
+  /// waveform is of the (glitch-free) form  v* M* w*.
+  [[nodiscard]] bool glitch_free() const;
+
+ private:
+  void schedule(NodeId node, Trit value, double time);
+  void commit(NodeId node, Trit value, double time);
+
+  const Netlist* nl_;
+  std::vector<double> gate_delay_;       // per node
+  std::vector<std::vector<NodeId>> fanout_;
+  std::vector<Trit> values_;
+  std::vector<Waveform> waves_;
+  // (time, node) -> scheduled value; inertial: rescheduling a node overwrites
+  // any pending event for it.
+  std::multimap<double, NodeId> queue_;
+  std::vector<double> pending_time_;
+  std::vector<Trit> pending_value_;
+  std::vector<bool> has_pending_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,400 @@
+#include "mcsn/netlist/liberty.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mcsn {
+
+namespace {
+
+struct Token {
+  enum class Kind { ident, number, string, punct, end };
+  Kind kind = Kind::end;
+  std::string text;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::ident;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      const std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '-' || text_[pos_] == '+')) {
+        // Only allow +/- right after an exponent marker.
+        if ((text_[pos_] == '-' || text_[pos_] == '+') &&
+            !(text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')) {
+          break;
+        }
+        ++pos_;
+      }
+      t.kind = Token::Kind::number;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      t.kind = Token::Kind::string;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      return t;
+    }
+    t.kind = Token::Kind::punct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else if (c == '\\') {
+        ++pos_;  // line continuations
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+std::optional<CellKind> kind_from_lib_name(std::string_view name) {
+  for (int k = 0; k < kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (is_gate(kind) && cell_lib_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+// Recursive-descent parser over the token stream. Grammar:
+//   group     := ident '(' args? ')' ( '{' statement* '}' | ';' )
+//   statement := group | attribute
+//   attribute := ident ':' value ';'
+class Parser {
+ public:
+  Parser(std::string_view text, LibertyError* error)
+      : lex_(text), error_(error) {
+    advance();
+  }
+
+  std::optional<CellLibrary> parse() {
+    if (!expect_ident("library")) return std::nullopt;
+    std::string libname;
+    if (!parse_group_args(&libname)) return std::nullopt;
+    if (libname.empty()) libname = "liberty";
+    if (!expect_punct("{")) return std::nullopt;
+    while (!at_punct("}")) {
+      if (cur_.kind == Token::Kind::end) {
+        fail("unexpected EOF");
+        return std::nullopt;
+      }
+      if (!parse_library_item()) return std::nullopt;
+    }
+    advance();  // '}'
+    return CellLibrary(libname, cells_, port_cap_);
+  }
+
+ private:
+  bool parse_library_item() {
+    if (cur_.kind != Token::Kind::ident) return fail("expected identifier");
+    const std::string name = cur_.text;
+    advance();
+    if (at_punct(":")) {
+      if (name == "default_output_pin_cap") {
+        return attribute_number(&port_cap_);
+      }
+      return skip_attribute_value();
+    }
+    std::string arg;
+    if (!parse_group_args(&arg)) return false;
+    if (name == "cell") return parse_cell(arg);
+    return skip_group_or_semi();
+  }
+
+  bool parse_cell(const std::string& cellname) {
+    const std::optional<CellKind> kind = kind_from_lib_name(cellname);
+    if (!expect_punct("{")) return false;
+    CellParams params{};
+    double cap_sum = 0.0;
+    int cap_count = 0;
+    while (!at_punct("}")) {
+      if (cur_.kind == Token::Kind::end) return fail("unexpected EOF in cell");
+      if (cur_.kind != Token::Kind::ident) return fail("expected identifier");
+      const std::string name = cur_.text;
+      advance();
+      if (at_punct(":")) {
+        if (name == "area") {
+          if (!attribute_number(&params.area)) return false;
+        } else if (!skip_attribute_value()) {
+          return false;
+        }
+        continue;
+      }
+      std::string arg;
+      if (!parse_group_args(&arg)) return false;
+      if (name == "pin") {
+        if (!parse_pin(&params, &cap_sum, &cap_count)) return false;
+      } else if (!skip_group_or_semi()) {
+        return false;
+      }
+    }
+    advance();  // '}'
+    if (cap_count > 0) params.input_cap = cap_sum / cap_count;
+    if (kind) cells_[static_cast<int>(*kind)] = params;
+    return true;
+  }
+
+  bool parse_pin(CellParams* params, double* cap_sum, int* cap_count) {
+    if (!expect_punct("{")) return false;
+    bool is_input = false;
+    double cap = 0.0;
+    bool has_cap = false;
+    while (!at_punct("}")) {
+      if (cur_.kind == Token::Kind::end) return fail("unexpected EOF in pin");
+      if (cur_.kind != Token::Kind::ident) return fail("expected identifier");
+      const std::string name = cur_.text;
+      advance();
+      if (at_punct(":")) {
+        if (name == "direction") {
+          advance();  // ':'
+          if (cur_.kind != Token::Kind::ident) return fail("bad direction");
+          is_input = cur_.text == "input";
+          advance();
+          if (!expect_punct(";")) return false;
+        } else if (name == "capacitance") {
+          if (!attribute_number(&cap)) return false;
+          has_cap = true;
+        } else if (!skip_attribute_value()) {
+          return false;
+        }
+        continue;
+      }
+      std::string arg;
+      if (!parse_group_args(&arg)) return false;
+      if (name == "timing") {
+        if (!parse_timing(params)) return false;
+      } else if (!skip_group_or_semi()) {
+        return false;
+      }
+    }
+    advance();  // '}'
+    if (is_input && has_cap) {
+      *cap_sum += cap;
+      ++*cap_count;
+    }
+    return true;
+  }
+
+  bool parse_timing(CellParams* params) {
+    if (!expect_punct("{")) return false;
+    while (!at_punct("}")) {
+      if (cur_.kind == Token::Kind::end) {
+        return fail("unexpected EOF in timing");
+      }
+      if (cur_.kind != Token::Kind::ident) return fail("expected identifier");
+      const std::string name = cur_.text;
+      advance();
+      const bool intrinsic =
+          name == "intrinsic_rise" || name == "intrinsic_fall";
+      const bool resistance =
+          name == "rise_resistance" || name == "fall_resistance";
+      if (at_punct(":") && (intrinsic || resistance)) {
+        double v = 0.0;
+        if (!attribute_number(&v)) return false;
+        if (intrinsic) params->intrinsic = std::max(params->intrinsic, v);
+        if (resistance) params->slope = std::max(params->slope, v);
+      } else if (at_punct(":")) {
+        if (!skip_attribute_value()) return false;
+      } else {
+        // Nested group (e.g. cell_rise tables): skip wholesale.
+        std::string arg;
+        if (!parse_group_args(&arg)) return false;
+        if (!skip_group_or_semi()) return false;
+      }
+    }
+    advance();  // '}'
+    return true;
+  }
+
+  // --- token plumbing ---------------------------------------------------
+
+  void advance() { cur_ = lex_.next(); }
+
+  bool at_punct(std::string_view p) const {
+    return cur_.kind == Token::Kind::punct && cur_.text == p;
+  }
+
+  bool expect_punct(std::string_view p) {
+    if (!at_punct(p)) {
+      return fail("expected '" + std::string(p) + "'");
+    }
+    advance();
+    return true;
+  }
+
+  bool expect_ident(std::string_view name) {
+    if (cur_.kind != Token::Kind::ident || cur_.text != name) {
+      return fail("expected '" + std::string(name) + "'");
+    }
+    advance();
+    return true;
+  }
+
+  // '(' tok* ')'; concatenates the argument tokens (so names containing
+  // '-' survive, e.g. "nangate45-mc-calibrated").
+  bool parse_group_args(std::string* args) {
+    if (!expect_punct("(")) return false;
+    while (!at_punct(")")) {
+      if (cur_.kind == Token::Kind::end) return fail("unexpected EOF in args");
+      args->append(cur_.text);
+      advance();
+    }
+    advance();
+    return true;
+  }
+
+  // After 'ident :', consume the value and ';'.
+  bool skip_attribute_value() {
+    if (!expect_punct(":")) return false;
+    while (!at_punct(";")) {
+      if (cur_.kind == Token::Kind::end) {
+        return fail("unexpected EOF in attribute");
+      }
+      advance();
+    }
+    advance();
+    return true;
+  }
+
+  bool attribute_number(double* out) {
+    if (!expect_punct(":")) return false;
+    if (cur_.kind != Token::Kind::number) return fail("expected number");
+    *out = std::strtod(cur_.text.c_str(), nullptr);
+    advance();
+    return expect_punct(";");
+  }
+
+  // Skips '{ ... }' (nested) or ';'.
+  bool skip_group_or_semi() {
+    if (at_punct(";")) {
+      advance();
+      return true;
+    }
+    if (!expect_punct("{")) return false;
+    int depth = 1;
+    while (depth > 0) {
+      if (cur_.kind == Token::Kind::end) return fail("unexpected EOF");
+      if (at_punct("{")) ++depth;
+      if (at_punct("}")) --depth;
+      advance();
+    }
+    return true;
+  }
+
+  bool fail(std::string msg) {
+    if (error_) *error_ = LibertyError{cur_.line, std::move(msg)};
+    return false;
+  }
+
+  Lexer lex_;
+  Token cur_;
+  LibertyError* error_;
+  std::array<CellParams, kCellKindCount> cells_{};
+  double port_cap_ = 1.0;
+};
+
+}  // namespace
+
+std::optional<CellLibrary> parse_liberty(std::string_view text,
+                                         LibertyError* error) {
+  Parser parser(text, error);
+  return parser.parse();
+}
+
+void write_liberty(std::ostream& os, const CellLibrary& lib) {
+  os << "/* generated by mcsn; legacy linear delay model */\n";
+  os << "library (" << (lib.name().empty() ? "mcsn" : lib.name()) << ") {\n";
+  os << "  default_output_pin_cap : " << lib.port_cap() << ";\n";
+  for (int k = 0; k < kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (!is_gate(kind)) continue;
+    const CellParams& p = lib.params(kind);
+    if (p.area == 0.0) continue;
+    os << "  cell (" << cell_lib_name(kind) << ") {\n";
+    os << "    area : " << p.area << ";\n";
+    const int arity = cell_arity(kind);
+    static const char* const pins2[] = {"A1", "A2", "A3"};
+    for (int pin = 0; pin < arity; ++pin) {
+      const char* pname = arity == 1 ? "A" : pins2[pin];
+      os << "    pin (" << pname << ") { direction : input; capacitance : "
+         << p.input_cap << "; }\n";
+    }
+    os << "    pin (Z) {\n      direction : output;\n      timing () {\n"
+       << "        intrinsic_rise : " << p.intrinsic << ";\n"
+       << "        intrinsic_fall : " << p.intrinsic << ";\n"
+       << "        rise_resistance : " << p.slope << ";\n"
+       << "        fall_resistance : " << p.slope << ";\n      }\n    }\n";
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string to_liberty(const CellLibrary& lib) {
+  std::ostringstream ss;
+  write_liberty(ss, lib);
+  return ss.str();
+}
+
+}  // namespace mcsn

@@ -1,0 +1,51 @@
+#pragma once
+// Liberty (.lib) subset reader/writer for cell libraries.
+//
+// Supports the legacy CMOS *linear* delay model, which matches this
+// library's STA exactly:
+//
+//   library (name) {
+//     cell (AND2_X1) {
+//       area : 1.4875;
+//       pin (A1) { direction : input;  capacitance : 1.0; }
+//       pin (Z)  { direction : output;
+//         timing () {
+//           intrinsic_rise : 36.0;  intrinsic_fall : 36.0;
+//           rise_resistance : 2.0;  fall_resistance : 2.0;
+//         }
+//       }
+//     }
+//   }
+//
+// intrinsic = max(intrinsic_rise/fall), slope = max(rise/fall resistance);
+// input capacitance is averaged over input pins. Cells are matched to
+// CellKind via cell_lib_name() (INV_X1, AND2_X1, ...); unknown cells are
+// ignored. Comments (/* */ and //), multi-valued attributes and unknown
+// groups/attributes are tolerated and skipped.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mcsn/netlist/library.hpp"
+
+namespace mcsn {
+
+struct LibertyError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses a Liberty subset document. Returns nullopt and fills `error` on
+/// malformed input. Cells missing from the document keep zeroed parameters.
+[[nodiscard]] std::optional<CellLibrary> parse_liberty(
+    std::string_view text, LibertyError* error = nullptr);
+
+/// Writes the library in the subset format above (only cells with nonzero
+/// area). parse_liberty(to_liberty(lib)) reproduces lib exactly.
+void write_liberty(std::ostream& os, const CellLibrary& lib);
+
+[[nodiscard]] std::string to_liberty(const CellLibrary& lib);
+
+}  // namespace mcsn

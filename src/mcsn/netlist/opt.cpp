@@ -1,0 +1,215 @@
+#include "mcsn/netlist/opt.hpp"
+
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace mcsn {
+
+namespace {
+
+bool is_commutative(CellKind k) {
+  switch (k) {
+    case CellKind::and2:
+    case CellKind::or2:
+    case CellKind::nand2:
+    case CellKind::nor2:
+    case CellKind::xor2:
+    case CellKind::xnor2: return true;
+    default: return false;
+  }
+}
+
+// One forward rebuild with folding + CSE. Because nodes are processed in
+// topological order and rewrites apply immediately, a single pass reaches
+// the fixed point of these local rules.
+struct Rebuilder {
+  const Netlist& src;
+  const OptOptions& opt;
+  Netlist out;
+  std::vector<NodeId> remap;
+  // Constant value of a new node, if known.
+  std::vector<std::optional<bool>> const_of;
+  std::map<std::tuple<CellKind, NodeId, NodeId, NodeId>, NodeId> cse_map;
+  std::optional<NodeId> const_node[2];
+  std::size_t folded = 0;
+  std::size_t merged = 0;
+
+  explicit Rebuilder(const Netlist& nl, const OptOptions& o)
+      : src(nl), opt(o), out(nl.name()) {
+    remap.resize(nl.node_count());
+  }
+
+  void note_const(NodeId id, bool v) {
+    if (const_of.size() <= id) const_of.resize(id + 1);
+    const_of[id] = v;
+  }
+
+  std::optional<bool> const_val(NodeId id) const {
+    return id < const_of.size() ? const_of[id] : std::nullopt;
+  }
+
+  NodeId constant(bool v) {
+    if (!const_node[v ? 1 : 0]) {
+      const NodeId id = out.constant(v);
+      const_node[v ? 1 : 0] = id;
+      note_const(id, v);
+    }
+    return *const_node[v ? 1 : 0];
+  }
+
+  bool is_inv_of(NodeId id, NodeId& input) const {
+    const GateNode& g = out.node(id);
+    if (g.kind != CellKind::inv) return false;
+    input = g.in[0];
+    return true;
+  }
+
+  // Returns the replacement node for `kind(a, b, c)` if a folding rule
+  // applies.
+  std::optional<NodeId> fold(CellKind kind, NodeId a, NodeId b, NodeId c) {
+    const auto ca = const_val(a);
+    const auto cb = const_val(b);
+    const auto cc = const_val(c);
+    const int arity = cell_arity(kind);
+
+    // Fully constant: evaluate.
+    if ((arity < 1 || ca) && (arity < 2 || cb) && (arity < 3 || cc)) {
+      return constant(cell_eval_bool(kind, ca.value_or(false),
+                                     cb.value_or(false),
+                                     cc.value_or(false)));
+    }
+    switch (kind) {
+      case CellKind::inv: {
+        NodeId inner = 0;
+        if (is_inv_of(a, inner)) return inner;  // inv(inv(x)) = x
+        break;
+      }
+      case CellKind::and2:
+        if (a == b) return a;                           // idempotent
+        if (ca) return *ca ? b : constant(false);       // 1&x=x, 0&x=0
+        if (cb) return *cb ? a : constant(false);
+        break;
+      case CellKind::or2:
+        if (a == b) return a;
+        if (ca) return *ca ? constant(true) : b;        // 1|x=1, 0|x=x
+        if (cb) return *cb ? constant(true) : a;
+        break;
+      case CellKind::xor2:
+        if (ca && !*ca) return b;  // 0^x = x
+        if (cb && !*cb) return a;
+        break;
+      case CellKind::mux2:
+        if (cc) return *cc ? b : a;  // constant select
+        if (a == b) return a;        // mux(x, x, s) = x (also for s = M)
+        break;
+      default: break;
+    }
+    return std::nullopt;
+  }
+
+  Netlist run() {
+    std::size_t next_input = 0;
+    for (NodeId id = 0; id < src.node_count(); ++id) {
+      const GateNode& g = src.node(id);
+      switch (g.kind) {
+        case CellKind::input:
+          remap[id] = out.add_input(src.input_name(next_input++));
+          continue;
+        case CellKind::const0:
+          remap[id] = constant(false);
+          continue;
+        case CellKind::const1:
+          remap[id] = constant(true);
+          continue;
+        default: break;
+      }
+      NodeId a = remap[g.in[0]];
+      NodeId b = cell_arity(g.kind) > 1 ? remap[g.in[1]] : 0;
+      NodeId c = cell_arity(g.kind) > 2 ? remap[g.in[2]] : 0;
+
+      if (opt.constant_fold) {
+        if (const auto repl = fold(g.kind, a, b, c)) {
+          remap[id] = *repl;
+          ++folded;
+          continue;
+        }
+      }
+      if (is_commutative(g.kind) && a > b) std::swap(a, b);
+      if (opt.cse) {
+        const auto key = std::make_tuple(g.kind, a, b, c);
+        const auto it = cse_map.find(key);
+        if (it != cse_map.end()) {
+          remap[id] = it->second;
+          ++merged;
+          continue;
+        }
+        remap[id] = out.add_gate(g.kind, a, b, c);
+        cse_map.emplace(key, remap[id]);
+      } else {
+        remap[id] = out.add_gate(g.kind, a, b, c);
+      }
+    }
+    for (const OutputPort& o : src.outputs()) {
+      out.mark_output(remap[o.node], o.name);
+    }
+    return std::move(out);
+  }
+};
+
+// Removes gates not reachable from any output (inputs are always kept to
+// preserve the interface).
+Netlist sweep_dead(const Netlist& nl, std::size_t& removed) {
+  std::vector<bool> live(nl.node_count(), false);
+  for (const OutputPort& o : nl.outputs()) live[o.node] = true;
+  for (NodeId id = nl.node_count(); id-- > 0;) {
+    if (!live[id]) continue;
+    const GateNode& g = nl.node(id);
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) live[g.in[pin]] = true;
+  }
+
+  Netlist out(nl.name());
+  std::vector<NodeId> remap(nl.node_count());
+  std::size_t next_input = 0;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const GateNode& g = nl.node(id);
+    if (g.kind == CellKind::input) {
+      remap[id] = out.add_input(nl.input_name(next_input++));
+      continue;
+    }
+    if (!live[id]) {
+      if (is_gate(g.kind)) ++removed;
+      continue;
+    }
+    switch (g.kind) {
+      case CellKind::const0: remap[id] = out.constant(false); break;
+      case CellKind::const1: remap[id] = out.constant(true); break;
+      default:
+        remap[id] = out.add_gate(
+            g.kind, remap[g.in[0]],
+            cell_arity(g.kind) > 1 ? remap[g.in[1]] : 0,
+            cell_arity(g.kind) > 2 ? remap[g.in[2]] : 0);
+    }
+  }
+  for (const OutputPort& o : nl.outputs()) {
+    out.mark_output(remap[o.node], o.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+OptResult optimize(const Netlist& nl, const OptOptions& opt) {
+  OptResult res{Netlist(nl.name()), 0, 0, 0};
+  Rebuilder rb(nl, opt);
+  res.netlist = rb.run();
+  res.folded = rb.folded;
+  res.merged = rb.merged;
+  if (opt.dce) {
+    res.netlist = sweep_dead(res.netlist, res.removed);
+  }
+  return res;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,45 @@
+#pragma once
+// Netlist optimization passes.
+//
+// IMPORTANT MC CAVEAT (paper Sec. 6): general Boolean optimization can
+// DESTROY metastability-containment — two Boolean-equivalent circuits need
+// not be ternary-equivalent (e.g. dropping the consensus term of a cmux, or
+// the paper's footnote-2 formula). The passes here are therefore restricted
+// to rewrites that preserve the circuit function *per node over the ternary
+// domain*:
+//
+//   * constant folding incl. Kleene-valid identities
+//     (x & 1 = x, x & 0 = 0, x | 0 = x, x | 1 = 1 — valid for x = M too),
+//   * common subexpression elimination by structural hashing (commutative
+//     inputs normalized),
+//   * double-inverter elimination (inv(inv(x)) = x, exact in Kleene logic),
+//   * dead node elimination.
+//
+// Whole-circuit ternary equivalence after optimization is verified in the
+// test suite (and the "Boolean-equivalent but ternary-different" trap is
+// demonstrated in equiv_test.cpp).
+
+#include <cstddef>
+
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct OptOptions {
+  bool constant_fold = true;
+  bool cse = true;
+  bool dce = true;
+};
+
+struct OptResult {
+  Netlist netlist;
+  std::size_t folded = 0;   // gates replaced by constants/identities
+  std::size_t merged = 0;   // duplicates merged by CSE
+  std::size_t removed = 0;  // dead gates eliminated
+};
+
+/// Applies the enabled passes (iterating folding+CSE to a fixed point,
+/// then one DCE sweep). Input order and output order/names are preserved.
+[[nodiscard]] OptResult optimize(const Netlist& nl, const OptOptions& opt = {});
+
+}  // namespace mcsn

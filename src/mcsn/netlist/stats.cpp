@@ -1,0 +1,35 @@
+#include "mcsn/netlist/stats.hpp"
+
+#include <ostream>
+
+#include "mcsn/netlist/timing.hpp"
+
+namespace mcsn {
+
+CircuitStats compute_stats(const Netlist& nl, const CellLibrary& lib) {
+  CircuitStats s;
+  s.name = nl.name();
+  const auto hist = nl.gate_histogram();
+  auto count = [&hist](CellKind k) { return hist[static_cast<int>(k)]; };
+  s.gates = nl.gate_count();
+  s.inverters = count(CellKind::inv);
+  s.and_gates = count(CellKind::and2);
+  s.or_gates = count(CellKind::or2);
+  s.other_gates = s.gates - s.inverters - s.and_gates - s.or_gates;
+  s.depth = logic_depth(nl);
+  s.area = total_area(nl, lib);
+  s.delay = analyze_timing(nl, lib).critical_delay;
+  s.mc_safe = nl.mc_safe();
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
+  os << s.name << ": " << s.gates << " gates (" << s.and_gates << " AND, "
+     << s.or_gates << " OR, " << s.inverters << " INV";
+  if (s.other_gates > 0) os << ", " << s.other_gates << " other";
+  os << "), depth " << s.depth << ", area " << s.area << " um^2, delay "
+     << s.delay << " ps" << (s.mc_safe ? " [MC]" : " [non-MC]");
+  return os;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,30 @@
+#pragma once
+// One-stop circuit report: gate counts, area, depth, delay.
+
+#include <iosfwd>
+#include <string>
+
+#include "mcsn/netlist/library.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct CircuitStats {
+  std::string name;
+  std::size_t gates = 0;       // logic gates (inputs excluded)
+  std::size_t inverters = 0;
+  std::size_t and_gates = 0;
+  std::size_t or_gates = 0;
+  std::size_t other_gates = 0;
+  std::size_t depth = 0;       // unit logic levels
+  double area = 0.0;           // um^2 under lib
+  double delay = 0.0;          // ps under lib STA
+  bool mc_safe = false;
+};
+
+[[nodiscard]] CircuitStats compute_stats(
+    const Netlist& nl, const CellLibrary& lib = CellLibrary::paper_calibrated());
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
+
+}  // namespace mcsn

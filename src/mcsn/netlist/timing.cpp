@@ -1,0 +1,133 @@
+#include "mcsn/netlist/timing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcsn {
+
+TimingReport analyze_timing(const Netlist& nl, const CellLibrary& lib) {
+  const auto& nodes = nl.nodes();
+  const std::size_t n = nodes.size();
+
+  // Load per node: sum of input caps of driven pins + port cap if it feeds a
+  // primary output.
+  std::vector<double> load(n, 0.0);
+  for (const GateNode& g : nodes) {
+    const double cap = lib.params(g.kind).input_cap;
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) load[g.in[pin]] += cap;
+  }
+  for (const OutputPort& o : nl.outputs()) load[o.node] += lib.port_cap();
+
+  TimingReport rep;
+  rep.arrival.assign(n, 0.0);
+  std::vector<NodeId> pred(n, 0);
+
+  for (NodeId id = 0; id < n; ++id) {
+    const GateNode& g = nodes[id];
+    if (!is_gate(g.kind)) continue;  // inputs/constants arrive at t=0
+    double in_arr = 0.0;
+    NodeId worst = g.in[0];
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) {
+      if (rep.arrival[g.in[pin]] >= in_arr) {
+        in_arr = rep.arrival[g.in[pin]];
+        worst = g.in[pin];
+      }
+    }
+    const CellParams& p = lib.params(g.kind);
+    rep.arrival[id] = in_arr + p.intrinsic + p.slope * load[id];
+    pred[id] = worst;
+  }
+
+  NodeId crit = 0;
+  for (const OutputPort& o : nl.outputs()) {
+    if (rep.arrival[o.node] >= rep.critical_delay) {
+      rep.critical_delay = rep.arrival[o.node];
+      crit = o.node;
+    }
+  }
+
+  // Walk the critical path back to an input.
+  if (!nl.outputs().empty()) {
+    std::vector<NodeId> path;
+    NodeId cur = crit;
+    path.push_back(cur);
+    while (is_gate(nodes[cur].kind)) {
+      cur = pred[cur];
+      path.push_back(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    rep.critical_path = std::move(path);
+  }
+  return rep;
+}
+
+std::size_t logic_depth(const Netlist& nl) {
+  const auto& nodes = nl.nodes();
+  std::vector<std::size_t> level(nodes.size(), 0);
+  std::size_t depth = 0;
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const GateNode& g = nodes[id];
+    if (!is_gate(g.kind)) continue;
+    std::size_t in_level = 0;
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) {
+      in_level = std::max(in_level, level[g.in[pin]]);
+    }
+    level[id] = in_level + 1;
+  }
+  for (const OutputPort& o : nl.outputs()) depth = std::max(depth, level[o.node]);
+  return depth;
+}
+
+double total_area(const Netlist& nl, const CellLibrary& lib) {
+  double area = 0.0;
+  for (const GateNode& g : nl.nodes()) {
+    if (is_gate(g.kind)) area += lib.params(g.kind).area;
+  }
+  return area;
+}
+
+double resolution_latency(const Netlist& nl, const CellLibrary& lib,
+                          std::size_t input_idx) {
+  assert(input_idx < nl.inputs().size());
+  const auto& nodes = nl.nodes();
+  const std::size_t n = nodes.size();
+
+  std::vector<double> load(n, 0.0);
+  for (const GateNode& g : nodes) {
+    const double cap = lib.params(g.kind).input_cap;
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) load[g.in[pin]] += cap;
+  }
+  for (const OutputPort& o : nl.outputs()) load[o.node] += lib.port_cap();
+
+  // Longest path from the chosen input only: nodes not in its fanout cone
+  // carry -inf so they cannot contribute.
+  constexpr double kUnreached = -1.0;
+  std::vector<double> arrival(n, kUnreached);
+  arrival[nl.inputs()[input_idx]] = 0.0;
+  for (NodeId id = 0; id < n; ++id) {
+    const GateNode& g = nodes[id];
+    if (!is_gate(g.kind)) continue;
+    double in_arr = kUnreached;
+    for (int pin = 0; pin < cell_arity(g.kind); ++pin) {
+      in_arr = std::max(in_arr, arrival[g.in[pin]]);
+    }
+    if (in_arr == kUnreached) continue;
+    const CellParams& p = lib.params(g.kind);
+    arrival[id] = in_arr + p.intrinsic + p.slope * load[id];
+  }
+  double worst = 0.0;
+  for (const OutputPort& o : nl.outputs()) {
+    worst = std::max(worst, arrival[o.node]);
+  }
+  return worst;
+}
+
+double worst_resolution_latency(const Netlist& nl, const CellLibrary& lib) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    worst = std::max(worst, resolution_latency(nl, lib, i));
+  }
+  return worst;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,44 @@
+#pragma once
+// Static timing analysis over a netlist with the linear load-dependent delay
+// model of CellLibrary, plus simple unit-depth computation.
+
+#include <vector>
+
+#include "mcsn/netlist/library.hpp"
+#include "mcsn/netlist/netlist.hpp"
+
+namespace mcsn {
+
+struct TimingReport {
+  double critical_delay = 0.0;          // ps (max arrival over outputs)
+  std::vector<double> arrival;          // per node, ps
+  std::vector<NodeId> critical_path;    // input ... output node ids
+};
+
+/// Full STA: arrival(gate) = max over fanins + intrinsic + slope*load, where
+/// load sums the input caps of driven pins (+ port cap per driven output).
+[[nodiscard]] TimingReport analyze_timing(const Netlist& nl,
+                                          const CellLibrary& lib);
+
+/// Logic depth in gate levels (inputs at level 0); equals analyze_timing
+/// with the unit library but cheaper.
+[[nodiscard]] std::size_t logic_depth(const Netlist& nl);
+
+/// Total cell area under `lib`.
+[[nodiscard]] double total_area(const Netlist& nl, const CellLibrary& lib);
+
+/// Resolution latency: the worst-case time from a *late change of one
+/// primary input* (e.g. a metastable bit finally resolving) to the last
+/// affected output settling — i.e. the longest path from that input to any
+/// output under the library's delay model. In the clock-synchronization
+/// application this bounds how close to the deadline a marginal TDC bit may
+/// resolve and still yield stable sorted outputs.
+[[nodiscard]] double resolution_latency(const Netlist& nl,
+                                        const CellLibrary& lib,
+                                        std::size_t input_idx);
+
+/// Maximum resolution latency over all inputs (== critical delay).
+[[nodiscard]] double worst_resolution_latency(const Netlist& nl,
+                                              const CellLibrary& lib);
+
+}  // namespace mcsn

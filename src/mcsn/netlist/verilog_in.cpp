@@ -1,0 +1,321 @@
+#include "mcsn/netlist/verilog_in.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace mcsn {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 1;
+  bool is_end = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.is_end = true;
+      return t;
+    }
+    const char c = text_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\'') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+std::optional<CellKind> kind_from_lib_name(std::string_view name) {
+  for (int k = 0; k < kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (is_gate(kind) && cell_lib_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+// Pin name -> fanin slot for each cell family; output pins return -1.
+std::optional<int> pin_slot(CellKind kind, const std::string& pin,
+                            bool* is_output) {
+  *is_output = pin == "Z" || pin == "ZN";
+  if (*is_output) return -1;
+  switch (cell_arity(kind)) {
+    case 1:
+      if (pin == "A") return 0;
+      return std::nullopt;
+    case 2:
+      if (pin == "A1") return 0;
+      if (pin == "A2") return 1;
+      return std::nullopt;
+    default:
+      if (kind == CellKind::mux2) {
+        if (pin == "A") return 0;
+        if (pin == "B") return 1;
+        if (pin == "S") return 2;
+        return std::nullopt;
+      }
+      if (pin == "B1") return 0;
+      if (pin == "B2") return 1;
+      if (pin == "A") return 2;
+      return std::nullopt;
+  }
+}
+
+struct Instance {
+  CellKind kind = CellKind::inv;
+  std::array<std::string, 3> in;
+  std::string out;
+  std::size_t line = 0;
+};
+
+struct Document {
+  std::string module_name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;                  // declaration order
+  std::map<std::string, bool> const_wires;           // wire x = 1'bV
+  std::vector<Instance> instances;
+  std::map<std::string, std::string> output_assign;  // output -> wire
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, VerilogError* error)
+      : lex_(text), error_(error) {
+    advance();
+  }
+
+  std::optional<Document> parse() {
+    if (!expect("module")) return std::nullopt;
+    doc_.module_name = cur_.text;
+    advance();
+    if (!expect("(")) return std::nullopt;
+    while (cur_.text != ")") {
+      if (cur_.is_end) {
+        fail("unexpected EOF in port list");
+        return std::nullopt;
+      }
+      advance();  // port names re-appear in input/output decls
+    }
+    advance();
+    if (!expect(";")) return std::nullopt;
+
+    while (cur_.text != "endmodule") {
+      if (cur_.is_end) {
+        fail("unexpected EOF in module body");
+        return std::nullopt;
+      }
+      if (!statement()) return std::nullopt;
+    }
+    return doc_;
+  }
+
+ private:
+  bool statement() {
+    if (cur_.text == "input" || cur_.text == "output") {
+      const bool is_input = cur_.text == "input";
+      advance();
+      const std::string name = cur_.text;
+      advance();
+      if (is_input) {
+        doc_.inputs.push_back(name);
+      } else {
+        doc_.outputs.push_back(name);
+      }
+      return expect(";");
+    }
+    if (cur_.text == "wire") {
+      advance();
+      const std::string name = cur_.text;
+      advance();
+      if (cur_.text == "=") {
+        advance();
+        if (cur_.text == "1'b0") {
+          doc_.const_wires[name] = false;
+        } else if (cur_.text == "1'b1") {
+          doc_.const_wires[name] = true;
+        } else {
+          return fail("expected 1'b0 or 1'b1");
+        }
+        advance();
+      }
+      return expect(";");
+    }
+    if (cur_.text == "assign") {
+      advance();
+      const std::string lhs = cur_.text;
+      advance();
+      if (!expect("=")) return false;
+      doc_.output_assign[lhs] = cur_.text;
+      advance();
+      return expect(";");
+    }
+    // Cell instance: CELLNAME instname ( .PIN(net), ... );
+    const auto kind = kind_from_lib_name(cur_.text);
+    if (!kind) return fail("unknown cell '" + cur_.text + "'");
+    Instance inst;
+    inst.kind = *kind;
+    inst.line = cur_.line;
+    advance();  // cell name
+    advance();  // instance name
+    if (!expect("(")) return false;
+    while (cur_.text != ")") {
+      if (!expect(".")) return false;
+      const std::string pin = cur_.text;
+      advance();
+      if (!expect("(")) return false;
+      const std::string net = cur_.text;
+      advance();
+      if (!expect(")")) return false;
+      if (cur_.text == ",") advance();
+      bool is_output = false;
+      const auto slot = pin_slot(inst.kind, pin, &is_output);
+      if (is_output) {
+        inst.out = net;
+      } else if (slot) {
+        inst.in[static_cast<std::size_t>(*slot)] = net;
+      } else {
+        return fail("unknown pin '" + pin + "'");
+      }
+    }
+    advance();  // ')'
+    if (!expect(";")) return false;
+    if (inst.out.empty()) return fail("instance without output pin");
+    doc_.instances.push_back(std::move(inst));
+    return true;
+  }
+
+  void advance() { cur_ = lex_.next(); }
+
+  bool expect(std::string_view text) {
+    if (cur_.is_end || cur_.text != text) {
+      return fail("expected '" + std::string(text) + "', got '" + cur_.text +
+                  "'");
+    }
+    advance();
+    return true;
+  }
+
+  bool fail(std::string msg) {
+    if (error_) *error_ = VerilogError{cur_.line, std::move(msg)};
+    return false;
+  }
+
+  Lexer lex_;
+  Token cur_;
+  VerilogError* error_;
+  Document doc_;
+};
+
+}  // namespace
+
+std::optional<Netlist> parse_verilog(std::string_view text,
+                                     VerilogError* error) {
+  Parser parser(text, error);
+  const auto doc = parser.parse();
+  if (!doc) return std::nullopt;
+
+  Netlist nl(doc->module_name);
+  std::map<std::string, NodeId> net;
+  for (const std::string& in : doc->inputs) {
+    net[in] = nl.add_input(in);
+  }
+  for (const auto& [name, value] : doc->const_wires) {
+    net[name] = nl.constant(value);
+  }
+
+  // Topological emission of instances (Kahn-style worklist).
+  std::vector<bool> done(doc->instances.size(), false);
+  std::size_t remaining = doc->instances.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < doc->instances.size(); ++i) {
+      if (done[i]) continue;
+      const Instance& inst = doc->instances[i];
+      const int arity = cell_arity(inst.kind);
+      bool ready = true;
+      for (int pin = 0; pin < arity; ++pin) {
+        if (!net.count(inst.in[static_cast<std::size_t>(pin)])) ready = false;
+      }
+      if (!ready) continue;
+      const NodeId a = net[inst.in[0]];
+      const NodeId b = arity > 1 ? net[inst.in[1]] : 0;
+      const NodeId c = arity > 2 ? net[inst.in[2]] : 0;
+      net[inst.out] = nl.add_gate(inst.kind, a, b, c);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    if (error) {
+      *error = VerilogError{0,
+                            "combinational cycle or undriven net among "
+                            "instances"};
+    }
+    return std::nullopt;
+  }
+
+  for (const std::string& out : doc->outputs) {
+    const auto it = doc->output_assign.find(out);
+    const std::string& src = it != doc->output_assign.end() ? it->second : out;
+    const auto n = net.find(src);
+    if (n == net.end()) {
+      if (error) *error = VerilogError{0, "undriven output '" + out + "'"};
+      return std::nullopt;
+    }
+    nl.mark_output(n->second, out);
+  }
+  return nl;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,154 @@
+#include "mcsn/nets/catalog.hpp"
+
+#include <cassert>
+
+namespace mcsn {
+
+namespace {
+
+using Layer = std::vector<Comparator>;
+
+ComparatorNetwork layered(std::string name, int n,
+                          std::vector<Layer> layers) {
+  ComparatorNetwork net(std::move(name), n, std::move(layers));
+  assert(net.well_formed());
+  return net;
+}
+
+}  // namespace
+
+ComparatorNetwork optimal_4() {
+  return layered("4-sort", 4,
+                 {{{0, 1}, {2, 3}}, {{0, 2}, {1, 3}}, {{1, 2}}});
+}
+
+ComparatorNetwork optimal_7() {
+  // 16 comparators, depth 6 (Knuth TAOCP vol. 3, Fig. 51 family).
+  return layered("7-sort", 7,
+                 {
+                     {{0, 6}, {2, 3}, {4, 5}},
+                     {{0, 2}, {1, 4}, {3, 6}},
+                     {{0, 1}, {2, 5}, {3, 4}},
+                     {{1, 2}, {4, 6}},
+                     {{2, 3}, {4, 5}},
+                     {{1, 2}, {3, 4}, {5, 6}},
+                 });
+}
+
+ComparatorNetwork optimal_9() {
+  // 25 comparators — minimum possible for 9 channels (Codish, Cruz-Filipe,
+  // Frank, Schneider-Kamp, ICTAI 2014 [4]). Synthesized with
+  // anneal_fixed_depth (tools/find_depth7 --channels 9 --layers 8, seed 1)
+  // and machine-verified by the 0-1 principle.
+  return layered("9-sort", 9,
+                 {
+                     {{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+                     {{2, 6}, {4, 8}, {1, 5}},
+                     {{0, 4}, {3, 7}, {6, 8}},
+                     {{0, 2}, {3, 4}, {1, 7}},
+                     {{2, 3}, {1, 6}, {5, 8}},
+                     {{4, 5}, {1, 2}, {3, 6}, {7, 8}},
+                     {{4, 6}, {5, 7}, {2, 3}},
+                     {{5, 6}, {3, 4}},
+                 });
+}
+
+ComparatorNetwork size_optimal_10() {
+  // 29 comparators — minimum possible for 10 channels [4].
+  return layered("10-sort#", 10,
+                 {
+                     {{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}},
+                     {{0, 3}, {1, 4}, {5, 8}, {6, 9}},
+                     {{0, 2}, {3, 6}, {7, 9}},
+                     {{0, 1}, {2, 4}, {5, 7}, {8, 9}},
+                     {{1, 2}, {3, 5}, {4, 6}, {7, 8}},
+                     {{1, 3}, {2, 5}, {4, 7}, {6, 8}},
+                     {{2, 3}, {6, 7}},
+                     {{3, 4}, {5, 6}},
+                     {{4, 5}},
+                 });
+}
+
+ComparatorNetwork depth_optimal_10() {
+  // Depth 7 — minimum possible for 10 channels [3]; 31 comparators, the
+  // same size/depth point the paper's Table 8 uses. Synthesized with
+  // anneal_fixed_depth (tools/find_depth7, seed 33) and machine-verified by
+  // the 0-1 principle in catalog_test.cpp.
+  return layered("10-sortd", 10,
+                 {
+                     {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}},
+                     {{3, 6}, {0, 8}, {2, 5}, {1, 9}, {4, 7}},
+                     {{5, 6}, {3, 4}, {1, 8}, {0, 2}, {7, 9}},
+                     {{4, 8}, {1, 5}, {2, 7}, {6, 9}, {0, 3}},
+                     {{5, 7}, {1, 3}, {2, 4}, {6, 8}},
+                     {{5, 6}, {3, 4}, {1, 2}, {7, 8}},
+                     {{4, 5}, {6, 7}, {2, 3}},
+                 });
+}
+
+ComparatorNetwork batcher_odd_even(int n) {
+  // Iterative odd-even merge sort for arbitrary n; ascending comparators.
+  std::vector<Comparator> seq;
+  for (int p = 1; p < n; p *= 2) {
+    for (int k = p; k >= 1; k /= 2) {
+      for (int j = k % p; j + k < n; j += 2 * k) {
+        for (int i = 0; i < k; ++i) {
+          if (i + j + k < n && (i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            seq.push_back({i + j, i + j + k});
+          }
+        }
+      }
+    }
+  }
+  return ComparatorNetwork::from_flat(
+      "batcher-" + std::to_string(n), n, seq);
+}
+
+namespace {
+
+// Classic recursive odd-even merge on the subsequence lo, lo+r, lo+2r, ...
+// spanning n slots (n a power of two).
+void odd_even_merge_rec(std::vector<Comparator>& seq, int lo, int n, int r) {
+  const int m = 2 * r;
+  if (m < n) {
+    odd_even_merge_rec(seq, lo, n, m);      // even subsequence
+    odd_even_merge_rec(seq, lo + r, n, m);  // odd subsequence
+    for (int i = lo + r; i + r < lo + n; i += m) seq.push_back({i, i + r});
+  } else {
+    seq.push_back({lo, lo + r});
+  }
+}
+
+}  // namespace
+
+ComparatorNetwork odd_even_merger(int n) {
+  assert(n >= 2 && (n & (n - 1)) == 0 && "power of two required");
+  std::vector<Comparator> seq;
+  odd_even_merge_rec(seq, 0, n, 1);
+  return ComparatorNetwork::from_flat("oemerge-" + std::to_string(n), n, seq);
+}
+
+ComparatorNetwork odd_even_transposition(int n) {
+  std::vector<Layer> layers;
+  for (int l = 0; l < n; ++l) {
+    Layer layer;
+    for (int i = l % 2; i + 1 < n; i += 2) layer.push_back({i, i + 1});
+    if (!layer.empty()) layers.push_back(std::move(layer));
+  }
+  return layered("oetrans-" + std::to_string(n), n, std::move(layers));
+}
+
+ComparatorNetwork insertion_network(int n) {
+  std::vector<Comparator> seq;
+  for (int i = 1; i < n; ++i) {
+    for (int j = i; j >= 1; --j) seq.push_back({j - 1, j});
+  }
+  return ComparatorNetwork::from_flat("insertion-" + std::to_string(n), n,
+                                      seq);
+}
+
+std::vector<ComparatorNetwork> paper_networks() {
+  return {optimal_4(), optimal_7(), size_optimal_10(), depth_optimal_10()};
+}
+
+}  // namespace mcsn

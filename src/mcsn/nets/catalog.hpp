@@ -1,0 +1,53 @@
+#pragma once
+// Catalog of sorting networks used by the paper's evaluation (Table 8) plus
+// generator-based families for testing and extension.
+//
+// Sources:
+//   optimal_4        — 5 comparators, depth 3; optimal in both measures
+//                      (Knuth, TAOCP vol. 3).
+//   optimal_7        — 16 comparators, depth 6; optimal in both measures
+//                      (Knuth; minimality of 16 shown by Codish et al.).
+//   size_optimal_10  — 29 comparators (minimum size for 10 channels, Codish,
+//                      Cruz-Filipe, Frank, Schneider-Kamp, ICTAI 2014 [4]);
+//                      the classic 29-comparator network from TAOCP.
+//   depth_optimal_10 — depth 7 (minimum depth for 10 channels, Bundala &
+//                      Zavodny, LATA 2014 [3]), 31 comparators; synthesized
+//                      with this library's simulated-annealing search
+//                      (nets/search.hpp) and machine-verified by the 0-1
+//                      principle in the test suite.
+//   batcher_odd_even — Batcher's odd-even merge sort, any n.
+//   odd_even_transposition, insertion_network — simple quadratic families.
+//
+// Every catalog network is validated by the 0-1 principle in tests.
+
+#include "mcsn/nets/network.hpp"
+
+namespace mcsn {
+
+[[nodiscard]] ComparatorNetwork optimal_4();
+[[nodiscard]] ComparatorNetwork optimal_7();
+/// 25 comparators — the minimum for 9 channels ([4]'s headline result);
+/// synthesized with this library's annealer, 0-1-verified in tests.
+[[nodiscard]] ComparatorNetwork optimal_9();
+[[nodiscard]] ComparatorNetwork size_optimal_10();
+[[nodiscard]] ComparatorNetwork depth_optimal_10();
+
+/// Batcher's odd-even merge sort for arbitrary n >= 1 (ascending
+/// comparators only).
+[[nodiscard]] ComparatorNetwork batcher_odd_even(int channels);
+
+/// Batcher's odd-even *merging* network: given both halves of `channels`
+/// (a power of two) already sorted, produces the fully sorted sequence in
+/// depth log2(channels). Validated with merges_sorted_halves().
+[[nodiscard]] ComparatorNetwork odd_even_merger(int channels);
+
+/// n layers of alternating adjacent comparators ("brick wall").
+[[nodiscard]] ComparatorNetwork odd_even_transposition(int channels);
+
+/// Insertion sort as a network (size n(n-1)/2, depth 2n-3).
+[[nodiscard]] ComparatorNetwork insertion_network(int channels);
+
+/// The paper's Table 8 selection: {4-sort, 7-sort, 10-sort#, 10-sortd}.
+[[nodiscard]] std::vector<ComparatorNetwork> paper_networks();
+
+}  // namespace mcsn

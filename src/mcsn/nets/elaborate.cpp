@@ -1,0 +1,56 @@
+#include "mcsn/nets/elaborate.hpp"
+
+#include "mcsn/ckt/bincomp.hpp"
+#include "mcsn/ckt/sort2_baselines.hpp"
+
+namespace mcsn {
+
+Sort2Builder sort2_builder(const Sort2Options& opt) {
+  return [opt](Netlist& nl, const Bus& g, const Bus& h) {
+    return build_sort2(nl, g, h, opt);
+  };
+}
+
+Sort2Builder sort2_naive_trees_builder() {
+  return [](Netlist& nl, const Bus& g, const Bus& h) {
+    return build_sort2_naive_trees(nl, g, h);
+  };
+}
+
+Sort2Builder sort2_date17_style_builder() {
+  return [](Netlist& nl, const Bus& g, const Bus& h) {
+    return build_sort2_date17_style(nl, g, h);
+  };
+}
+
+Sort2Builder bincomp_builder() {
+  return [](Netlist& nl, const Bus& g, const Bus& h) {
+    return build_bincomp(nl, g, h);
+  };
+}
+
+Netlist elaborate_network(const ComparatorNetwork& net, std::size_t bits,
+                          const Sort2Builder& builder,
+                          const std::string& name) {
+  Netlist nl(name.empty()
+                 ? net.name() + "_b" + std::to_string(bits)
+                 : name);
+  std::vector<Bus> channel(net.channels());
+  for (int c = 0; c < net.channels(); ++c) {
+    channel[c] = nl.add_input_bus("ch" + std::to_string(c), bits);
+  }
+  for (const auto& layer : net.layers()) {
+    for (const Comparator& cmp : layer) {
+      // Comparator routes min to `lo`, max to `hi`.
+      const BusPair sorted = builder(nl, channel[cmp.lo], channel[cmp.hi]);
+      channel[cmp.lo] = sorted.min;
+      channel[cmp.hi] = sorted.max;
+    }
+  }
+  for (int c = 0; c < net.channels(); ++c) {
+    nl.mark_output_bus(channel[c], "out" + std::to_string(c));
+  }
+  return nl;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,33 @@
+#pragma once
+// Elaboration of a comparator network into a flat gate-level netlist: every
+// comparator becomes an instance of a 2-sort circuit over B-bit channel
+// buses. Any 2-sort builder can be plugged in (the paper's circuit, the
+// baselines, or Bin-comp), which is how Table 8 is generated.
+
+#include <functional>
+#include <string>
+
+#include "mcsn/ckt/sort2.hpp"
+#include "mcsn/nets/network.hpp"
+
+namespace mcsn {
+
+/// Builds (max, min) buses for one comparator instance from two channel
+/// buses (g, h). Must emit into `nl`.
+using Sort2Builder =
+    std::function<BusPair(Netlist& nl, const Bus& g, const Bus& h)>;
+
+/// Standard builders.
+[[nodiscard]] Sort2Builder sort2_builder(const Sort2Options& opt = {});
+[[nodiscard]] Sort2Builder sort2_naive_trees_builder();
+[[nodiscard]] Sort2Builder sort2_date17_style_builder();
+[[nodiscard]] Sort2Builder bincomp_builder();
+
+/// Elaborates `net` over B-bit channels with one 2-sort instance per
+/// comparator. Inputs ch<i>[.], outputs out<i>[.].
+[[nodiscard]] Netlist elaborate_network(const ComparatorNetwork& net,
+                                        std::size_t bits,
+                                        const Sort2Builder& builder,
+                                        const std::string& name = {});
+
+}  // namespace mcsn

@@ -1,0 +1,230 @@
+#include "mcsn/nets/search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+
+namespace {
+
+// Bitsliced evaluation state: value of channel c over all 2^n inputs as a
+// bit vector of `words` 64-bit words.
+class Bitslice {
+ public:
+  explicit Bitslice(int channels) : channels_(channels) {
+    if (channels < 1 || channels > 20) {
+      throw std::length_error("Bitslice: channels out of range");
+    }
+    const std::uint64_t inputs = std::uint64_t{1} << channels;
+    words_ = inputs <= 64 ? 1 : inputs / 64;
+    tail_mask_ = inputs >= 64 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << inputs) - 1);
+    init_.assign(static_cast<std::size_t>(channels) * words_, 0);
+    for (std::uint64_t m = 0; m < inputs; ++m) {
+      for (int c = 0; c < channels; ++c) {
+        if ((m >> c) & 1u) {
+          init_[static_cast<std::size_t>(c) * words_ + m / 64] |=
+              std::uint64_t{1} << (m % 64);
+        }
+      }
+    }
+    work_.resize(init_.size());
+  }
+
+  // Applies the network and returns the number of unsorted inputs.
+  std::size_t unsorted(const ComparatorNetwork& net) {
+    work_ = init_;
+    auto chan = [this](int c) {
+      return work_.data() + static_cast<std::size_t>(c) * words_;
+    };
+    for (const auto& layer : net.layers()) {
+      for (const Comparator& cmp : layer) {
+        std::uint64_t* lo = chan(cmp.lo);
+        std::uint64_t* hi = chan(cmp.hi);
+        for (std::size_t w = 0; w < words_; ++w) {
+          const std::uint64_t a = lo[w];
+          const std::uint64_t b = hi[w];
+          lo[w] = a & b;
+          hi[w] = a | b;
+        }
+      }
+    }
+    // An input is unsorted iff some adjacent pair has 1 above 0.
+    std::size_t bad = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t viol = 0;
+      for (int c = 0; c + 1 < channels_; ++c) {
+        viol |= chan(c)[w] & ~chan(c + 1)[w];
+      }
+      bad += static_cast<std::size_t>(std::popcount(viol & tail_mask_));
+    }
+    return bad;
+  }
+
+ private:
+  int channels_;
+  std::size_t words_ = 1;
+  std::uint64_t tail_mask_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> init_;
+  std::vector<std::uint64_t> work_;
+};
+
+using Layers = std::vector<std::vector<Comparator>>;
+
+std::size_t total_size(const Layers& layers) {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.size();
+  return n;
+}
+
+// Channels not used by any comparator in the layer.
+std::vector<int> free_channels(const std::vector<Comparator>& layer, int n) {
+  std::vector<bool> used(n, false);
+  for (const Comparator& c : layer) used[c.lo] = used[c.hi] = true;
+  std::vector<int> free;
+  for (int c = 0; c < n; ++c) {
+    if (!used[c]) free.push_back(c);
+  }
+  return free;
+}
+
+}  // namespace
+
+std::size_t count_unsorted_bitsliced(const ComparatorNetwork& net) {
+  Bitslice bs(net.channels());
+  return bs.unsorted(net);
+}
+
+AnnealResult anneal_fixed_depth(const AnnealConfig& cfg) {
+  Xoshiro256 rng(cfg.seed);
+  Bitslice bs(cfg.channels);
+  const int n = cfg.channels;
+
+  // Start from random maximal layers; layer 0 optionally pinned to the
+  // canonical perfect matching.
+  Layers layers(cfg.layers);
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    if (!(cfg.fix_first_layer && l == 0)) rng.shuffle(perm);
+    for (int i = 0; i + 1 < n; i += 2) {
+      Comparator c{perm[i], perm[i + 1]};
+      if (c.lo > c.hi) std::swap(c.lo, c.hi);
+      layers[l].push_back(c);
+    }
+  }
+
+  auto as_network = [&](const Layers& ls) {
+    return ComparatorNetwork("anneal", n, ls);
+  };
+  auto energy = [&](const Layers& ls) -> double {
+    return static_cast<double>(bs.unsorted(as_network(ls))) +
+           cfg.size_weight * static_cast<double>(total_size(ls));
+  };
+
+  double cur_e = energy(layers);
+  Layers best = layers;
+  double best_e = cur_e;
+
+  const double log_ratio = std::log(cfg.t_end / cfg.t_start);
+  const double feasible_threshold = 1.0;  // energy below this => sorts
+  std::uint64_t it = 0;
+  for (; it < cfg.max_iterations; ++it) {
+    if (best_e < feasible_threshold && cfg.stop_at_feasible) break;
+    const double temp =
+        cfg.t_start *
+        std::exp(log_ratio * static_cast<double>(it) /
+                 static_cast<double>(cfg.max_iterations));
+
+    Layers cand = layers;
+    const std::size_t first_mutable =
+        cfg.fix_first_layer && cand.size() > 1 ? 1 : 0;
+    auto& layer =
+        cand[first_mutable + rng.below(cand.size() - first_mutable)];
+    const int move = static_cast<int>(rng.below(4));
+    if (move == 0 || layer.empty()) {
+      // Add a comparator between two free channels.
+      std::vector<int> free = free_channels(layer, n);
+      if (free.size() < 2) continue;
+      const std::size_t i = rng.below(free.size());
+      std::size_t j = rng.below(free.size() - 1);
+      if (j >= i) ++j;
+      Comparator c{free[i], free[j]};
+      if (c.lo > c.hi) std::swap(c.lo, c.hi);
+      layer.push_back(c);
+    } else if (move == 1) {
+      layer.erase(layer.begin() + static_cast<long>(rng.below(layer.size())));
+    } else if (move == 2) {
+      // Re-target one endpoint of a comparator to a free channel.
+      std::vector<int> free = free_channels(layer, n);
+      if (free.empty()) continue;
+      Comparator& c = layer[rng.below(layer.size())];
+      const int nc = free[rng.below(free.size())];
+      if (rng.below(2) == 0) {
+        c.lo = nc;
+      } else {
+        c.hi = nc;
+      }
+      if (c.lo > c.hi) std::swap(c.lo, c.hi);
+      if (c.lo == c.hi) continue;
+    } else {
+      // Swap the roles of two channels within the layer.
+      if (layer.size() < 2) continue;
+      const std::size_t i = rng.below(layer.size());
+      std::size_t j = rng.below(layer.size() - 1);
+      if (j >= i) ++j;
+      std::swap(layer[i].hi, layer[j].hi);
+      if (layer[i].lo > layer[i].hi) std::swap(layer[i].lo, layer[i].hi);
+      if (layer[j].lo > layer[j].hi) std::swap(layer[j].lo, layer[j].hi);
+      if (layer[i].lo == layer[i].hi || layer[j].lo == layer[j].hi) continue;
+    }
+
+    const double cand_e = energy(cand);
+    const double delta = cand_e - cur_e;
+    if (delta <= 0 ||
+        rng.uniform() < std::exp(-delta / std::max(temp, 1e-9))) {
+      layers = std::move(cand);
+      cur_e = cand_e;
+      if (cur_e < best_e) {
+        best = layers;
+        best_e = cur_e;
+      }
+    }
+  }
+
+  AnnealResult res{as_network(best), 0, it};
+  res.unsorted = bs.unsorted(res.network);
+  return res;
+}
+
+ComparatorNetwork minimize_size(const ComparatorNetwork& net) {
+  assert(net.sorts_all_binary());
+  Layers layers = net.layers();
+  Bitslice bs(net.channels());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t l = 0; l < layers.size() && !changed; ++l) {
+      for (std::size_t i = 0; i < layers[l].size(); ++i) {
+        Layers cand = layers;
+        cand[l].erase(cand[l].begin() + static_cast<long>(i));
+        if (bs.unsorted(ComparatorNetwork("t", net.channels(), cand)) == 0) {
+          layers = std::move(cand);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::erase_if(layers, [](const auto& l) { return l.empty(); });
+  return ComparatorNetwork(net.name() + "-min", net.channels(),
+                           std::move(layers));
+}
+
+}  // namespace mcsn

@@ -1,0 +1,63 @@
+#pragma once
+// Sorting-network synthesis by simulated annealing over fixed-depth layered
+// networks (in the spirit of Dobbelaere's SorterHunter).
+//
+// The evaluator is bitsliced: channel c's value across all 2^n binary inputs
+// is a 2^n-bit vector, so one comparator costs two bitwise ops over the whole
+// input space, and the zero-one principle fitness (number of unsorted binary
+// inputs) is a popcount. This makes full re-evaluation cheap enough that the
+// annealer needs no incremental bookkeeping (~1M evals/s at n=10).
+//
+// Used to (re)derive the depth-optimal 10-channel network of Table 8 and as
+// a general synthesis facility (see tools/find_depth7.cpp).
+
+#include <cstdint>
+#include <optional>
+
+#include "mcsn/nets/network.hpp"
+
+namespace mcsn {
+
+struct AnnealConfig {
+  int channels = 10;
+  int layers = 7;
+  std::uint64_t seed = 1;
+  std::uint64_t max_iterations = 5'000'000;
+  double t_start = 3.0;
+  double t_end = 0.03;
+  /// Energy = unsorted_inputs + size_weight * comparator_count: temperature
+  /// is on the scale of single unsorted inputs so the annealer can cross
+  /// infeasibility barriers; the small size term breaks ties toward smaller
+  /// networks.
+  double size_weight = 0.02;
+  /// Keep layer 0 pinned to the perfect matching (0,1)(2,3)...: valid
+  /// symmetry breaking for sorting networks (any first layer can be assumed
+  /// to be a maximal matching up to channel permutation) that shrinks the
+  /// search space considerably.
+  bool fix_first_layer = true;
+  /// Return as soon as a feasible (sorting) network is found instead of
+  /// continuing to minimize size.
+  bool stop_at_feasible = false;
+};
+
+struct AnnealResult {
+  ComparatorNetwork network;
+  std::size_t unsorted = 0;  // 0 iff a true sorting network was found
+  std::uint64_t iterations = 0;
+};
+
+/// Runs one annealing chain. Returns the best network found (check
+/// `unsorted == 0` for success).
+[[nodiscard]] AnnealResult anneal_fixed_depth(const AnnealConfig& cfg);
+
+/// Greedy post-pass: repeatedly removes comparators whose removal keeps the
+/// network sorting (re-checked by the 0-1 principle); also drops layers that
+/// become empty. Requires a valid sorting network.
+[[nodiscard]] ComparatorNetwork minimize_size(const ComparatorNetwork& net);
+
+/// Bitsliced fitness: number of binary inputs not sorted (same value as
+/// ComparatorNetwork::count_unsorted_binary but ~100x faster).
+[[nodiscard]] std::size_t count_unsorted_bitsliced(
+    const ComparatorNetwork& net);
+
+}  // namespace mcsn

@@ -1,0 +1,109 @@
+#include "mcsn/refdata/paper_tables.hpp"
+
+#include <array>
+
+namespace mcsn::refdata {
+
+std::string_view circuit_label(Circuit c) noexcept {
+  switch (c) {
+    case Circuit::here: return "This paper";
+    case Circuit::date17: return "[2] (DATE'17)";
+    case Circuit::bincomp: return "Bin-comp";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array<Sort2Row, 12> kTable7{{
+    {Circuit::here, 2, 13, 17.486, 119},
+    {Circuit::date17, 2, 34, 49.42, 268},
+    {Circuit::bincomp, 2, 8, 15.582, 145},
+    {Circuit::here, 4, 55, 73.752, 362},
+    {Circuit::date17, 4, 160, 230.3, 498},
+    {Circuit::bincomp, 4, 19, 34.58, 288},
+    {Circuit::here, 8, 169, 227.29, 516},
+    {Circuit::date17, 8, 504, 723.52, 827},
+    {Circuit::bincomp, 8, 41, 73.752, 477},
+    {Circuit::here, 16, 407, 548.016, 805},
+    {Circuit::date17, 16, 1344, 1928.262, 1233},
+    {Circuit::bincomp, 16, 81, 151.648, 422},
+}};
+
+constexpr std::array<NetworkRow, 48> kTable8{{
+    // B = 2
+    {Circuit::here, "4-sort", 2, 65, 87.402, 357},
+    {Circuit::here, "7-sort", 2, 208, 279.741, 714},
+    {Circuit::here, "10-sort#", 2, 377, 506.912, 912},
+    {Circuit::here, "10-sortd", 2, 403, 541.968, 833},
+    {Circuit::date17, "4-sort", 2, 170, 247.016, 846},
+    {Circuit::date17, "7-sort", 2, 544, 790.44, 1715},
+    {Circuit::date17, "10-sort#", 2, 986, 1432.62, 2285},
+    {Circuit::date17, "10-sortd", 2, 1054, 1531.467, 2010},
+    {Circuit::bincomp, "4-sort", 2, 40, 77.91, 478},
+    {Circuit::bincomp, "7-sort", 2, 128, 249.326, 953},
+    {Circuit::bincomp, "10-sort#", 2, 232, 451.815, 1284},
+    {Circuit::bincomp, "10-sortd", 2, 248, 483.0, 1145},
+    // B = 4
+    {Circuit::here, "4-sort", 4, 275, 368.641, 640},
+    {Circuit::here, "7-sort", 4, 880, 1179.528, 1014},
+    {Circuit::here, "10-sort#", 4, 1595, 2137.905, 1235},
+    {Circuit::here, "10-sortd", 4, 1705, 2285.514, 1133},
+    {Circuit::date17, "4-sort", 4, 800, 1151.472, 1558},
+    {Circuit::date17, "7-sort", 4, 2560, 3684.541, 3147},
+    {Circuit::date17, "10-sort#", 4, 4640, 6678.294, 4207},
+    {Circuit::date17, "10-sortd", 4, 4960, 7138.74, 3681},
+    {Circuit::bincomp, "4-sort", 4, 95, 172.935, 906},
+    {Circuit::bincomp, "7-sort", 4, 304, 553.28, 1810},
+    {Circuit::bincomp, "10-sort#", 4, 551, 1002.848, 2429},
+    {Circuit::bincomp, "10-sortd", 4, 589, 1072.099, 2143},
+    // B = 8
+    {Circuit::here, "4-sort", 8, 845, 1136.184, 1396},
+    {Circuit::here, "7-sort", 8, 2704, 3636.08, 1921},
+    {Circuit::here, "10-sort#", 8, 4901, 6590.283, 2179},
+    {Circuit::here, "10-sortd", 8, 5239, 7044.541, 2059},
+    {Circuit::date17, "4-sort", 8, 2520, 3617.67, 2394},
+    {Circuit::date17, "7-sort", 8, 8064, 11576.32, 4715},
+    {Circuit::date17, "10-sort#", 8, 14616, 20982.542, 6252},
+    {Circuit::date17, "10-sortd", 8, 15624, 22429.176, 5481},
+    {Circuit::bincomp, "4-sort", 8, 205, 368.641, 1475},
+    {Circuit::bincomp, "7-sort", 8, 656, 1179.528, 2948},
+    {Circuit::bincomp, "10-sort#", 8, 1189, 2137.905, 3945},
+    {Circuit::bincomp, "10-sortd", 8, 1271, 2285.514, 3470},
+    // B = 16
+    {Circuit::here, "4-sort", 16, 2035, 2739.961, 2069},
+    {Circuit::here, "7-sort", 16, 6512, 8767.374, 3396},
+    {Circuit::here, "10-sort#", 16, 11803, 15891.12, 4030},
+    {Circuit::here, "10-sortd", 16, 12617, 16987.194, 3844},
+    {Circuit::date17, "4-sort", 16, 6720, 9640.75, 3396},
+    {Circuit::date17, "7-sort", 16, 21504, 30849.875, 6415},
+    {Circuit::date17, "10-sort#", 16, 38976, 55916.448, 8437},
+    {Circuit::date17, "10-sortd", 16, 41664, 59772.132, 7458},
+    {Circuit::bincomp, "4-sort", 16, 405, 530.67, 1298},
+    {Circuit::bincomp, "7-sort", 16, 1296, 2425.99, 2600},
+    {Circuit::bincomp, "10-sort#", 16, 2349, 4397.085, 3474},
+    {Circuit::bincomp, "10-sortd", 16, 2511, 4700.304, 3050},
+}};
+
+}  // namespace
+
+std::span<const Sort2Row> table7() { return kTable7; }
+
+std::optional<Sort2Row> table7_row(Circuit c, int bits) {
+  for (const Sort2Row& r : kTable7) {
+    if (r.circuit == c && r.bits == bits) return r;
+  }
+  return std::nullopt;
+}
+
+std::span<const NetworkRow> table8() { return kTable8; }
+
+std::optional<NetworkRow> table8_row(Circuit c, std::string_view network,
+                                     int bits) {
+  for (const NetworkRow& r : kTable8) {
+    if (r.circuit == c && r.network == network && r.bits == bits) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcsn::refdata

@@ -1,0 +1,49 @@
+#pragma once
+// Published evaluation numbers from the paper (Tables 7 and 8), kept as
+// reference data so every bench can print measured-vs-published side by
+// side. "here" = the paper's circuit, "date17" = the DATE 2017 state of the
+// art [2], "bincomp" = the non-containing binary comparator.
+//
+// Area is post-layout [um^2], delay pre-layout [ps], as reported.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace mcsn::refdata {
+
+enum class Circuit { here, date17, bincomp };
+
+[[nodiscard]] std::string_view circuit_label(Circuit c) noexcept;
+
+struct Sort2Row {
+  Circuit circuit;
+  int bits;
+  std::size_t gates;
+  double area;
+  double delay;
+};
+
+/// Table 7: 2-sort(B) for B in {2,4,8,16}, all three designs.
+[[nodiscard]] std::span<const Sort2Row> table7();
+
+[[nodiscard]] std::optional<Sort2Row> table7_row(Circuit c, int bits);
+
+struct NetworkRow {
+  Circuit circuit;
+  std::string_view network;  // "4-sort", "7-sort", "10-sort#", "10-sortd"
+  int bits;
+  std::size_t gates;
+  double area;
+  double delay;
+};
+
+/// Table 8: n-sort networks, n in {4, 7, 10#, 10d} x B in {2,4,8,16}.
+[[nodiscard]] std::span<const NetworkRow> table8();
+
+[[nodiscard]] std::optional<NetworkRow> table8_row(Circuit c,
+                                                   std::string_view network,
+                                                   int bits);
+
+}  // namespace mcsn::refdata

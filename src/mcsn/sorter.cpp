@@ -1,0 +1,72 @@
+#include "mcsn/sorter.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/nets/catalog.hpp"
+
+namespace mcsn {
+
+namespace {
+
+ComparatorNetwork pick_network(int channels, bool prefer_depth) {
+  switch (channels) {
+    case 4: return optimal_4();
+    case 7: return optimal_7();
+    case 9: return optimal_9();
+    case 10: return prefer_depth ? depth_optimal_10() : size_optimal_10();
+    default: return batcher_odd_even(channels);
+  }
+}
+
+int checked_shape(int channels, std::size_t bits) {
+  if (channels < 1 || bits < 1) {
+    throw std::invalid_argument("McSorter: channels and bits must be >= 1");
+  }
+  return channels;
+}
+
+}  // namespace
+
+McSorter::McSorter(int channels, std::size_t bits, const McSorterOptions& opt)
+    : channels_(checked_shape(channels, bits)),
+      bits_(bits),
+      network_(pick_network(channels, opt.prefer_depth)),
+      netlist_(elaborate_network(network_, bits, sort2_builder(opt.sort2))),
+      evaluator_(netlist_) {}
+
+CircuitStats McSorter::stats() const { return compute_stats(netlist_); }
+
+std::vector<Word> McSorter::sort(const std::vector<Word>& values) {
+  assert(static_cast<int>(values.size()) == channels_);
+  std::vector<Trit> in;
+  in.reserve(static_cast<std::size_t>(channels_) * bits_);
+  for (const Word& w : values) {
+    assert(w.size() == bits_);
+    in.insert(in.end(), w.begin(), w.end());
+  }
+  Word out;
+  evaluator_.run_outputs(in, out);
+  std::vector<Word> sorted(static_cast<std::size_t>(channels_));
+  for (std::size_t c = 0; c < sorted.size(); ++c) {
+    sorted[c] = out.sub(c * bits_, (c + 1) * bits_ - 1);
+  }
+  return sorted;
+}
+
+std::vector<std::uint64_t> McSorter::sort_values(
+    const std::vector<std::uint64_t>& values) {
+  std::vector<Word> words;
+  words.reserve(values.size());
+  for (const std::uint64_t v : values) {
+    words.push_back(gray_encode(v, bits_));
+  }
+  const std::vector<Word> sorted = sort(words);
+  std::vector<std::uint64_t> out;
+  out.reserve(sorted.size());
+  for (const Word& w : sorted) out.push_back(gray_decode(w));
+  return out;
+}
+
+}  // namespace mcsn

@@ -1,0 +1,63 @@
+#pragma once
+// High-level facade: an n-channel, B-bit metastability-containing sorter.
+//
+// Wraps network selection, elaboration, evaluation and containment
+// accounting behind a value-semantic class, so downstream users can sort
+// vectors of (possibly marginal) Gray code measurements in two lines:
+//
+//   McSorter sorter(10, 8);                       // 10 channels, 8 bits
+//   std::vector<Word> sorted = sorter.sort(measurements);
+
+#include <string>
+#include <vector>
+
+#include "mcsn/nets/elaborate.hpp"
+#include "mcsn/netlist/eval.hpp"
+#include "mcsn/netlist/stats.hpp"
+
+namespace mcsn {
+
+struct McSorterOptions {
+  /// Prefer minimal depth (true) or minimal comparator count (false) when
+  /// an optimal catalog network exists for `channels`; otherwise Batcher's
+  /// odd-even merge network is used.
+  bool prefer_depth = true;
+  Sort2Options sort2;
+};
+
+class McSorter {
+ public:
+  McSorter(int channels, std::size_t bits, const McSorterOptions& opt = {});
+
+  // The evaluator holds a pointer into the owned netlist; non-copyable.
+  McSorter(const McSorter&) = delete;
+  McSorter& operator=(const McSorter&) = delete;
+
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+  [[nodiscard]] const ComparatorNetwork& network() const noexcept {
+    return network_;
+  }
+
+  /// Gate-level report under the default (paper-calibrated) library.
+  [[nodiscard]] CircuitStats stats() const;
+
+  /// Sorts `values` (each a B-bit valid string) through the gate-level
+  /// netlist with worst-case metastability semantics.
+  /// Precondition: values.size() == channels().
+  [[nodiscard]] std::vector<Word> sort(const std::vector<Word>& values);
+
+  /// Convenience: encodes integers as Gray codewords and sorts.
+  [[nodiscard]] std::vector<std::uint64_t> sort_values(
+      const std::vector<std::uint64_t>& values);
+
+ private:
+  int channels_;
+  std::size_t bits_;
+  ComparatorNetwork network_;
+  Netlist netlist_;
+  Evaluator evaluator_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,52 @@
+#include "mcsn/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace mcsn {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace_back(std::string(body.substr(0, eq)),
+                          std::string(body.substr(eq + 1)));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) !=
+                                   0) {
+      flags_.emplace_back(std::string(body), std::string(argv[++i]));
+    } else {
+      flags_.emplace_back(std::string(body), std::string{});
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(std::string_view key) const {
+  for (const auto& [k, v] : flags_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string CliArgs::get_or(std::string_view key, std::string fallback) const {
+  if (auto v = get(key)) return *v;
+  return fallback;
+}
+
+long CliArgs::get_long_or(std::string_view key, long fallback) const {
+  if (auto v = get(key); v && !v->empty()) return std::atol(v->c_str());
+  return fallback;
+}
+
+bool CliArgs::has(std::string_view key) const {
+  for (const auto& [k, v] : flags_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+}  // namespace mcsn

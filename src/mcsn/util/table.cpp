@@ -1,0 +1,78 @@
+#include "mcsn/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mcsn {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+  return *this;
+}
+
+TextTable& TextTable::add_rule() {
+  pending_rule_ = true;
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  auto print_rule = [&os, &width] {
+    os << '+';
+    for (const std::size_t w : width) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&os, &width](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left << s
+         << " |";
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& r : rows_) {
+    if (r.rule_before) print_rule();
+    print_cells(r.cells);
+  }
+  print_rule();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TextTable::pct(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v << "%";
+  return ss.str();
+}
+
+}  // namespace mcsn

@@ -1,0 +1,37 @@
+#pragma once
+// Column-aligned plain-text table printer for the bench binaries.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcsn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  TextTable& add_rule();
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string str() const;
+
+  // Cell formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+  [[nodiscard]] static std::string pct(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,123 @@
+// Catalog networks: every network is machine-verified by the 0-1 principle,
+// and the optimal networks have exactly the size/depth the paper relies on
+// (Table 8: 4-sort = 5 CE, 7-sort = 16 CE, 10-sort# = 29 CE, 10-sortd =
+// 31 CE at depth 7).
+
+#include "mcsn/nets/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsn {
+namespace {
+
+TEST(Catalog, Optimal4) {
+  const ComparatorNetwork net = optimal_4();
+  EXPECT_TRUE(net.well_formed());
+  EXPECT_TRUE(net.sorts_all_binary());
+  EXPECT_EQ(net.size(), 5u);
+  EXPECT_EQ(net.depth(), 3u);
+}
+
+TEST(Catalog, Optimal7) {
+  const ComparatorNetwork net = optimal_7();
+  EXPECT_TRUE(net.well_formed());
+  EXPECT_TRUE(net.sorts_all_binary());
+  EXPECT_EQ(net.size(), 16u);
+  EXPECT_EQ(net.depth(), 6u);
+}
+
+TEST(Catalog, Optimal9) {
+  const ComparatorNetwork net = optimal_9();
+  EXPECT_TRUE(net.well_formed());
+  EXPECT_TRUE(net.sorts_all_binary());
+  EXPECT_EQ(net.size(), 25u);  // [4]: 25 comparators is optimal for 9 inputs
+  EXPECT_EQ(net.channels(), 9);
+}
+
+TEST(Catalog, SizeOptimal10) {
+  const ComparatorNetwork net = size_optimal_10();
+  EXPECT_TRUE(net.well_formed());
+  EXPECT_TRUE(net.sorts_all_binary());
+  EXPECT_EQ(net.size(), 29u);  // minimum possible [4]
+  EXPECT_EQ(net.channels(), 10);
+}
+
+TEST(Catalog, DepthOptimal10) {
+  const ComparatorNetwork net = depth_optimal_10();
+  EXPECT_TRUE(net.well_formed());
+  EXPECT_TRUE(net.sorts_all_binary());
+  EXPECT_EQ(net.depth(), 7u);  // minimum possible [3]
+  EXPECT_EQ(net.size(), 31u);  // as used in the paper's Table 8
+}
+
+TEST(Catalog, BatcherSortsAllSizes) {
+  for (int n = 1; n <= 16; ++n) {
+    const ComparatorNetwork net = batcher_odd_even(n);
+    EXPECT_TRUE(net.well_formed()) << n;
+    EXPECT_TRUE(net.sorts_all_binary()) << n;
+  }
+}
+
+TEST(Catalog, BatcherKnownCounts) {
+  // Classic sizes: n=4 -> 5, n=8 -> 19, n=16 -> 63.
+  EXPECT_EQ(batcher_odd_even(4).size(), 5u);
+  EXPECT_EQ(batcher_odd_even(8).size(), 19u);
+  EXPECT_EQ(batcher_odd_even(16).size(), 63u);
+}
+
+TEST(Catalog, OddEvenMergerMergesSortedHalves) {
+  for (const int n : {2, 4, 8, 16}) {
+    const ComparatorNetwork net = odd_even_merger(n);
+    EXPECT_TRUE(net.well_formed()) << n;
+    EXPECT_TRUE(net.merges_sorted_halves(n / 2)) << n;
+    // A merger alone is not a sorter (for n >= 4).
+    if (n >= 4) {
+      EXPECT_FALSE(net.sorts_all_binary()) << n;
+    }
+    // Classic merge cost (n/2)*log2(n) - n/2 + 1 at depth log2(n).
+    std::size_t log2n = 0;
+    while ((1u << log2n) < static_cast<unsigned>(n)) ++log2n;
+    EXPECT_EQ(net.depth(), log2n) << n;
+    EXPECT_EQ(net.size(),
+              static_cast<std::size_t>(n) / 2 * log2n - n / 2 + 1)
+        << n;
+  }
+}
+
+TEST(Catalog, OddEvenTranspositionSorts) {
+  for (int n = 2; n <= 12; ++n) {
+    const ComparatorNetwork net = odd_even_transposition(n);
+    EXPECT_TRUE(net.sorts_all_binary()) << n;
+    EXPECT_EQ(net.size(),
+              static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2)
+        << n;
+  }
+}
+
+TEST(Catalog, InsertionNetworkSorts) {
+  for (int n = 2; n <= 10; ++n) {
+    const ComparatorNetwork net = insertion_network(n);
+    EXPECT_TRUE(net.sorts_all_binary()) << n;
+    EXPECT_EQ(net.size(),
+              static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2);
+    // Parallelized insertion sort has depth 2n-3.
+    EXPECT_EQ(net.depth(), static_cast<std::size_t>(2 * n - 3)) << n;
+  }
+}
+
+TEST(Catalog, PaperNetworksSelection) {
+  const auto nets = paper_networks();
+  ASSERT_EQ(nets.size(), 4u);
+  EXPECT_EQ(nets[0].name(), "4-sort");
+  EXPECT_EQ(nets[1].name(), "7-sort");
+  EXPECT_EQ(nets[2].name(), "10-sort#");
+  EXPECT_EQ(nets[3].name(), "10-sortd");
+  // CE counts match the paper's Table 8 (gates at B=2 divided by 13).
+  EXPECT_EQ(nets[0].size() * 13, 65u);
+  EXPECT_EQ(nets[1].size() * 13, 208u);
+  EXPECT_EQ(nets[2].size() * 13, 377u);
+  EXPECT_EQ(nets[3].size() * 13, 403u);
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,79 @@
+// Metastable closure machinery (Def. 2.7): golden checks against hand
+// computations and the paper's non-associativity counterexample for +M mod 4.
+
+#include "mcsn/core/closure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsn {
+namespace {
+
+Word bitwise_and(const Word& a, const Word& b) {
+  Word out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = trit_and(a[i], b[i]);
+  return out;
+}
+
+TEST(Closure, StableInputsPassThrough) {
+  const Word x = *Word::parse("0110");
+  const Word y = *Word::parse("0101");
+  EXPECT_EQ(closure_binary(&bitwise_and, x, y).str(), "0100");
+}
+
+TEST(Closure, UnaryClosureOfIdentityIsIdentity) {
+  const Word x = *Word::parse("0M1M");
+  EXPECT_EQ(closure_unary([](const Word& w) { return w; }, x), x);
+}
+
+TEST(Closure, UnaryClosureCollapsesConstantFunction) {
+  const Word x = *Word::parse("MMM");
+  const Word k = *Word::parse("010");
+  EXPECT_EQ(closure_unary([&k](const Word&) { return k; }, x), k);
+}
+
+// Closure of bitwise AND equals the Kleene AND (gates compute their own
+// closure — the basis of the paper's computational model).
+TEST(Closure, BitwiseAndClosureEqualsKleene) {
+  for (const Trit a : kAllTrits) {
+    for (const Trit b : kAllTrits) {
+      const Word x{a};
+      const Word y{b};
+      EXPECT_EQ(closure_binary(&bitwise_and, x, y)[0], trit_and(a, b));
+    }
+  }
+}
+
+// 2-bit modular addition: word <-> value helpers (index 0 = MSB).
+Word add_mod4(const Word& a, const Word& b) {
+  return Word::from_uint((a.to_uint() + b.to_uint()) & 3u, 2);
+}
+
+// The paper's counterexample (Sec. 4.1): the closure of an associative
+// operator need not be associative:
+//   (0M +M 01) +M 01 = MM  but  0M +M (01 +M 01) = 1M.
+TEST(Closure, PaperCounterexampleAddMod4NotAssociative) {
+  const Word zm = *Word::parse("0M");
+  const Word o1 = *Word::parse("01");
+
+  const Word left = closure_binary(&add_mod4, closure_binary(&add_mod4, zm, o1), o1);
+  const Word right = closure_binary(&add_mod4, zm, closure_binary(&add_mod4, o1, o1));
+  EXPECT_EQ(left.str(), "MM");
+  EXPECT_EQ(right.str(), "1M");
+  EXPECT_NE(left, right);
+}
+
+TEST(Closure, PairClosureSuperposesComponentsIndependently) {
+  // f(a,b) = (min,max) on 1-bit values.
+  const auto f = [](const Word& a, const Word& b) -> std::pair<Word, Word> {
+    const bool x = to_bool(a[0]);
+    const bool y = to_bool(b[0]);
+    return {Word{to_trit(x && y)}, Word{to_trit(x || y)}};
+  };
+  const auto [mn, mx] =
+      closure_binary_pair(f, *Word::parse("M"), *Word::parse("1"));
+  EXPECT_EQ(mn.str(), "M");
+  EXPECT_EQ(mx.str(), "1");
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,232 @@
+// The comparison FSM (Fig. 2) and its operators (Tables 4/5): golden tables,
+// associativity (Obs. 3.3), Theorem 4.1 (order-independence of ⋄M on valid
+// strings), and Theorem 4.3 (outM correctness).
+
+#include "mcsn/core/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/core/spec.hpp"
+#include "mcsn/core/valid.hpp"
+
+namespace mcsn {
+namespace {
+
+TritPair tp(const char* s) {
+  const Word w = *Word::parse(s);
+  return TritPair{w[0], w[1]};
+}
+
+// Paper Table 5 (left): the ⋄ operator on stable values.
+TEST(Fsm, DiamondTable5Golden) {
+  const char* cols[4] = {"00", "01", "11", "10"};
+  // Rows in the same order; entry [r][c] = row operand ⋄ column operand.
+  const char* expect[4][4] = {
+      {"00", "01", "11", "10"},
+      {"01", "01", "01", "01"},
+      {"11", "10", "00", "01"},
+      {"10", "10", "10", "10"},
+  };
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(diamond_stable(tp(cols[r]), tp(cols[c])), tp(expect[r][c]))
+          << cols[r] << " . " << cols[c];
+    }
+  }
+}
+
+// Paper Table 5 (right): the out operator on stable values.
+TEST(Fsm, OutTable5Golden) {
+  const char* cols[4] = {"00", "01", "11", "10"};
+  const char* expect[4][4] = {
+      {"00", "10", "11", "10"},
+      {"00", "10", "11", "01"},
+      {"00", "01", "11", "01"},
+      {"00", "01", "11", "10"},
+  };
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(out_stable(tp(cols[r]), tp(cols[c])), tp(expect[r][c]))
+          << cols[r] << " out " << cols[c];
+    }
+  }
+}
+
+// Obs. 3.3: ⋄ is associative on stable values, with identity 00.
+TEST(Fsm, DiamondAssociativeWithIdentity) {
+  for (unsigned a = 0; a < 4; ++a) {
+    const TritPair pa = TritPair::from_bits(a);
+    EXPECT_EQ(diamond_stable(TritPair::from_bits(0), pa), pa);
+    for (unsigned b = 0; b < 4; ++b) {
+      for (unsigned c = 0; c < 4; ++c) {
+        const TritPair pb = TritPair::from_bits(b);
+        const TritPair pc = TritPair::from_bits(c);
+        EXPECT_EQ(diamond_stable(diamond_stable(pa, pb), pc),
+                  diamond_stable(pa, diamond_stable(pb, pc)));
+      }
+    }
+  }
+}
+
+// diamond_m restricted to stable inputs equals diamond.
+TEST(Fsm, DiamondClosureExtendsStable) {
+  for (unsigned a = 0; a < 4; ++a) {
+    for (unsigned b = 0; b < 4; ++b) {
+      EXPECT_EQ(
+          diamond_m(TritPair::from_bits(a), TritPair::from_bits(b)),
+          diamond_stable(TritPair::from_bits(a), TritPair::from_bits(b)));
+    }
+  }
+}
+
+TEST(Fsm, DiamondClosureSpotChecks) {
+  // 00 ⋄M x = x for every ternary x (00 is the identity and stable).
+  for (int i = 0; i < kPairCount; ++i) {
+    EXPECT_EQ(diamond_m(tp("00"), TritPair::from_index(i)),
+              TritPair::from_index(i));
+  }
+  // Absorbing states stay absorbing under metastable inputs.
+  EXPECT_EQ(diamond_m(tp("01"), tp("MM")), tp("01"));
+  EXPECT_EQ(diamond_m(tp("10"), tp("MM")), tp("10"));
+  // Superposed state {00,01} = 0M applied to 11: 00⋄11=11, 01⋄11=01 -> M1.
+  EXPECT_EQ(diamond_m(tp("0M"), tp("11")), tp("M1"));
+  // MM ⋄M x covers all four states' results.
+  EXPECT_EQ(diamond_m(tp("MM"), tp("01")), tp("MM"));
+}
+
+// The paper proves ⋄M behaves associatively on inputs from valid strings
+// (Thm 4.1) and explicitly leaves open whether ⋄M is associative in general
+// ("we remark that we did not prove that ⋄M is an associative operator").
+// Exhaustive enumeration of all 9^3 ternary triples shows that it in fact
+// IS associative on the whole domain — a (minor) strengthening of the
+// paper's statement, recorded here as a machine-checked observation.
+// (The paper's caution is still justified: closures of associative
+// operators are not associative in general, cf. the +M mod 4 example in
+// closure_test.cpp.)
+TEST(Fsm, DiamondClosureIsAssociativeOnAllTernaryInputs) {
+  for (int a = 0; a < kPairCount; ++a) {
+    for (int b = 0; b < kPairCount; ++b) {
+      for (int c = 0; c < kPairCount; ++c) {
+        const TritPair pa = TritPair::from_index(a);
+        const TritPair pb = TritPair::from_index(b);
+        const TritPair pc = TritPair::from_index(c);
+        EXPECT_EQ(diamond_m(diamond_m(pa, pb), pc),
+                  diamond_m(pa, diamond_m(pb, pc)))
+            << pa.str() << " " << pb.str() << " " << pc.str();
+      }
+    }
+  }
+}
+
+// Theorem 4.1: on bit pairs from valid strings, every parenthesization /
+// evaluation order of ⋄M yields *⋄(res x res) — checked here for all valid
+// string pairs at B=5 against left fold, right fold, and balanced fold.
+TEST(Fsm, Theorem41OrderIndependenceOnValidStrings) {
+  const std::size_t bits = 5;
+  const std::vector<Word> all = all_valid_strings(bits);
+
+  // Brute-force RHS: superpose the stable fold over res(g) x res(h).
+  const auto rhs = [bits](const Word& g, const Word& h) {
+    TritPair acc{Trit::meta, Trit::meta};
+    bool first = true;
+    g.for_each_resolution([&](const Word& gr) {
+      h.for_each_resolution([&](const Word& hr) {
+        TritPair s = kFsmInit;
+        for (std::size_t i = 0; i < bits; ++i) {
+          s = diamond_stable(s, TritPair{gr[i], hr[i]});
+        }
+        if (first) {
+          acc = s;
+          first = false;
+        } else {
+          acc = TritPair{trit_star(acc.first, s.first),
+                         trit_star(acc.second, s.second)};
+        }
+      });
+    });
+    return acc;
+  };
+
+  for (const Word& g : all) {
+    for (const Word& h : all) {
+      std::vector<TritPair> in(bits);
+      for (std::size_t i = 0; i < bits; ++i) in[i] = TritPair{g[i], h[i]};
+
+      TritPair left = in[0];
+      for (std::size_t i = 1; i < bits; ++i) left = diamond_m(left, in[i]);
+
+      TritPair right = in[bits - 1];
+      for (std::size_t i = bits - 1; i-- > 0;) right = diamond_m(in[i], right);
+
+      // Balanced: ((0,1),(2,(3,4))).
+      const TritPair balanced =
+          diamond_m(diamond_m(in[0], in[1]),
+                    diamond_m(in[2], diamond_m(in[3], in[4])));
+
+      const TritPair want = rhs(g, h);
+      EXPECT_EQ(left, want) << g.str() << " / " << h.str();
+      EXPECT_EQ(right, want) << g.str() << " / " << h.str();
+      EXPECT_EQ(balanced, want) << g.str() << " / " << h.str();
+    }
+  }
+}
+
+// The N transform and ^⋄M: N is an involution and ^⋄M is the N-conjugate.
+TEST(Fsm, DiamondHatIsNConjugate) {
+  for (int a = 0; a < kPairCount; ++a) {
+    const TritPair pa = TritPair::from_index(a);
+    EXPECT_EQ(pa.n_transformed().n_transformed(), pa);
+    for (int b = 0; b < kPairCount; ++b) {
+      const TritPair pb = TritPair::from_index(b);
+      EXPECT_EQ(
+          diamond_hat_m(pa.n_transformed(), pb.n_transformed()),
+          diamond_m(pa, pb).n_transformed());
+    }
+  }
+}
+
+// Theorem 4.3 via the sequential model: the FSM equals the brute-force
+// closure spec on all valid string pairs for B <= 5.
+TEST(Fsm, SequentialModelMatchesClosureSpec) {
+  for (const std::size_t bits : {1u, 2u, 3u, 4u, 5u}) {
+    const std::vector<Word> all = all_valid_strings(bits);
+    for (const Word& g : all) {
+      for (const Word& h : all) {
+        const auto [mx, mn] = GrayCompareFsm::sort2(g, h);
+        const auto [smx, smn] = sort2_spec_closure(g, h);
+        EXPECT_EQ(mx, smx) << "B=" << bits << " g=" << g.str()
+                           << " h=" << h.str();
+        EXPECT_EQ(mn, smn) << "B=" << bits << " g=" << g.str()
+                           << " h=" << h.str();
+      }
+    }
+  }
+}
+
+TEST(Fsm, StateLabels) {
+  EXPECT_EQ(fsm_state_label(tp("00")), "eq,par=0");
+  EXPECT_EQ(fsm_state_label(tp("11")), "eq,par=1");
+  EXPECT_EQ(fsm_state_label(tp("01")), "g<h");
+  EXPECT_EQ(fsm_state_label(tp("10")), "g>h");
+  EXPECT_EQ(fsm_state_label(tp("0M")), "(superposed)");
+}
+
+// Stable end-to-end: the FSM reproduces max/min by decoded value on all
+// stable pairs for B = 6.
+TEST(Fsm, StableSortMatchesDecodedOrder) {
+  const std::size_t bits = 6;
+  const std::uint64_t n = 1u << bits;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t y = 0; y < n; ++y) {
+      const Word g = gray_encode(x, bits);
+      const Word h = gray_encode(y, bits);
+      const auto [mx, mn] = GrayCompareFsm::sort2(g, h);
+      EXPECT_EQ(gray_decode(mx), std::max(x, y));
+      EXPECT_EQ(gray_decode(mn), std::min(x, y));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,145 @@
+// Gray code tests: Table 1 golden values, bijectivity, the single-bit-change
+// property, Obs. 3.1 (prefix/suffix structure), and Lemma 3.2.
+
+#include "mcsn/core/gray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+namespace {
+
+// Paper Table 1: 4-bit binary reflected Gray code.
+TEST(Gray, Table1Golden) {
+  const char* expected[16] = {"0000", "0001", "0011", "0010", "0110", "0111",
+                              "0101", "0100", "1100", "1101", "1111", "1110",
+                              "1010", "1011", "1001", "1000"};
+  for (int x = 0; x < 16; ++x) {
+    EXPECT_EQ(gray_encode(static_cast<std::uint64_t>(x), 4).str(), expected[x])
+        << "x=" << x;
+  }
+}
+
+TEST(Gray, RecursiveDefinitionMatchesXorShift) {
+  // rg_B(x) = 0 rg_{B-1}(x) for x < 2^{B-1}, else 1 rg_{B-1}(2^B-1-x).
+  for (std::size_t bits = 2; bits <= 10; ++bits) {
+    const std::uint64_t n = std::uint64_t{1} << bits;
+    const std::uint64_t half = n / 2;
+    for (std::uint64_t x = 0; x < n; ++x) {
+      const Word g = gray_encode(x, bits);
+      if (x < half) {
+        EXPECT_EQ(g[0], Trit::zero);
+        EXPECT_EQ(g.sub(1, bits - 1), gray_encode(x, bits - 1));
+      } else {
+        EXPECT_EQ(g[0], Trit::one);
+        EXPECT_EQ(g.sub(1, bits - 1), gray_encode(n - 1 - x, bits - 1));
+      }
+    }
+  }
+}
+
+TEST(Gray, EncodeDecodeBijection) {
+  for (const std::size_t bits : {1u, 3u, 8u, 13u}) {
+    const std::uint64_t n = std::uint64_t{1} << bits;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < n; ++x) {
+      const Word g = gray_encode(x, bits);
+      EXPECT_EQ(gray_decode(g), x);
+      seen.insert(g.to_uint());
+    }
+    EXPECT_EQ(seen.size(), n) << "not a bijection for B=" << bits;
+  }
+}
+
+TEST(Gray, ConsecutiveCodewordsDifferInOneBit) {
+  const std::size_t bits = 8;
+  for (std::uint64_t x = 0; x + 1 < (1u << bits); ++x) {
+    const std::uint64_t a = gray_encode(x, bits).to_uint();
+    const std::uint64_t b = gray_encode(x + 1, bits).to_uint();
+    const std::uint64_t diff = a ^ b;
+    EXPECT_NE(diff, 0u);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "more than one bit differs at " << x;
+  }
+}
+
+TEST(Gray, FlipIndexIdentifiesTheDifferingBit) {
+  const std::size_t bits = 6;
+  for (std::uint64_t x = 0; x + 1 < (1u << bits); ++x) {
+    const Word a = gray_encode(x, bits);
+    const Word b = gray_encode(x + 1, bits);
+    const std::size_t idx = gray_flip_index(x, bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (i == idx) {
+        EXPECT_NE(a[i], b[i]);
+      } else {
+        EXPECT_EQ(a[i], b[i]);
+      }
+    }
+  }
+}
+
+TEST(Gray, UintHelpersRoundTrip) {
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_EQ(gray_decode_uint(gray_encode_uint(x)), x);
+  }
+  EXPECT_EQ(gray_encode_uint(0), 0u);
+  EXPECT_EQ(gray_encode_uint(1), 1u);
+  EXPECT_EQ(gray_encode_uint(2), 3u);
+  EXPECT_EQ(gray_encode_uint(3), 2u);
+}
+
+// Obs. 3.1 consequence used throughout the paper: the last bit of B-bit code
+// toggles on every second up-count and <g> = 2<g_{1..B-1}> + par-correction.
+TEST(Gray, LastBitStructure) {
+  const std::size_t bits = 6;
+  for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+    const Word g = gray_encode(x, bits);
+    const Word prefix = g.sub(0, bits - 2);
+    const bool last = to_bool(g[bits - 1]);
+    const std::uint64_t prefix_val = gray_decode(prefix);
+    // <g> = 2*<g_{1..B-1}> + XOR(par(prefix), g_B)  (proof of Obs. 3.1).
+    const std::uint64_t expected =
+        2 * prefix_val + ((prefix.parity() != last) ? 1u : 0u);
+    EXPECT_EQ(x, expected);
+  }
+}
+
+// Obs. 3.1: removing the first bit and deduplicating yields an up-down count
+// through (B-1)-bit code.
+TEST(Gray, SuffixCountsUpThenDown) {
+  const std::size_t bits = 5;
+  const std::uint64_t half = 1u << (bits - 1);
+  for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+    const Word g = gray_encode(x, bits);
+    const std::uint64_t suffix = gray_decode(g.sub(1, bits - 1));
+    EXPECT_EQ(suffix, x < half ? x : (2 * half - 1 - x));
+  }
+}
+
+// Lemma 3.2: at the first differing bit i, g_i = 1 iff par(g_{1..i-1}) = 0
+// (for <g> > <h>).
+TEST(Gray, Lemma32FirstDifferingBit) {
+  const std::size_t bits = 7;
+  const std::uint64_t n = 1u << bits;
+  for (std::uint64_t xg = 0; xg < n; ++xg) {
+    for (std::uint64_t xh = 0; xh < xg; ++xh) {
+      const Word g = gray_encode(xg, bits);
+      const Word h = gray_encode(xh, bits);
+      std::size_t i = 0;
+      while (g[i] == h[i]) ++i;
+      const bool par = i == 0 ? false : g.sub(0, i - 1).parity();
+      if (!par) {
+        EXPECT_EQ(g[i], Trit::one) << "xg=" << xg << " xh=" << xh;
+      } else {
+        EXPECT_EQ(g[i], Trit::zero) << "xg=" << xg << " xh=" << xh;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,107 @@
+// Liberty subset reader/writer: round trip of the default library, manual
+// documents, tolerance of unknown constructs, and error reporting.
+
+#include "mcsn/netlist/liberty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/ckt/sort2.hpp"
+#include "mcsn/netlist/timing.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(Liberty, RoundTripDefaultLibrary) {
+  const CellLibrary& lib = CellLibrary::paper_calibrated();
+  LibertyError err;
+  const auto parsed = parse_liberty(to_liberty(lib), &err);
+  ASSERT_TRUE(parsed) << err.message << " at line " << err.line;
+  EXPECT_EQ(parsed->name(), lib.name());
+  EXPECT_DOUBLE_EQ(parsed->port_cap(), lib.port_cap());
+  for (int k = 0; k < kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (!is_gate(kind)) continue;
+    const CellParams& a = lib.params(kind);
+    const CellParams& b = parsed->params(kind);
+    EXPECT_DOUBLE_EQ(a.area, b.area) << cell_name(kind);
+    EXPECT_DOUBLE_EQ(a.input_cap, b.input_cap) << cell_name(kind);
+    EXPECT_DOUBLE_EQ(a.intrinsic, b.intrinsic) << cell_name(kind);
+    EXPECT_DOUBLE_EQ(a.slope, b.slope) << cell_name(kind);
+  }
+}
+
+TEST(Liberty, RoundTrippedLibraryGivesIdenticalSta) {
+  const CellLibrary& lib = CellLibrary::paper_calibrated();
+  const auto parsed = parse_liberty(to_liberty(lib));
+  ASSERT_TRUE(parsed);
+  const Netlist nl = make_sort2(8);
+  EXPECT_DOUBLE_EQ(analyze_timing(nl, lib).critical_delay,
+                   analyze_timing(nl, *parsed).critical_delay);
+  EXPECT_DOUBLE_EQ(total_area(nl, lib), total_area(nl, *parsed));
+}
+
+TEST(Liberty, ParsesHandWrittenDocumentWithNoise) {
+  const char* doc = R"(
+    /* a library with stuff we do not model */
+    library (demo) {
+      technology (cmos);             // unknown group form
+      delay_model : table_lookup;    // unknown attribute
+      default_output_pin_cap : 2.5;
+      operating_conditions (typical) { temperature : 25; }
+      cell (INV_X1) {
+        area : 0.5;
+        cell_footprint : "inv";
+        pin (A) { direction : input; capacitance : 0.9; }
+        pin (ZN) {
+          direction : output;
+          function : "!A";
+          timing () {
+            related_pin : "A";
+            intrinsic_rise : 7.0;
+            intrinsic_fall : 5.0;
+            rise_resistance : 1.5;
+            fall_resistance : 1.25;
+          }
+        }
+      }
+      cell (WEIRD_CELL_X9) { area : 99; }
+    }
+  )";
+  LibertyError err;
+  const auto lib = parse_liberty(doc, &err);
+  ASSERT_TRUE(lib) << err.message << " at line " << err.line;
+  EXPECT_EQ(lib->name(), "demo");
+  EXPECT_DOUBLE_EQ(lib->port_cap(), 2.5);
+  const CellParams& inv = lib->params(CellKind::inv);
+  EXPECT_DOUBLE_EQ(inv.area, 0.5);
+  EXPECT_DOUBLE_EQ(inv.input_cap, 0.9);
+  EXPECT_DOUBLE_EQ(inv.intrinsic, 7.0);   // max(rise, fall)
+  EXPECT_DOUBLE_EQ(inv.slope, 1.5);
+  // Unknown cells ignored; unmentioned cells stay zeroed.
+  EXPECT_DOUBLE_EQ(lib->params(CellKind::and2).area, 0.0);
+}
+
+TEST(Liberty, AveragesInputPinCapacitance) {
+  const char* doc = R"(library (l) {
+    cell (AND2_X1) {
+      area : 1;
+      pin (A1) { direction : input; capacitance : 1.0; }
+      pin (A2) { direction : input; capacitance : 3.0; }
+      pin (Z)  { direction : output; }
+    }
+  })";
+  const auto lib = parse_liberty(doc);
+  ASSERT_TRUE(lib);
+  EXPECT_DOUBLE_EQ(lib->params(CellKind::and2).input_cap, 2.0);
+}
+
+TEST(Liberty, ReportsErrors) {
+  LibertyError err;
+  EXPECT_FALSE(parse_liberty("module foo;", &err));
+  EXPECT_FALSE(parse_liberty("library (x) { cell (INV_X1) {", &err));
+  EXPECT_FALSE(err.message.empty());
+  EXPECT_FALSE(parse_liberty("library (x) { area 3 }", &err));
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,60 @@
+// Synchronizer model sanity: monotonicity, inversion identities, and the
+// published rule-of-thumb orders of magnitude.
+
+#include "mcsn/core/metastability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcsn {
+namespace {
+
+TEST(Metastability, MtbfGrowsExponentiallyWithSettleTime) {
+  SynchronizerParams p;
+  const double m1 = synchronizer_mtbf(p, 1e-9);
+  const double m2 = synchronizer_mtbf(p, 2e-9);
+  // Adding 1 ns at tau = 20 ps multiplies MTBF by e^50.
+  EXPECT_NEAR(std::log(m2 / m1), 1e-9 / p.tau, 1e-6);
+  EXPECT_GT(m2, m1);
+}
+
+TEST(Metastability, SettleTimeInvertsMtbf) {
+  SynchronizerParams p;
+  for (const double target : {1.0, 3600.0, 3.15e7, 3.15e10}) {
+    const double t = settle_time_for_mtbf(p, target);
+    EXPECT_NEAR(synchronizer_mtbf(p, t), target, 1e-6 * target);
+  }
+}
+
+TEST(Metastability, TinyTargetsNeedNoSettleTime) {
+  SynchronizerParams p;
+  EXPECT_DOUBLE_EQ(settle_time_for_mtbf(p, 1e-15), 0.0);
+}
+
+TEST(Metastability, StageCountReasonable) {
+  SynchronizerParams p;  // 1 GHz
+  // A year-MTBF synchronizer at these parameters needs 1-2 stages.
+  const int stages = synchronizer_stages_for_mtbf(p, 3.15576e7);
+  EXPECT_GE(stages, 1);
+  EXPECT_LE(stages, 2);
+  // 1000-year MTBF needs at least as many.
+  EXPECT_GE(synchronizer_stages_for_mtbf(p, 3.15576e10), stages);
+}
+
+TEST(Metastability, FailureProbabilityBoundsAndMonotonicity) {
+  SynchronizerParams p;
+  EXPECT_LE(failure_probability(p, 0.0, 1u), 1.0);
+  EXPECT_GT(failure_probability(p, 0.0, 1u), 0.0);
+  // More settle time -> lower probability; more bits -> higher.
+  EXPECT_LT(failure_probability(p, 1e-9, 16),
+            failure_probability(p, 0.0, 16));
+  EXPECT_GT(failure_probability(p, 1e-9, 160),
+            failure_probability(p, 1e-9, 16));
+  // Union bound saturates at 1.
+  p.window = 1.0;
+  EXPECT_DOUBLE_EQ(failure_probability(p, 0.0, 1u << 20), 1.0);
+}
+
+}  // namespace
+}  // namespace mcsn

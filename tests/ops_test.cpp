@@ -1,0 +1,196 @@
+// The 5-gate selection circuit (Fig. 3 / Table 6) and the operator blocks:
+// exhaustive ternary verification that the gate-level blocks compute the
+// metastable closures ^⋄M and outM on ALL ternary inputs — the property the
+// paper's footnote 2 shows is NOT automatic for arbitrary formulas.
+
+#include "mcsn/ckt/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/core/fsm.hpp"
+#include "mcsn/netlist/eval.hpp"
+#include "mcsn/netlist/stats.hpp"
+
+namespace mcsn {
+namespace {
+
+// Builds a standalone diamond-hat block circuit: inputs p,q,r,u (N-encoded
+// x = (p,q), y = (r,u)), outputs the N-encoded composite.
+Netlist diamond_hat_circuit() {
+  Netlist nl("diamond_hat");
+  const NodeId p = nl.add_input("p");
+  const NodeId q = nl.add_input("q");
+  const NodeId r = nl.add_input("r");
+  const NodeId u = nl.add_input("u");
+  const PairWires o =
+      diamond_hat_block(nl, PairWires{p, q}, PairWires{r, u});
+  nl.mark_output(o.first, "o1");
+  nl.mark_output(o.second, "o2");
+  return nl;
+}
+
+Netlist out_circuit() {
+  Netlist nl("out");
+  const NodeId p = nl.add_input("p");
+  const NodeId q = nl.add_input("q");
+  const NodeId g = nl.add_input("g");
+  const NodeId h = nl.add_input("h");
+  const PairWires o = out_block(nl, PairWires{p, q}, PairWires{g, h});
+  nl.mark_output(o.first, "max_i");
+  nl.mark_output(o.second, "min_i");
+  return nl;
+}
+
+TEST(Ops, DiamondHatBlockGateBudget) {
+  const Netlist nl = diamond_hat_circuit();
+  const CircuitStats s = compute_stats(nl);
+  // Paper Sec. 5.1: 4 AND, 4 OR, 2 inverters, depth 3.
+  EXPECT_EQ(s.gates, 10u);
+  EXPECT_EQ(s.and_gates, 4u);
+  EXPECT_EQ(s.or_gates, 4u);
+  EXPECT_EQ(s.inverters, 2u);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_TRUE(s.mc_safe);
+}
+
+TEST(Ops, OutBlockGateBudget) {
+  const CircuitStats s = compute_stats(out_circuit());
+  EXPECT_EQ(s.gates, 10u);
+  EXPECT_EQ(s.and_gates, 4u);
+  EXPECT_EQ(s.or_gates, 4u);
+  EXPECT_EQ(s.inverters, 2u);
+  EXPECT_EQ(s.depth, 3u);
+}
+
+// Exhaustive over all 81 ternary (x, y) pairs: the circuit equals the table
+// closure ^⋄M.
+TEST(Ops, DiamondHatBlockComputesClosureExhaustively) {
+  const Netlist nl = diamond_hat_circuit();
+  for (int xi = 0; xi < kPairCount; ++xi) {
+    for (int yi = 0; yi < kPairCount; ++yi) {
+      const TritPair x = TritPair::from_index(xi);
+      const TritPair y = TritPair::from_index(yi);
+      const Word in{x.first, x.second, y.first, y.second};
+      const Word out = evaluate(nl, in);
+      const TritPair want = diamond_hat_m(x, y);
+      EXPECT_EQ(out[0], want.first) << "x=" << x.str() << " y=" << y.str();
+      EXPECT_EQ(out[1], want.second) << "x=" << x.str() << " y=" << y.str();
+    }
+  }
+}
+
+// Exhaustive over all 81 ternary (s, b): the circuit equals outM, where the
+// s input arrives N-encoded (as produced by the PPC).
+TEST(Ops, OutBlockComputesClosureExhaustively) {
+  const Netlist nl = out_circuit();
+  for (int si = 0; si < kPairCount; ++si) {
+    for (int bi = 0; bi < kPairCount; ++bi) {
+      const TritPair s = TritPair::from_index(si);
+      const TritPair b = TritPair::from_index(bi);
+      const TritPair ns = s.n_transformed();
+      const Word in{ns.first, ns.second, b.first, b.second};
+      const Word out = evaluate(nl, in);
+      const TritPair want = out_m(s, b);
+      EXPECT_EQ(out[0], want.first) << "s=" << s.str() << " b=" << b.str();
+      EXPECT_EQ(out[1], want.second) << "s=" << s.str() << " b=" << b.str();
+    }
+  }
+}
+
+// The paper's footnote-2 regression: for s = 10 (N-encoded (0,0)) and
+// b = M0, outM(s, b) = (M, 0) — a naive POS formula would output 0.
+TEST(Ops, Footnote2Regression) {
+  const Netlist nl = out_circuit();
+  const Word in{Trit::zero, Trit::zero, Trit::meta, Trit::zero};
+  const Word out = evaluate(nl, in);
+  EXPECT_EQ(out[0], Trit::meta);
+  EXPECT_EQ(out[1], Trit::zero);
+}
+
+TEST(Ops, FirstPositionBlockIsOrAnd) {
+  Netlist nl;
+  const NodeId g = nl.add_input("g");
+  const NodeId h = nl.add_input("h");
+  const PairWires o = out_block_first(nl, PairWires{g, h});
+  nl.mark_output(o.first, "max");
+  nl.mark_output(o.second, "min");
+  EXPECT_EQ(nl.gate_count(), 2u);
+  // For 1-bit code: max = OR, min = AND, including containment.
+  EXPECT_EQ(evaluate(nl, *Word::parse("M1")).str(), "1M");
+  EXPECT_EQ(evaluate(nl, *Word::parse("M0")).str(), "M0");
+  EXPECT_EQ(evaluate(nl, *Word::parse("10")).str(), "10");
+}
+
+TEST(Ops, CmuxContainsMetastableSelect) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId s = nl.add_input("s");
+  nl.mark_output(cmux(nl, a, b, s), "o");
+  // Exhaustive against the trit_mux closure.
+  for (const Trit ta : kAllTrits) {
+    for (const Trit tb : kAllTrits) {
+      for (const Trit ts : kAllTrits) {
+        const Word out = evaluate(nl, Word{ta, tb, ts});
+        EXPECT_EQ(out[0], trit_mux(ta, tb, ts))
+            << ta << tb << ts;
+      }
+    }
+  }
+}
+
+// The AOI-fused selection circuit computes the identical ternary function
+// with 3 cells instead of 5 (exhaustive over all 81 ternary inputs).
+TEST(Ops, AoiStyleIsTernaryEquivalent) {
+  Netlist simple("sel_simple"), fused("sel_aoi");
+  for (Netlist* nl : {&simple, &fused}) {
+    const NodeId a = nl->add_input("a");
+    const NodeId b = nl->add_input("b");
+    const NodeId s1 = nl->add_input("sel1");
+    const NodeId s2 = nl->add_input("sel2");
+    const OpStyle style =
+        nl == &fused ? OpStyle::aoi_cells : OpStyle::simple_gates;
+    nl->mark_output(selection_circuit(*nl, a, b, s1, s2, style), "f");
+  }
+  EXPECT_EQ(simple.gate_count(), 5u);
+  EXPECT_EQ(fused.gate_count(), 3u);
+  EXPECT_TRUE(simple.mc_safe());
+  EXPECT_FALSE(fused.mc_safe());  // AOI cells are outside the simple set
+  std::uint64_t total = 81;
+  for (std::uint64_t v = 0; v < total; ++v) {
+    Word in(4);
+    std::uint64_t x = v;
+    for (int i = 0; i < 4; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          trit_from_index(static_cast<int>(x % 3));
+      x /= 3;
+    }
+    EXPECT_EQ(evaluate(simple, in), evaluate(fused, in)) << in.str();
+  }
+}
+
+// Half blocks match the corresponding component of the full block.
+TEST(Ops, HalfBlocksMatchFullBlock) {
+  for (const bool max_half : {true, false}) {
+    Netlist nl;
+    const NodeId p = nl.add_input("p");
+    const NodeId q = nl.add_input("q");
+    const NodeId g = nl.add_input("g");
+    const NodeId h = nl.add_input("h");
+    nl.mark_output(
+        out_block_half(nl, PairWires{p, q}, PairWires{g, h}, max_half), "o");
+    EXPECT_EQ(nl.gate_count(), 5u);
+    const Netlist full = out_circuit();
+    for (int si = 0; si < kPairCount; ++si) {
+      for (int bi = 0; bi < kPairCount; ++bi) {
+        const TritPair s = TritPair::from_index(si).n_transformed();
+        const TritPair b = TritPair::from_index(bi);
+        const Word in{s.first, s.second, b.first, b.second};
+        EXPECT_EQ(evaluate(nl, in)[0], evaluate(full, in)[max_half ? 0 : 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,135 @@
+// Parallel prefix computation topologies: functional correctness on an
+// associative operator, contiguity of every combine, and the paper's cost /
+// delay formulas (eq. (3)) for the Ladner-Fischer topology.
+
+#include "mcsn/ckt/ppc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace mcsn {
+namespace {
+
+// Functional check: prefix sums on + for every topology and many sizes.
+TEST(Ppc, PrefixSumsAllTopologies) {
+  for (const PpcTopology topo : kAllPpcTopologies) {
+    for (std::size_t n = 1; n <= 40; ++n) {
+      std::vector<long> x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<long>(3 * i + 1);
+      const std::vector<long> out = parallel_prefix<long>(
+          topo, x, [](long a, long b) { return a + b; });
+      ASSERT_EQ(out.size(), n);
+      long acc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += x[i];
+        EXPECT_EQ(out[i], acc)
+            << ppc_topology_name(topo) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// Every combine must merge two adjacent ranges (left immediately before
+// right) — this is what lets Theorem 4.1 justify using ⋄M as the operator.
+// We track ranges as the element type and assert adjacency in the combiner.
+TEST(Ppc, EveryCombineMergesAdjacentRanges) {
+  struct Range {
+    std::size_t lo = 0, hi = 0;  // inclusive
+  };
+  for (const PpcTopology topo : kAllPpcTopologies) {
+    for (std::size_t n = 1; n <= 33; ++n) {
+      std::vector<Range> x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = {i, i};
+      bool ok = true;
+      const std::vector<Range> out = parallel_prefix<Range>(
+          topo, x, [&ok](Range a, Range b) {
+            if (a.hi + 1 != b.lo) ok = false;
+            return Range{a.lo, b.hi};
+          });
+      EXPECT_TRUE(ok) << ppc_topology_name(topo) << " n=" << n;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i].lo, 0u);
+        EXPECT_EQ(out[i].hi, i);
+      }
+    }
+  }
+}
+
+// Cost formula (3): cost(PPC_LF(n)) = 2n - log2(n) - 2 ops for powers of 2.
+TEST(Ppc, LadnerFischerCostFormulaEq3) {
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::size_t log2n = 0;
+    while ((1u << log2n) < n) ++log2n;
+    EXPECT_EQ(ppc_op_count(PpcTopology::ladner_fischer, n),
+              2 * n - log2n - 2)
+        << "n=" << n;
+  }
+}
+
+// Delay bound (3): depth(PPC_LF(n)) <= 2 log2(n) - 1 for powers of 2.
+TEST(Ppc, LadnerFischerDepthWithinEq3Bound) {
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::size_t log2n = 0;
+    while ((1u << log2n) < n) ++log2n;
+    EXPECT_LE(ppc_op_depth(PpcTopology::ladner_fischer, n), 2 * log2n - 1)
+        << "n=" << n;
+  }
+}
+
+// The specific op counts that give the paper's Table 7 gate counts.
+TEST(Ppc, LadnerFischerOpCountsUsedByTable7) {
+  EXPECT_EQ(ppc_op_count(PpcTopology::ladner_fischer, 1), 0u);
+  EXPECT_EQ(ppc_op_count(PpcTopology::ladner_fischer, 3), 2u);
+  EXPECT_EQ(ppc_op_count(PpcTopology::ladner_fischer, 7), 9u);
+  EXPECT_EQ(ppc_op_count(PpcTopology::ladner_fischer, 15), 24u);
+}
+
+TEST(Ppc, SerialCostAndDepth) {
+  for (const std::size_t n : {1u, 2u, 9u, 30u}) {
+    EXPECT_EQ(ppc_op_count(PpcTopology::serial, n), n - 1);
+    EXPECT_EQ(ppc_op_depth(PpcTopology::serial, n), n - 1);
+  }
+}
+
+TEST(Ppc, KoggeStoneCostAndDepth) {
+  // n log n - n + 1 ops and ceil(log2 n) depth for powers of two.
+  EXPECT_EQ(ppc_op_count(PpcTopology::kogge_stone, 8), 8u * 3 - 8 + 1);
+  EXPECT_EQ(ppc_op_count(PpcTopology::kogge_stone, 16), 16u * 4 - 16 + 1);
+  EXPECT_EQ(ppc_op_depth(PpcTopology::kogge_stone, 16), 4u);
+  EXPECT_EQ(ppc_op_depth(PpcTopology::kogge_stone, 15), 4u);
+}
+
+TEST(Ppc, SklanskyDepthIsMinimal) {
+  for (std::size_t n = 2; n <= 64; ++n) {
+    std::size_t ceil_log = 0;
+    while ((std::size_t{1} << ceil_log) < n) ++ceil_log;
+    EXPECT_EQ(ppc_op_depth(PpcTopology::sklansky, n), ceil_log) << n;
+  }
+}
+
+// All non-serial topologies have logarithmic depth.
+TEST(Ppc, LogDepthForParallelTopologies) {
+  for (const PpcTopology topo :
+       {PpcTopology::ladner_fischer, PpcTopology::sklansky,
+        PpcTopology::kogge_stone, PpcTopology::han_carlson}) {
+    for (std::size_t n = 2; n <= 128; n *= 2) {
+      std::size_t log2n = 0;
+      while ((std::size_t{1} << log2n) < n) ++log2n;
+      EXPECT_LE(ppc_op_depth(topo, n), 2 * log2n)
+          << ppc_topology_name(topo) << " n=" << n;
+    }
+  }
+}
+
+TEST(Ppc, NameRoundTrip) {
+  for (const PpcTopology t : kAllPpcTopologies) {
+    EXPECT_EQ(ppc_topology_from_name(ppc_topology_name(t)), t);
+  }
+  EXPECT_FALSE(ppc_topology_from_name("nope"));
+}
+
+}  // namespace
+}  // namespace mcsn

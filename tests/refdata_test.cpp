@@ -1,0 +1,122 @@
+// Published reference data integrity, and the cross-checks that tie our
+// construction to the paper's numbers: gate counts match Table 7 exactly,
+// Table 8 gate counts equal CE count x 2-sort gates, and the headline
+// improvements of Fig. 1 (71.58% area / 48.46% delay at B=16) are recovered
+// from the reference rows.
+
+#include "mcsn/refdata/paper_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcsn/ckt/sort2.hpp"
+#include "mcsn/netlist/stats.hpp"
+#include "mcsn/nets/catalog.hpp"
+
+namespace mcsn {
+namespace {
+
+using refdata::Circuit;
+
+TEST(Refdata, Table7Complete) {
+  EXPECT_EQ(refdata::table7().size(), 12u);
+  for (const Circuit c : {Circuit::here, Circuit::date17, Circuit::bincomp}) {
+    for (const int bits : {2, 4, 8, 16}) {
+      const auto row = refdata::table7_row(c, bits);
+      ASSERT_TRUE(row);
+      EXPECT_GT(row->gates, 0u);
+      EXPECT_GT(row->area, 0.0);
+      EXPECT_GT(row->delay, 0.0);
+    }
+  }
+  EXPECT_FALSE(refdata::table7_row(Circuit::here, 3));
+}
+
+TEST(Refdata, Table8Complete) {
+  EXPECT_EQ(refdata::table8().size(), 48u);
+  for (const Circuit c : {Circuit::here, Circuit::date17, Circuit::bincomp}) {
+    for (const char* net : {"4-sort", "7-sort", "10-sort#", "10-sortd"}) {
+      for (const int bits : {2, 4, 8, 16}) {
+        ASSERT_TRUE(refdata::table8_row(c, net, bits)) << net << bits;
+      }
+    }
+  }
+}
+
+// Our construction's gate counts equal the published Table 7 exactly.
+TEST(Refdata, OurGateCountsMatchTable7Exactly) {
+  for (const int bits : {2, 4, 8, 16}) {
+    const auto row = refdata::table7_row(Circuit::here, bits);
+    EXPECT_EQ(sort2_gate_count(static_cast<std::size_t>(bits)), row->gates);
+  }
+}
+
+// Our calibrated library reproduces the published areas to < 0.1%.
+TEST(Refdata, OurAreasMatchTable7) {
+  for (const int bits : {2, 4, 8, 16}) {
+    const Netlist nl = make_sort2(static_cast<std::size_t>(bits));
+    const CircuitStats s = compute_stats(nl);
+    const auto row = refdata::table7_row(Circuit::here, bits);
+    EXPECT_NEAR(s.area, row->area, 0.001 * row->area) << "B=" << bits;
+  }
+}
+
+// Table 8 "here"/"[2]" gate counts are comparator-count multiples of the
+// corresponding Table 7 entry (the paper's own composition).
+TEST(Refdata, Table8GatesAreComparatorMultiples) {
+  const std::pair<const char*, std::size_t> nets[] = {
+      {"4-sort", optimal_4().size()},
+      {"7-sort", optimal_7().size()},
+      {"10-sort#", size_optimal_10().size()},
+      {"10-sortd", depth_optimal_10().size()}};
+  for (const auto& [name, ces] : nets) {
+    for (const int bits : {2, 4, 8, 16}) {
+      for (const Circuit c : {Circuit::here, Circuit::date17}) {
+        const auto t7 = refdata::table7_row(c, bits);
+        const auto t8 = refdata::table8_row(c, name, bits);
+        EXPECT_EQ(t8->gates, ces * t7->gates) << name << " B=" << bits;
+      }
+    }
+  }
+}
+
+// Abstract headline: "for 10-channel sorting networks and 16-bit wide
+// inputs, we improve by 48.46% in delay and by 71.58% in area over Bund et
+// al." — these are the 10-sortd rows of Table 8 at B=16.
+TEST(Refdata, HeadlineImprovementsRecoveredFromTable8) {
+  const auto here = refdata::table8_row(Circuit::here, "10-sortd", 16);
+  const auto date17 = refdata::table8_row(Circuit::date17, "10-sortd", 16);
+  const double area_gain = 100.0 * (1.0 - here->area / date17->area);
+  const double delay_gain = 100.0 * (1.0 - here->delay / date17->delay);
+  EXPECT_NEAR(area_gain, 71.58, 0.05);
+  EXPECT_NEAR(delay_gain, 48.46, 0.05);
+  // Table 7 (single 2-sort, B=16): area gain identical, delay gain 34.7%.
+  const auto h7 = refdata::table7_row(Circuit::here, 16);
+  const auto d7 = refdata::table7_row(Circuit::date17, 16);
+  EXPECT_NEAR(100.0 * (1.0 - h7->area / d7->area), 71.58, 0.05);
+  EXPECT_NEAR(100.0 * (1.0 - h7->delay / d7->delay), 34.71, 0.05);
+}
+
+// Gate-count ratio vs [2] grows with B (the Theta(log B) separation).
+TEST(Refdata, SeparationGrowsWithWidth) {
+  double prev = 0.0;
+  for (const int bits : {2, 4, 8, 16}) {
+    const auto here = refdata::table7_row(Circuit::here, bits);
+    const auto date17 = refdata::table7_row(Circuit::date17, bits);
+    const double ratio = static_cast<double>(date17->gates) /
+                         static_cast<double>(here->gates);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 3.0);  // 1344/407 = 3.30 at B=16
+}
+
+TEST(Refdata, Labels) {
+  EXPECT_EQ(refdata::circuit_label(Circuit::here), "This paper");
+  EXPECT_EQ(refdata::circuit_label(Circuit::date17), "[2] (DATE'17)");
+  EXPECT_EQ(refdata::circuit_label(Circuit::bincomp), "Bin-comp");
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,93 @@
+// Simulated-annealing network synthesis: the bitsliced fitness agrees with
+// the reference counter, small instances are solved quickly, and the size
+// minimizer strips redundant comparators.
+
+#include "mcsn/nets/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/nets/catalog.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(Search, BitslicedFitnessMatchesReference) {
+  const ComparatorNetwork nets[] = {
+      optimal_4(), optimal_7(), batcher_odd_even(6),
+      ComparatorNetwork::from_flat("bad", 5, {{0, 1}, {2, 3}}),
+      ComparatorNetwork::from_flat("empty", 4, {}),
+  };
+  for (const ComparatorNetwork& net : nets) {
+    EXPECT_EQ(count_unsorted_bitsliced(net), net.count_unsorted_binary())
+        << net.name();
+  }
+}
+
+TEST(Search, FindsOptimal4SortQuickly) {
+  AnnealConfig cfg;
+  cfg.channels = 4;
+  cfg.layers = 3;
+  cfg.max_iterations = 200'000;
+  cfg.stop_at_feasible = true;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 5 && !found; ++seed) {
+    cfg.seed = seed;
+    const AnnealResult res = anneal_fixed_depth(cfg);
+    if (res.unsorted == 0) {
+      found = true;
+      EXPECT_TRUE(res.network.sorts_all_binary());
+      EXPECT_EQ(res.network.depth(), 3u);
+      const ComparatorNetwork mini = minimize_size(res.network);
+      EXPECT_TRUE(mini.sorts_all_binary());
+      EXPECT_EQ(mini.size(), 5u);  // 5 comparators is optimal for n=4
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Search, FindsDepth5SixChannelSorter) {
+  // Depth 5 is optimal for n=6.
+  AnnealConfig cfg;
+  cfg.channels = 6;
+  cfg.layers = 5;
+  cfg.max_iterations = 500'000;
+  cfg.stop_at_feasible = true;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !found; ++seed) {
+    cfg.seed = seed;
+    const AnnealResult res = anneal_fixed_depth(cfg);
+    if (res.unsorted == 0) {
+      found = true;
+      EXPECT_TRUE(res.network.sorts_all_binary());
+      EXPECT_LE(res.network.depth(), 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Search, MinimizeSizeStripsRedundantComparators) {
+  // A sorting network with redundant trailing comparators: the minimizer
+  // must strip at least the extras (greedy removal order may keep a
+  // different-but-valid subset) and drop emptied layers.
+  std::vector<Comparator> seq = optimal_4().flattened();
+  seq.push_back({0, 1});
+  seq.push_back({2, 3});
+  seq.push_back({0, 3});
+  const ComparatorNetwork net =
+      ComparatorNetwork::from_flat("padded", 4, seq);
+  ASSERT_TRUE(net.sorts_all_binary());
+  ASSERT_EQ(net.size(), 8u);
+  const ComparatorNetwork mini = minimize_size(net);
+  EXPECT_TRUE(mini.sorts_all_binary());
+  EXPECT_LE(mini.size(), 6u);
+  EXPECT_LT(mini.depth(), net.depth());
+}
+
+TEST(Search, MinimizeSizeKeepsOptimalNetworksIntact) {
+  const ComparatorNetwork mini = minimize_size(optimal_4());
+  EXPECT_EQ(mini.size(), 5u);
+  EXPECT_TRUE(mini.sorts_all_binary());
+}
+
+}  // namespace
+}  // namespace mcsn

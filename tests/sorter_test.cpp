@@ -1,0 +1,88 @@
+// The McSorter facade: network selection, end-to-end sorting of valid
+// strings and plain integers, stats plumbing.
+
+#include "mcsn/sorter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mcsn/core/valid.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(McSorter, PicksOptimalCatalogNetworks) {
+  McSorterOptions depth_opt;
+  depth_opt.prefer_depth = true;
+  McSorterOptions size_opt;
+  size_opt.prefer_depth = false;
+
+  EXPECT_EQ(McSorter(4, 4).network().size(), 5u);
+  EXPECT_EQ(McSorter(7, 4).network().size(), 16u);
+  EXPECT_EQ(McSorter(9, 4).network().size(), 25u);
+  EXPECT_EQ(McSorter(10, 4, depth_opt).network().depth(), 7u);
+  EXPECT_EQ(McSorter(10, 4, size_opt).network().size(), 29u);
+  // Non-catalog size: Batcher.
+  EXPECT_TRUE(McSorter(6, 4).network().sorts_all_binary());
+}
+
+TEST(McSorter, SortsIntegers) {
+  McSorter sorter(8, 6);
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint64_t> vals;
+    for (int c = 0; c < 8; ++c) vals.push_back(rng.below(64));
+    std::vector<std::uint64_t> expect = vals;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sorter.sort_values(vals), expect);
+  }
+}
+
+TEST(McSorter, SortsMarginalMeasurements) {
+  McSorter sorter(4, 5);
+  Xoshiro256 rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Word> in;
+    std::vector<std::uint64_t> ranks;
+    for (int c = 0; c < 4; ++c) {
+      const std::uint64_t r = rng.below(valid_count(5));
+      ranks.push_back(r);
+      in.push_back(valid_from_rank(r, 5));
+    }
+    const std::vector<Word> out = sorter.sort(in);
+    std::sort(ranks.begin(), ranks.end());
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_EQ(out[static_cast<std::size_t>(c)],
+                valid_from_rank(ranks[static_cast<std::size_t>(c)], 5));
+    }
+  }
+}
+
+TEST(McSorter, StatsReflectUnderlyingNetlist) {
+  McSorter sorter(4, 4);
+  const CircuitStats s = sorter.stats();
+  EXPECT_EQ(s.gates, 5 * 55u);  // 5 comparators x sort2(4)
+  EXPECT_TRUE(s.mc_safe);
+  EXPECT_GT(s.area, 0.0);
+}
+
+TEST(McSorter, RejectsDegenerateShapes) {
+  EXPECT_THROW(McSorter(0, 4), std::invalid_argument);
+  EXPECT_THROW(McSorter(4, 0), std::invalid_argument);
+}
+
+TEST(McSorter, AoiOptionPropagates) {
+  McSorterOptions opt;
+  opt.sort2.style = OpStyle::aoi_cells;
+  McSorter sorter(4, 4, opt);
+  EXPECT_FALSE(sorter.stats().mc_safe);  // AOI cells, still MC by tests
+  EXPECT_LT(sorter.stats().gates, 5 * 55u);
+  // Function unchanged.
+  EXPECT_EQ(sorter.sort_values({9, 3, 14, 0}),
+            (std::vector<std::uint64_t>{0, 3, 9, 14}));
+}
+
+}  // namespace
+}  // namespace mcsn

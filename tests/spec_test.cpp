@@ -1,0 +1,96 @@
+// Behavioral specification tests: the brute-force closure spec and the rank
+// spec agree on valid strings (the equivalence [2] proves), and the spec has
+// the expected algebraic properties.
+
+#include "mcsn/core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/core/valid.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(Spec, ClosureAndRankSpecsAgreeOnValidStrings) {
+  for (const std::size_t bits : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const std::vector<Word> all = all_valid_strings(bits);
+    for (const Word& g : all) {
+      for (const Word& h : all) {
+        const auto [cmax, cmin] = sort2_spec_closure(g, h);
+        const auto [rmax, rmin] = sort2_spec_rank(g, h);
+        EXPECT_EQ(cmax, rmax) << g.str() << " " << h.str();
+        EXPECT_EQ(cmin, rmin) << g.str() << " " << h.str();
+      }
+    }
+  }
+}
+
+TEST(Spec, OutputsAreValidStrings) {
+  const std::size_t bits = 6;
+  const std::vector<Word> all = all_valid_strings(bits);
+  for (const Word& g : all) {
+    for (const Word& h : all) {
+      const auto [mx, mn] = sort2_spec_rank(g, h);
+      EXPECT_TRUE(is_valid_string(mx));
+      EXPECT_TRUE(is_valid_string(mn));
+    }
+  }
+}
+
+TEST(Spec, SortingIsIdempotentAndCommutative) {
+  const std::size_t bits = 4;
+  const std::vector<Word> all = all_valid_strings(bits);
+  for (const Word& g : all) {
+    const auto [mx, mn] = sort2_spec_closure(g, g);
+    EXPECT_EQ(mx, g);
+    EXPECT_EQ(mn, g);
+    for (const Word& h : all) {
+      const auto ab = sort2_spec_closure(g, h);
+      const auto ba = sort2_spec_closure(h, g);
+      EXPECT_EQ(ab, ba);
+    }
+  }
+}
+
+TEST(Spec, PreservesMultisetOfRanks) {
+  const std::size_t bits = 5;
+  const std::vector<Word> all = all_valid_strings(bits);
+  for (std::size_t a = 0; a < all.size(); a += 3) {
+    for (std::size_t b = 0; b < all.size(); b += 3) {
+      const auto [mx, mn] = sort2_spec_rank(all[a], all[b]);
+      const auto rmax = valid_rank(mx);
+      const auto rmin = valid_rank(mn);
+      ASSERT_TRUE(rmax && rmin);
+      EXPECT_EQ(*rmax, std::max(a, b));
+      EXPECT_EQ(*rmin, std::min(a, b));
+    }
+  }
+}
+
+// On stable inputs the closure spec is exactly sort by decoded value.
+TEST(Spec, StableInputsSortByValue) {
+  const std::size_t bits = 5;
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    for (std::uint64_t y = 0; y < 32; ++y) {
+      const auto [mx, mn] =
+          sort2_spec_closure(gray_encode(x, bits), gray_encode(y, bits));
+      EXPECT_EQ(gray_decode(mx), std::max(x, y));
+      EXPECT_EQ(gray_decode(mn), std::min(x, y));
+    }
+  }
+}
+
+// The closure spec is defined on arbitrary ternary inputs too: sanity-check
+// a non-valid input (two Ms) produces the superposition of all outcomes.
+TEST(Spec, NonValidInputsStillSuperpose) {
+  const Word g = *Word::parse("MM");  // all four 2-bit codewords
+  const Word h = *Word::parse("00");  // value 0
+  const auto [mx, mn] = sort2_spec_closure(g, h);
+  // max over {0,1,3,2} vs 0 -> can be any codeword: MM; min is always 00.
+  EXPECT_EQ(mx.str(), "MM");
+  EXPECT_EQ(mn.str(), "00");
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,132 @@
+// Unit tests for the ternary value type and the Table 3 gate semantics.
+
+#include "mcsn/core/trit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcsn {
+namespace {
+
+TEST(Trit, BasicPredicates) {
+  EXPECT_TRUE(is_stable(Trit::zero));
+  EXPECT_TRUE(is_stable(Trit::one));
+  EXPECT_FALSE(is_stable(Trit::meta));
+  EXPECT_TRUE(is_meta(Trit::meta));
+  EXPECT_FALSE(is_meta(Trit::one));
+}
+
+TEST(Trit, BoolConversions) {
+  EXPECT_EQ(to_trit(false), Trit::zero);
+  EXPECT_EQ(to_trit(true), Trit::one);
+  EXPECT_FALSE(to_bool(Trit::zero));
+  EXPECT_TRUE(to_bool(Trit::one));
+}
+
+TEST(Trit, IndexRoundTrip) {
+  for (const Trit t : kAllTrits) {
+    EXPECT_EQ(trit_from_index(index(t)), t);
+  }
+}
+
+// Paper Table 3, AND: a 0 forces 0; two 1s give 1; otherwise M.
+TEST(Trit, AndMatchesTable3) {
+  const Trit T0 = Trit::zero, T1 = Trit::one, TM = Trit::meta;
+  EXPECT_EQ(trit_and(T0, T0), T0);
+  EXPECT_EQ(trit_and(T0, T1), T0);
+  EXPECT_EQ(trit_and(T0, TM), T0);
+  EXPECT_EQ(trit_and(T1, T0), T0);
+  EXPECT_EQ(trit_and(T1, T1), T1);
+  EXPECT_EQ(trit_and(T1, TM), TM);
+  EXPECT_EQ(trit_and(TM, T0), T0);
+  EXPECT_EQ(trit_and(TM, T1), TM);
+  EXPECT_EQ(trit_and(TM, TM), TM);
+}
+
+// Paper Table 3, OR: a 1 forces 1.
+TEST(Trit, OrMatchesTable3) {
+  const Trit T0 = Trit::zero, T1 = Trit::one, TM = Trit::meta;
+  EXPECT_EQ(trit_or(T0, T0), T0);
+  EXPECT_EQ(trit_or(T0, T1), T1);
+  EXPECT_EQ(trit_or(T0, TM), TM);
+  EXPECT_EQ(trit_or(T1, T0), T1);
+  EXPECT_EQ(trit_or(T1, T1), T1);
+  EXPECT_EQ(trit_or(T1, TM), T1);
+  EXPECT_EQ(trit_or(TM, T0), TM);
+  EXPECT_EQ(trit_or(TM, T1), T1);
+  EXPECT_EQ(trit_or(TM, TM), TM);
+}
+
+// Paper Table 3, inverter: M maps to M.
+TEST(Trit, NotMatchesTable3) {
+  EXPECT_EQ(trit_not(Trit::zero), Trit::one);
+  EXPECT_EQ(trit_not(Trit::one), Trit::zero);
+  EXPECT_EQ(trit_not(Trit::meta), Trit::meta);
+}
+
+TEST(Trit, DeMorganHoldsInKleeneLogic) {
+  for (const Trit a : kAllTrits) {
+    for (const Trit b : kAllTrits) {
+      EXPECT_EQ(trit_not(trit_and(a, b)), trit_or(trit_not(a), trit_not(b)));
+      EXPECT_EQ(trit_not(trit_or(a, b)), trit_and(trit_not(a), trit_not(b)));
+    }
+  }
+}
+
+TEST(Trit, AndOrCommutativeAssociative) {
+  for (const Trit a : kAllTrits) {
+    for (const Trit b : kAllTrits) {
+      EXPECT_EQ(trit_and(a, b), trit_and(b, a));
+      EXPECT_EQ(trit_or(a, b), trit_or(b, a));
+      for (const Trit c : kAllTrits) {
+        EXPECT_EQ(trit_and(trit_and(a, b), c), trit_and(a, trit_and(b, c)));
+        EXPECT_EQ(trit_or(trit_or(a, b), c), trit_or(a, trit_or(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Trit, XorPropagatesAnyMeta) {
+  EXPECT_EQ(trit_xor(Trit::meta, Trit::zero), Trit::meta);
+  EXPECT_EQ(trit_xor(Trit::one, Trit::meta), Trit::meta);
+  EXPECT_EQ(trit_xor(Trit::one, Trit::zero), Trit::one);
+  EXPECT_EQ(trit_xor(Trit::one, Trit::one), Trit::zero);
+}
+
+TEST(Trit, MuxContainsMetastableSelect) {
+  // Equal data suppresses a metastable select (cmux behavior).
+  EXPECT_EQ(trit_mux(Trit::one, Trit::one, Trit::meta), Trit::one);
+  EXPECT_EQ(trit_mux(Trit::zero, Trit::zero, Trit::meta), Trit::zero);
+  EXPECT_EQ(trit_mux(Trit::zero, Trit::one, Trit::meta), Trit::meta);
+  // Stable select passes the chosen input through, even if M.
+  EXPECT_EQ(trit_mux(Trit::meta, Trit::one, Trit::zero), Trit::meta);
+  EXPECT_EQ(trit_mux(Trit::meta, Trit::one, Trit::one), Trit::one);
+}
+
+TEST(Trit, StarOperator) {
+  EXPECT_EQ(trit_star(Trit::zero, Trit::zero), Trit::zero);
+  EXPECT_EQ(trit_star(Trit::one, Trit::one), Trit::one);
+  EXPECT_EQ(trit_star(Trit::zero, Trit::one), Trit::meta);
+  EXPECT_EQ(trit_star(Trit::meta, Trit::zero), Trit::meta);
+}
+
+TEST(Trit, CharConversions) {
+  EXPECT_EQ(to_char(Trit::zero), '0');
+  EXPECT_EQ(to_char(Trit::one), '1');
+  EXPECT_EQ(to_char(Trit::meta), 'M');
+  EXPECT_EQ(trit_from_char('0'), Trit::zero);
+  EXPECT_EQ(trit_from_char('1'), Trit::one);
+  EXPECT_EQ(trit_from_char('M'), Trit::meta);
+  EXPECT_EQ(trit_from_char('x'), Trit::meta);
+  EXPECT_EQ(trit_from_char('?'), std::nullopt);
+}
+
+TEST(Trit, StreamOutput) {
+  std::ostringstream ss;
+  ss << Trit::zero << Trit::meta << Trit::one;
+  EXPECT_EQ(ss.str(), "0M1");
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,96 @@
+// Utilities: table printer, CLI parser, RNG determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "mcsn/util/cli.hpp"
+#include "mcsn/util/rng.hpp"
+#include "mcsn/util/table.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndRules) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header rule + rule before second row + top/bottom = 4 rules.
+  std::size_t rules = 0;
+  std::istringstream ss(s);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1000.0, 0), "1000");
+  EXPECT_EQ(TextTable::pct(71.578, 2), "71.58%");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note: "--flag value" always binds the value to the flag; a value-less
+  // flag must be followed by another flag or end-of-line.
+  const char* argv[] = {"prog", "--bits", "16",  "pos1",
+                        "pos2", "--ppc=lf", "--quiet"};
+  const CliArgs args(7, argv);
+  EXPECT_EQ(args.get_or("bits", ""), "16");
+  EXPECT_EQ(args.get_long_or("bits", 0), 16);
+  EXPECT_EQ(args.get_or("ppc", ""), "lf");
+  EXPECT_TRUE(args.has("quiet"));
+  EXPECT_FALSE(args.has("verbose"));
+  EXPECT_EQ(args.get_long_or("missing", 7), 7);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Xoshiro256 rng(7);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,120 @@
+// Valid strings (Def. 2.3) and the Table 2 total order: counts, rank
+// round-trips, the Table 2 golden listing, and Obs. 2.4 (substrings of valid
+// strings are valid).
+
+#include "mcsn/core/valid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsn/core/gray.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(Valid, CountFormula) {
+  EXPECT_EQ(valid_count(1), 3u);
+  EXPECT_EQ(valid_count(2), 7u);
+  EXPECT_EQ(valid_count(4), 31u);
+  EXPECT_EQ(valid_count(16), 131071u);
+  EXPECT_EQ(all_valid_strings(4).size(), 31u);
+}
+
+TEST(Valid, RankRoundTrip) {
+  for (const std::size_t bits : {1u, 2u, 4u, 6u, 10u}) {
+    for (std::uint64_t r = 0; r < valid_count(bits); ++r) {
+      const Word w = valid_from_rank(r, bits);
+      const auto back = valid_rank(w);
+      ASSERT_TRUE(back) << w.str();
+      EXPECT_EQ(*back, r) << w.str();
+    }
+  }
+}
+
+TEST(Valid, EvenRanksAreStableCodewords) {
+  const std::size_t bits = 5;
+  for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+    const Word w = valid_from_rank(2 * x, bits);
+    EXPECT_TRUE(w.is_stable());
+    EXPECT_EQ(gray_decode(w), x);
+  }
+}
+
+TEST(Valid, OddRanksAreSuperpositionsOfNeighbors) {
+  const std::size_t bits = 5;
+  for (std::uint64_t x = 0; x + 1 < (1u << bits); ++x) {
+    const Word w = valid_from_rank(2 * x + 1, bits);
+    EXPECT_EQ(w.meta_count(), 1u);
+    EXPECT_EQ(w, Word::star(gray_encode(x, bits), gray_encode(x + 1, bits)));
+  }
+}
+
+// Paper Table 2: the 4-bit valid strings in rank order.
+TEST(Valid, Table2Golden) {
+  const char* expected[] = {
+      "0000", "000M", "0001", "00M1", "0011", "001M", "0010", "0M10",
+      "0110", "011M", "0111", "01M1", "0101", "010M", "0100", "M100",
+      "1100", "110M", "1101", "11M1", "1111", "111M", "1110", "1M10",
+      "1010", "101M", "1011", "10M1", "1001", "100M", "1000"};
+  const std::vector<Word> all = all_valid_strings(4);
+  ASSERT_EQ(all.size(), 31u);
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    EXPECT_EQ(all[r].str(), expected[r]) << "rank " << r;
+  }
+}
+
+TEST(Valid, RejectsInvalidWords) {
+  // Two metastable bits.
+  EXPECT_FALSE(is_valid_string(*Word::parse("0MM0")));
+  // One M, but the two resolutions are not Gray neighbors.
+  EXPECT_FALSE(is_valid_string(*Word::parse("M000")));  // 0 vs 15
+  EXPECT_FALSE(is_valid_string(*Word::parse("0M00")));  // 7 vs 4
+  EXPECT_FALSE(is_valid_string(*Word::parse("M111")));  // 5 vs 10
+  EXPECT_FALSE(is_valid_string(Word{}));
+}
+
+TEST(Valid, AcceptsAllStableWords) {
+  // Every stable word is a Gray codeword (the code is a bijection).
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_TRUE(is_valid_string(Word::from_uint(v, 6)));
+  }
+}
+
+// Obs. 2.4: every substring of a valid string is valid.
+TEST(Valid, SubstringsAreValid) {
+  const std::size_t bits = 6;
+  for (std::uint64_t r = 0; r < valid_count(bits); ++r) {
+    const Word w = valid_from_rank(r, bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      for (std::size_t j = i; j < bits; ++j) {
+        EXPECT_TRUE(is_valid_string(w.sub(i, j)))
+            << w.str() << " [" << i << "," << j << "]";
+      }
+    }
+  }
+}
+
+TEST(Valid, MaxMinFollowRankOrder) {
+  const std::size_t bits = 4;
+  const std::vector<Word> all = all_valid_strings(bits);
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    for (std::size_t b = 0; b < all.size(); ++b) {
+      const Word mx = valid_max(all[a], all[b]);
+      const Word mn = valid_min(all[a], all[b]);
+      EXPECT_EQ(mx, all[std::max(a, b)]);
+      EXPECT_EQ(mn, all[std::min(a, b)]);
+    }
+  }
+}
+
+// The paper's worked examples (Sec. 2, after Def. 2.8).
+TEST(Valid, PaperExamples) {
+  EXPECT_EQ(valid_max(*Word::parse("1001"), *Word::parse("1000")).str(),
+            "1000");  // rg(15) > rg(14)
+  EXPECT_EQ(valid_max(*Word::parse("0M10"), *Word::parse("0010")).str(),
+            "0M10");  // rg(3)*rg(4) > rg(3)
+  EXPECT_EQ(valid_max(*Word::parse("0M10"), *Word::parse("0110")).str(),
+            "0110");  // rg(4) > rg(3)*rg(4)
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -1,0 +1,124 @@
+// Unit tests for ternary words: parsing, resolution (Def. 2.5),
+// superposition (Def. 2.1), and the identities of Obs. 2.2 / 2.6.
+
+#include "mcsn/core/word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcsn {
+namespace {
+
+TEST(Word, ParseAndStr) {
+  const auto w = Word::parse("0M10");
+  ASSERT_TRUE(w);
+  EXPECT_EQ(w->size(), 4u);
+  EXPECT_EQ((*w)[0], Trit::zero);
+  EXPECT_EQ((*w)[1], Trit::meta);
+  EXPECT_EQ((*w)[2], Trit::one);
+  EXPECT_EQ((*w)[3], Trit::zero);
+  EXPECT_EQ(w->str(), "0M10");
+  EXPECT_FALSE(Word::parse("01?"));
+}
+
+TEST(Word, FromUintMsbFirst) {
+  EXPECT_EQ(Word::from_uint(0b1010, 4).str(), "1010");
+  EXPECT_EQ(Word::from_uint(1, 4).str(), "0001");
+  EXPECT_EQ(Word::from_uint(0, 3).str(), "000");
+  EXPECT_EQ(Word::from_uint(0b1010, 4).to_uint(), 0b1010u);
+}
+
+TEST(Word, StableAndMetaCount) {
+  EXPECT_TRUE(Word::parse("0101")->is_stable());
+  EXPECT_FALSE(Word::parse("01M1")->is_stable());
+  EXPECT_EQ(Word::parse("MM0M")->meta_count(), 3u);
+  EXPECT_EQ(Word::parse("0101")->meta_count(), 0u);
+  EXPECT_EQ(*Word::parse("01M1")->first_meta(), 2u);
+  EXPECT_FALSE(Word::parse("0101")->first_meta());
+}
+
+TEST(Word, Parity) {
+  EXPECT_FALSE(Word::parse("0000")->parity());
+  EXPECT_TRUE(Word::parse("0100")->parity());
+  EXPECT_FALSE(Word::parse("0110")->parity());
+  EXPECT_TRUE(Word::parse("0111")->parity());
+}
+
+TEST(Word, SubAndConcat) {
+  const Word w = *Word::parse("01M10");
+  EXPECT_EQ(w.sub(1, 3).str(), "1M1");
+  EXPECT_EQ(w.sub(0, 0).str(), "0");
+  EXPECT_EQ((*Word::parse("01") + *Word::parse("M0")).str(), "01M0");
+}
+
+TEST(Word, Complement) {
+  EXPECT_EQ(Word::parse("01M")->complement().str(), "10M");
+}
+
+TEST(Word, StarOperatorDef21) {
+  const Word a = *Word::parse("0011");
+  const Word b = *Word::parse("0101");
+  EXPECT_EQ(Word::star(a, b).str(), "0MM1");
+  // Commutative.
+  EXPECT_EQ(Word::star(b, a).str(), "0MM1");
+}
+
+TEST(Word, StarAssociativeObs22) {
+  // Superposition of a set does not depend on the order (Obs. 2.2).
+  const std::vector<Word> set = {*Word::parse("0011"), *Word::parse("0101"),
+                                 *Word::parse("0110")};
+  const Word direct = Word::star(set);
+  const Word reordered =
+      Word::star(Word::star(set[2], set[0]), set[1]);
+  EXPECT_EQ(direct, reordered);
+  EXPECT_EQ(direct.str(), "0MMM");
+}
+
+TEST(Word, ResolutionsEnumerateAllSubstitutions) {
+  const Word w = *Word::parse("0M1M");
+  const std::vector<Word> rs = w.resolutions();
+  ASSERT_EQ(rs.size(), 4u);
+  // All resolutions are stable, distinct, and match the wildcard pattern.
+  for (const Word& r : rs) {
+    EXPECT_TRUE(r.is_stable());
+    EXPECT_TRUE(w.matches_resolution(r));
+  }
+  EXPECT_EQ(std::count(rs.begin(), rs.end(), *Word::parse("0010")), 1);
+  EXPECT_EQ(std::count(rs.begin(), rs.end(), *Word::parse("0111")), 1);
+}
+
+TEST(Word, ResolutionOfStableWordIsItself) {
+  const Word w = *Word::parse("0110");
+  const std::vector<Word> rs = w.resolutions();
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0], w);
+}
+
+// Obs. 2.6: *res(x) = x.
+TEST(Word, StarOfResolutionsIsIdentity) {
+  for (const char* s : {"0", "M", "01M", "MM", "1M0M1", "0110"}) {
+    const Word w = *Word::parse(s);
+    EXPECT_EQ(Word::star(w.resolutions()), w) << s;
+  }
+}
+
+// Obs. 2.6: S subseteq res(*S).
+TEST(Word, SetContainedInResolutionOfStar) {
+  const std::vector<Word> set = {*Word::parse("0011"), *Word::parse("1001")};
+  const Word star = Word::star(set);
+  for (const Word& s : set) {
+    EXPECT_TRUE(star.matches_resolution(s));
+  }
+}
+
+TEST(Word, MatchesResolutionRejectsWrongWidthAndValues) {
+  const Word w = *Word::parse("0M");
+  EXPECT_TRUE(w.matches_resolution(*Word::parse("00")));
+  EXPECT_TRUE(w.matches_resolution(*Word::parse("01")));
+  EXPECT_FALSE(w.matches_resolution(*Word::parse("10")));
+  EXPECT_FALSE(w.matches_resolution(*Word::parse("000")));
+}
+
+}  // namespace
+}  // namespace mcsn
