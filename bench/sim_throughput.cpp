@@ -1,8 +1,23 @@
-// E15 — simulator micro-benchmarks (google-benchmark): scalar vs 64-lane
-// packed ternary evaluation of the paper's circuits, FSM reference model
-// throughput, and the bitsliced 0-1 validity checker.
+// E15 — evaluation-engine throughput on the paper's flagship workload: a
+// 10-channel, 8-bit (10-sortd, B=8) metastability-containing sorter swept
+// over random valid measurement rounds.
+//
+// Compares the legacy scalar node-walking evaluator against the compiled,
+// levelized engine at every backend width (scalar, 64-lane, 256-lane batch,
+// threaded batch) and emits machine-readable JSON so the perf trajectory can
+// be tracked across PRs:
+//
+//   bench_sim_throughput [--vectors N] [--bits B] [--channels C]
+//
+// Every engine runs the same input corpus and must produce the same output
+// checksum ("engines_agree": true) — a built-in differential smoke test.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "mcsn/mcsn.hpp"
 
@@ -10,98 +25,176 @@ namespace {
 
 using namespace mcsn;
 
-void BM_ScalarEval(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  const Netlist nl = make_sort2(bits);
-  Evaluator ev(nl);
-  Xoshiro256 rng(1);
-  std::vector<Trit> in;
-  const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
-  const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
-  const Word joined = g + h;
-  in.assign(joined.begin(), joined.end());
-  Word out;
-  for (auto _ : state) {
-    ev.run_outputs(in, out);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.counters["gates/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) *
-          static_cast<double>(nl.gate_count()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_ScalarEval)->Arg(8)->Arg(16)->Arg(32);
+struct EngineResult {
+  std::string name;
+  std::size_t vectors = 0;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
 
-void BM_PackedEval64Lanes(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  const Netlist nl = make_sort2(bits);
-  PackedEvaluator ev(nl);
-  Xoshiro256 rng(2);
-  std::vector<PackedTrit> in(2 * bits);
-  for (int lane = 0; lane < 64; ++lane) {
-    const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
-    const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
-    for (std::size_t i = 0; i < bits; ++i) {
-      in[i].set_lane(lane, g[i]);
-      in[bits + i].set_lane(lane, h[i]);
-    }
+  [[nodiscard]] double vectors_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(vectors) / seconds : 0.0;
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ev.run(in));
-  }
-  // 64 input vectors per run.
-  state.SetItemsProcessed(64 * static_cast<std::int64_t>(state.iterations()));
-  state.counters["lane-gates/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 64.0 *
-          static_cast<double>(nl.gate_count()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_PackedEval64Lanes)->Arg(8)->Arg(16)->Arg(32);
+};
 
-void BM_FsmReferenceModel(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  Xoshiro256 rng(3);
-  const Word g = valid_from_rank(rng.below(valid_count(bits)), bits);
-  const Word h = valid_from_rank(rng.below(valid_count(bits)), bits);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(GrayCompareFsm::sort2(g, h));
+std::uint64_t fnv1a_word(std::uint64_t h, const Word& w) {
+  for (const Trit t : w) {
+    h ^= static_cast<std::uint64_t>(t) + 1;
+    h *= 0x100000001b3ULL;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  return h;
 }
-BENCHMARK(BM_FsmReferenceModel)->Arg(16)->Arg(64);
 
-void BM_ZeroOneBitsliced(benchmark::State& state) {
-  const ComparatorNetwork net =
-      batcher_odd_even(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(count_unsorted_bitsliced(net));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          (std::int64_t{1} << state.range(0)));
+template <typename F>
+EngineResult run_engine(const std::string& name, std::size_t vectors, F&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t checksum = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {name, vectors, std::chrono::duration<double>(t1 - t0).count(),
+          checksum};
 }
-BENCHMARK(BM_ZeroOneBitsliced)->Arg(10)->Arg(13)->Arg(16);
-
-void BM_ElaboratedNetworkEval(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  const Netlist nl = elaborate_network(depth_optimal_10(), bits,
-                                       sort2_builder());
-  Evaluator ev(nl);
-  Xoshiro256 rng(4);
-  std::vector<Trit> in;
-  for (int c = 0; c < 10; ++c) {
-    const Word w = valid_from_rank(rng.below(valid_count(bits)), bits);
-    in.insert(in.end(), w.begin(), w.end());
-  }
-  Word out;
-  for (auto _ : state) {
-    ev.run_outputs(in, out);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_ElaboratedNetworkEval)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::size_t n_vectors = 16384;
+  std::size_t bits = 8;
+  int channels = 10;
+  const auto usage = [&] {
+    std::cerr << "usage: bench_sim_throughput [--vectors N>=1] [--bits 1..16]"
+                 " [--channels C>=2]\n";
+    return 2;
+  };
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) return usage();  // flag without a value
+    std::uint64_t value = 0;
+    try {
+      std::size_t pos = 0;
+      value = std::stoull(argv[i + 1], &pos);
+      if (argv[i + 1][pos] != '\0') return usage();
+    } catch (const std::exception&) {
+      return usage();
+    }
+    if (std::strcmp(argv[i], "--vectors") == 0) {
+      n_vectors = value;
+    } else if (std::strcmp(argv[i], "--bits") == 0) {
+      bits = value;
+    } else if (std::strcmp(argv[i], "--channels") == 0) {
+      channels = static_cast<int>(value);
+    } else {
+      return usage();
+    }
+  }
+  if (n_vectors < 1 || bits < 1 || bits > 16 || channels < 2) return usage();
+
+  const ComparatorNetwork net =
+      channels == 10 ? depth_optimal_10() : batcher_odd_even(channels);
+  const Netlist nl = elaborate_network(net, bits, sort2_builder());
+  const CompiledProgram prog = CompiledProgram::compile(nl);
+
+  // Corpus: random valid measurement rounds, identical for every engine.
+  Xoshiro256 rng(42);
+  std::vector<Word> corpus;
+  corpus.reserve(n_vectors);
+  for (std::size_t v = 0; v < n_vectors; ++v) {
+    Word joined(0);
+    for (int c = 0; c < channels; ++c) {
+      joined = joined + valid_from_rank(rng.below(valid_count(bits)), bits);
+    }
+    corpus.push_back(std::move(joined));
+  }
+
+  std::vector<EngineResult> results;
+
+  results.push_back(run_engine("scalar_nodewalk", n_vectors, [&] {
+    NodeWalkEvaluator ev(nl);
+    std::vector<Trit> in;
+    Word out;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Word& w : corpus) {
+      in.assign(w.begin(), w.end());
+      ev.run_outputs(in, out);
+      h = fnv1a_word(h, out);
+    }
+    return h;
+  }));
+
+  results.push_back(run_engine("scalar_compiled", n_vectors, [&] {
+    Evaluator ev(nl);
+    std::vector<Trit> in;
+    Word out;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Word& w : corpus) {
+      in.assign(w.begin(), w.end());
+      ev.run_outputs(in, out);
+      h = fnv1a_word(h, out);
+    }
+    return h;
+  }));
+
+  results.push_back(run_engine("packed64_compiled", n_vectors, [&] {
+    CompiledExecutor<Packed64Backend> exec(prog);
+    const std::size_t width = prog.input_count();
+    const std::size_t outs = prog.output_count();
+    std::vector<PackedTrit> in(width);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    Word out(outs);
+    for (std::size_t base = 0; base < n_vectors; base += 64) {
+      const int active =
+          static_cast<int>(std::min<std::size_t>(64, n_vectors - base));
+      for (std::size_t i = 0; i < width; ++i) {
+        for (int lane = 0; lane < active; ++lane) {
+          in[i].set_lane(lane, corpus[base + static_cast<std::size_t>(lane)][i]);
+        }
+      }
+      exec.run(in);
+      for (int lane = 0; lane < active; ++lane) {
+        for (std::size_t o = 0; o < outs; ++o) {
+          out[o] = exec.output_lane(o, lane);
+        }
+        h = fnv1a_word(h, out);
+      }
+    }
+    return h;
+  }));
+
+  results.push_back(run_engine("batch_compiled", n_vectors, [&] {
+    const BatchEvaluator be(nl, BatchOptions{.threads = 1, .compile = {}});
+    const std::vector<Word> outs = be.run(corpus);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Word& w : outs) h = fnv1a_word(h, w);
+    return h;
+  }));
+
+  results.push_back(run_engine("batch_compiled_mt", n_vectors, [&] {
+    const BatchEvaluator be(nl, BatchOptions{.threads = 0, .compile = {}});
+    const std::vector<Word> outs = be.run(corpus);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Word& w : outs) h = fnv1a_word(h, w);
+    return h;
+  }));
+
+  bool agree = true;
+  for (const EngineResult& r : results) {
+    agree = agree && r.checksum == results.front().checksum;
+  }
+  const double base_vps = results.front().vectors_per_sec();
+
+  std::cout << "{\n  \"workload\": {\"network\": \"" << net.name()
+            << "\", \"channels\": " << channels << ", \"bits\": " << bits
+            << ", \"gates\": " << nl.gate_count()
+            << ", \"live_gates\": " << prog.live_gate_count()
+            << ", \"levels\": " << prog.level_count()
+            << ", \"vectors\": " << n_vectors << "},\n  \"engines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const EngineResult& r = results[i];
+    std::cout << "    {\"name\": \"" << r.name
+              << "\", \"vectors_per_sec\": " << r.vectors_per_sec()
+              << ", \"elapsed_s\": " << r.seconds << ", \"speedup_vs_"
+              << results.front().name << "\": "
+              << (base_vps > 0.0 ? r.vectors_per_sec() / base_vps : 0.0)
+              << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n  \"engines_agree\": " << (agree ? "true" : "false")
+            << "\n}\n";
+  return agree ? 0 : 1;
+}

@@ -56,5 +56,22 @@ int main() {
               << "  (refines the metastable answer: "
               << (out.matches_resolution(out_r) ? "yes" : "NO") << ")\n";
   }
+
+  // 6. Production-scale use: the McSorter facade sorts whole measurement
+  //    batches through the compiled 256-lane engine in one call.
+  McSorter sorter(10, kBits);  // 10 channels, 8 bits
+  std::vector<std::vector<std::uint64_t>> rounds;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    std::vector<std::uint64_t> round;
+    for (std::uint64_t c = 0; c < 10; ++c) {
+      round.push_back((r * 37 + c * 91) % 200);
+    }
+    rounds.push_back(round);
+  }
+  const auto sorted = sorter.sort_values_batch(rounds);
+  std::cout << "\nBatch-sorted " << sorted.size()
+            << " ten-channel rounds; round 0:";
+  for (const std::uint64_t v : sorted[0]) std::cout << " " << v;
+  std::cout << "\n";
   return 0;
 }

@@ -1,2 +1,13 @@
-// packed.hpp is header-only; this translation unit only anchors the target.
 #include "mcsn/core/packed.hpp"
+
+namespace mcsn {
+
+// packed.hpp is otherwise header-only; explicitly instantiating the shipped
+// wide width here anchors the translation unit and surfaces template compile
+// errors in the library build rather than at first use.
+template struct WidePackedTrit<4>;
+
+static_assert(PackedTrit256::kLanes == 256);
+static_assert(PackedTrit256::splat(Trit::meta).lane(255) == Trit::meta);
+
+}  // namespace mcsn

@@ -10,6 +10,7 @@
 // Kleene gate semantics become plain bitwise ops, giving 64-way parallel
 // netlist evaluation for property sweeps and throughput benchmarks.
 
+#include <array>
 #include <cstdint>
 
 #include "mcsn/core/trit.hpp"
@@ -79,6 +80,87 @@ struct PackedTrit {
                                               PackedTrit s) noexcept {
   return {(s.can0 & d0.can0) | (s.can1 & d1.can0),
           (s.can0 & d0.can1) | (s.can1 & d1.can1)};
+}
+
+// --- Multi-word wide packing ------------------------------------------------
+//
+// WidePackedTrit<W> glues W 64-lane words into one 64*W-lane value. The
+// per-word rail ops are independent, so the loops below auto-vectorize; with
+// W = 4 (256 lanes) one gate evaluation becomes two 256-bit bitwise ops per
+// rail on AVX2-class hardware.
+
+template <int W>
+struct WidePackedTrit {
+  static_assert(W >= 1, "WidePackedTrit needs at least one word");
+  static constexpr int kLanes = 64 * W;
+
+  std::array<PackedTrit, W> word{};  // default: all lanes 0
+
+  friend bool operator==(const WidePackedTrit&,
+                         const WidePackedTrit&) = default;
+
+  /// All kLanes lanes set to the same value.
+  [[nodiscard]] static constexpr WidePackedTrit splat(Trit t) noexcept {
+    WidePackedTrit r;
+    for (auto& w : r.word) w = PackedTrit::splat(t);
+    return r;
+  }
+
+  /// Reads lane i in [0, kLanes).
+  [[nodiscard]] constexpr Trit lane(int i) const noexcept {
+    return word[static_cast<std::size_t>(i / 64)].lane(i % 64);
+  }
+
+  /// Writes lane i in [0, kLanes).
+  constexpr void set_lane(int i, Trit t) noexcept {
+    word[static_cast<std::size_t>(i / 64)].set_lane(i % 64, t);
+  }
+};
+
+/// 256-lane packed value — the widest backend shipped by default.
+using PackedTrit256 = WidePackedTrit<4>;
+
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> wide_and(
+    const WidePackedTrit<W>& a, const WidePackedTrit<W>& b) noexcept {
+  WidePackedTrit<W> r;
+  for (int w = 0; w < W; ++w) r.word[w] = packed_and(a.word[w], b.word[w]);
+  return r;
+}
+
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> wide_or(
+    const WidePackedTrit<W>& a, const WidePackedTrit<W>& b) noexcept {
+  WidePackedTrit<W> r;
+  for (int w = 0; w < W; ++w) r.word[w] = packed_or(a.word[w], b.word[w]);
+  return r;
+}
+
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> wide_not(
+    const WidePackedTrit<W>& a) noexcept {
+  WidePackedTrit<W> r;
+  for (int w = 0; w < W; ++w) r.word[w] = packed_not(a.word[w]);
+  return r;
+}
+
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> wide_xor(
+    const WidePackedTrit<W>& a, const WidePackedTrit<W>& b) noexcept {
+  WidePackedTrit<W> r;
+  for (int w = 0; w < W; ++w) r.word[w] = packed_xor(a.word[w], b.word[w]);
+  return r;
+}
+
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> wide_mux(
+    const WidePackedTrit<W>& d0, const WidePackedTrit<W>& d1,
+    const WidePackedTrit<W>& s) noexcept {
+  WidePackedTrit<W> r;
+  for (int w = 0; w < W; ++w) {
+    r.word[w] = packed_mux(d0.word[w], d1.word[w], s.word[w]);
+  }
+  return r;
 }
 
 }  // namespace mcsn

@@ -30,6 +30,7 @@
 #include "mcsn/netlist/cell.hpp"
 #include "mcsn/netlist/bdd.hpp"
 #include "mcsn/netlist/check.hpp"
+#include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/dot.hpp"
 #include "mcsn/netlist/equiv.hpp"
 #include "mcsn/netlist/eval.hpp"

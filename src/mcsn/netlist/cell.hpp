@@ -134,4 +134,30 @@ inline constexpr int kCellKindCount = 15;
   return PackedTrit::splat(Trit::meta);
 }
 
+/// 64*W-lane wide evaluation; semantics identical to cell_eval per lane.
+/// The switch happens once per gate; the per-word rail loops vectorize.
+template <int W>
+[[nodiscard]] constexpr WidePackedTrit<W> cell_eval_wide(
+    CellKind k, const WidePackedTrit<W>& a, const WidePackedTrit<W>& b,
+    const WidePackedTrit<W>& c) noexcept {
+  switch (k) {
+    case CellKind::const0: return WidePackedTrit<W>::splat(Trit::zero);
+    case CellKind::const1: return WidePackedTrit<W>::splat(Trit::one);
+    case CellKind::input: return WidePackedTrit<W>::splat(Trit::meta);
+    case CellKind::inv: return wide_not(a);
+    case CellKind::and2: return wide_and(a, b);
+    case CellKind::or2: return wide_or(a, b);
+    case CellKind::nand2: return wide_not(wide_and(a, b));
+    case CellKind::nor2: return wide_not(wide_or(a, b));
+    case CellKind::xor2: return wide_xor(a, b);
+    case CellKind::xnor2: return wide_not(wide_xor(a, b));
+    case CellKind::mux2: return wide_mux(a, b, c);
+    case CellKind::aoi21: return wide_not(wide_or(wide_and(a, b), c));
+    case CellKind::oai21: return wide_not(wide_and(wide_or(a, b), c));
+    case CellKind::ao21: return wide_or(wide_and(a, b), c);
+    case CellKind::oa21: return wide_and(wide_or(a, b), c);
+  }
+  return WidePackedTrit<W>::splat(Trit::meta);
+}
+
 }  // namespace mcsn

@@ -1,0 +1,192 @@
+#include "mcsn/netlist/compile.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace mcsn {
+
+CompiledProgram CompiledProgram::compile(const Netlist& nl,
+                                         const CompileOptions& opt) {
+  const std::vector<GateNode>& nodes = nl.nodes();
+  const std::size_t n = nodes.size();
+  CompiledProgram p;
+  p.slot_of_node_.assign(n, kNoSlot);
+
+  // 1. Liveness: reverse reachability from the outputs (unless disabled).
+  std::vector<char> live(n, 0);
+  if (opt.retain_all_nodes || !opt.eliminate_dead) {
+    std::fill(live.begin(), live.end(), 1);
+  } else {
+    std::vector<NodeId> stack;
+    stack.reserve(nl.outputs().size());
+    for (const OutputPort& out : nl.outputs()) {
+      if (!live[out.node]) {
+        live[out.node] = 1;
+        stack.push_back(out.node);
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      const GateNode& g = nodes[id];
+      const int arity = cell_arity(g.kind);
+      for (int j = 0; j < arity; ++j) {
+        if (!live[g.in[j]]) {
+          live[g.in[j]] = 1;
+          stack.push_back(g.in[j]);
+        }
+      }
+    }
+  }
+
+  // 2. Logic levels. Nodes are stored in topological order, so one forward
+  // pass suffices: inputs and constants sit at level 0, a gate one past its
+  // deepest live fanin.
+  std::vector<std::uint32_t> level(n, 0);
+  std::uint32_t max_level = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!live[id]) continue;
+    const GateNode& g = nodes[id];
+    const int arity = cell_arity(g.kind);
+    if (arity == 0) continue;
+    std::uint32_t lv = 0;
+    for (int j = 0; j < arity; ++j) lv = std::max(lv, level[g.in[j]]);
+    level[id] = lv + 1;
+    max_level = std::max(max_level, level[id]);
+  }
+
+  // 3. Slot assignment. retain_all_nodes keeps the identity mapping; the
+  // dense mode numbers live inputs first (in creation order), then live
+  // constants, then gates in (level, creation) order — exactly the order
+  // the executor writes them, which keeps the working set contiguous.
+  std::vector<NodeId> gate_order;
+  gate_order.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (live[id] && is_gate(nodes[id].kind)) gate_order.push_back(id);
+  }
+  if (opt.levelize) {
+    std::stable_sort(
+        gate_order.begin(), gate_order.end(),
+        [&level](NodeId a, NodeId b) { return level[a] < level[b]; });
+  }
+
+  if (opt.retain_all_nodes) {
+    for (NodeId id = 0; id < n; ++id) p.slot_of_node_[id] = id;
+    p.slot_count_ = n;
+  } else {
+    std::uint32_t next = 0;
+    for (const NodeId id : nl.inputs()) {
+      if (live[id]) p.slot_of_node_[id] = next++;
+    }
+    for (NodeId id = 0; id < n; ++id) {
+      const CellKind k = nodes[id].kind;
+      if (live[id] && (k == CellKind::const0 || k == CellKind::const1)) {
+        p.slot_of_node_[id] = next++;
+      }
+    }
+    for (const NodeId id : gate_order) p.slot_of_node_[id] = next++;
+    p.slot_count_ = next;
+  }
+
+  // 4. Constant initializers.
+  for (NodeId id = 0; id < n; ++id) {
+    if (!live[id]) continue;
+    const CellKind k = nodes[id].kind;
+    if (k == CellKind::const0 || k == CellKind::const1) {
+      p.const_inits_.push_back(
+          {p.slot_of_node_[id],
+           k == CellKind::const1 ? Trit::one : Trit::zero});
+    }
+  }
+
+  // 5. Instruction stream. Unused fanin pins point at slot 0; the cell
+  // evaluators ignore operands beyond the cell's arity. Per-level offsets
+  // only exist for levelized schedules (creation order interleaves levels).
+  p.ops_.reserve(gate_order.size());
+  if (opt.levelize) p.level_offsets_.assign(max_level + 1, 0);
+  for (const NodeId id : gate_order) {
+    const GateNode& g = nodes[id];
+    const int arity = cell_arity(g.kind);
+    CompiledOp op;
+    op.kind = g.kind;
+    op.out = p.slot_of_node_[id];
+    for (int j = 0; j < 3; ++j) {
+      op.in[static_cast<std::size_t>(j)] =
+          j < arity ? p.slot_of_node_[g.in[j]] : 0;
+    }
+    // Gate levels are 1-based; bucket l holds ops of level l+1.
+    if (opt.levelize) ++p.level_offsets_[level[id] - 1 + 1];
+    p.ops_.push_back(op);
+  }
+  for (std::size_t l = 1; l < p.level_offsets_.size(); ++l) {
+    p.level_offsets_[l] += p.level_offsets_[l - 1];
+  }
+
+  // 6. Outputs (always live by construction).
+  p.output_slots_.reserve(nl.outputs().size());
+  for (const OutputPort& out : nl.outputs()) {
+    p.output_slots_.push_back(p.slot_of_node_[out.node]);
+  }
+  p.input_slots_.reserve(nl.inputs().size());
+  for (const NodeId id : nl.inputs()) {
+    p.input_slots_.push_back(p.slot_of_node_[id]);
+  }
+  return p;
+}
+
+BatchEvaluator::BatchEvaluator(const Netlist& nl, const BatchOptions& opt)
+    : prog_(CompiledProgram::compile(nl, opt.compile)), opt_(opt) {}
+
+std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
+  using Backend = Packed256Backend;
+  constexpr std::size_t kLanes = Backend::kLanes;
+
+  const std::size_t n = inputs.size();
+  const std::size_t width = prog_.input_count();
+  const std::size_t outs = prog_.output_count();
+  std::vector<Word> results(n);
+  if (n == 0) return results;
+  const std::size_t groups = (n + kLanes - 1) / kLanes;
+
+  auto worker = [&](std::size_t first_group, std::size_t stride) {
+    CompiledExecutor<Backend> exec(prog_);
+    std::vector<Backend::Value> packed(width);
+    for (std::size_t g = first_group; g < groups; g += stride) {
+      const std::size_t base = g * kLanes;
+      const int active = static_cast<int>(std::min(kLanes, n - base));
+      for (std::size_t i = 0; i < width; ++i) {
+        Backend::Value& v = packed[i];
+        for (int lane = 0; lane < active; ++lane) {
+          assert(inputs[base + static_cast<std::size_t>(lane)].size() == width);
+          v.set_lane(lane, inputs[base + static_cast<std::size_t>(lane)][i]);
+        }
+      }
+      exec.run(packed);
+      for (int lane = 0; lane < active; ++lane) {
+        Word w(outs);
+        for (std::size_t o = 0; o < outs; ++o) {
+          w[o] = exec.output_lane(o, lane);
+        }
+        results[base + static_cast<std::size_t>(lane)] = std::move(w);
+      }
+    }
+  };
+
+  std::size_t threads =
+      opt_.threads > 0 ? static_cast<std::size_t>(opt_.threads)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, groups);
+  if (threads <= 1) {
+    worker(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t, threads);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace mcsn

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <cmath>
 
-#include "mcsn/netlist/eval.hpp"
+#include "mcsn/netlist/compile.hpp"
 #include "mcsn/util/rng.hpp"
 
 namespace mcsn {
@@ -46,10 +46,15 @@ std::optional<EquivMismatch> check_equivalence(const Netlist& a,
   }
   const bool exhaustive = !overflow && total <= opt.exhaustive_bound;
 
-  PackedEvaluator eva(a);
-  PackedEvaluator evb(b);
-  std::vector<PackedTrit> inputs(width);
-  std::vector<Word> lane_words(64, Word(width));
+  // Both netlists compile to dense, dead-node-eliminated programs executed
+  // 256 vectors per pass by the wide compiled engine.
+  const CompiledProgram pa = CompiledProgram::compile(a);
+  const CompiledProgram pb = CompiledProgram::compile(b);
+  CompiledExecutor<Packed256Backend> eva(pa);
+  CompiledExecutor<Packed256Backend> evb(pb);
+  constexpr int kLanes = Packed256Backend::kLanes;
+  std::vector<PackedTrit256> inputs(width);
+  std::vector<Word> lane_words(kLanes, Word(width));
 
   Xoshiro256 rng(opt.seed);
   const std::uint64_t n_vectors = exhaustive ? total : opt.random_samples;
@@ -57,7 +62,7 @@ std::optional<EquivMismatch> check_equivalence(const Netlist& a,
   std::uint64_t done = 0;
   while (done < n_vectors) {
     const int lanes = static_cast<int>(
-        std::min<std::uint64_t>(64, n_vectors - done));
+        std::min<std::uint64_t>(kLanes, n_vectors - done));
     for (int lane = 0; lane < lanes; ++lane) {
       Word w(width);
       if (exhaustive) {

@@ -27,7 +27,15 @@ void eval_pass(const Netlist& nl, std::span<const V> inputs,
 }
 
 Trit splat_trit(Trit t) { return t; }
-PackedTrit splat_packed(Trit t) { return PackedTrit::splat(t); }
+
+constexpr CompileOptions retain_all() {
+  CompileOptions opt;
+  opt.retain_all_nodes = true;
+  // Creation order matches the NodeId-indexed slot layout, keeping operand
+  // locality for the narrow scalar/64-lane replay these wrappers serve.
+  opt.levelize = false;
+  return opt;
+}
 
 }  // namespace
 
@@ -52,16 +60,16 @@ Word evaluate(const Netlist& nl, const Word& inputs) {
   return evaluate(nl, in);
 }
 
-Evaluator::Evaluator(const Netlist& nl) : nl_(&nl) {
+NodeWalkEvaluator::NodeWalkEvaluator(const Netlist& nl) : nl_(&nl) {
   values_.reserve(nl.node_count());
 }
 
-std::span<const Trit> Evaluator::run(std::span<const Trit> inputs) {
+std::span<const Trit> NodeWalkEvaluator::run(std::span<const Trit> inputs) {
   eval_pass<Trit, &cell_eval, &splat_trit>(*nl_, inputs, values_);
   return values_;
 }
 
-void Evaluator::run_outputs(std::span<const Trit> inputs, Word& out) {
+void NodeWalkEvaluator::run_outputs(std::span<const Trit> inputs, Word& out) {
   run(inputs);
   const auto& outs = nl_->outputs();
   if (out.size() != outs.size()) out = Word(outs.size());
@@ -70,19 +78,38 @@ void Evaluator::run_outputs(std::span<const Trit> inputs, Word& out) {
   }
 }
 
-PackedEvaluator::PackedEvaluator(const Netlist& nl) : nl_(&nl) {
-  values_.reserve(nl.node_count());
+Evaluator::Evaluator(const Netlist& nl)
+    : nl_(&nl),
+      prog_(std::make_shared<const CompiledProgram>(
+          CompiledProgram::compile(nl, retain_all()))),
+      exec_(*prog_) {}
+
+std::span<const Trit> Evaluator::run(std::span<const Trit> inputs) {
+  return exec_.run(inputs);
 }
+
+void Evaluator::run_outputs(std::span<const Trit> inputs, Word& out) {
+  const std::span<const Trit> values = exec_.run(inputs);
+  const auto& outs = nl_->outputs();
+  if (out.size() != outs.size()) out = Word(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    out[i] = values[outs[i].node];
+  }
+}
+
+PackedEvaluator::PackedEvaluator(const Netlist& nl)
+    : nl_(&nl),
+      prog_(std::make_shared<const CompiledProgram>(
+          CompiledProgram::compile(nl, retain_all()))),
+      exec_(*prog_) {}
 
 std::span<const PackedTrit> PackedEvaluator::run(
     std::span<const PackedTrit> inputs) {
-  eval_pass<PackedTrit, &cell_eval_packed, &splat_packed>(*nl_, inputs,
-                                                          values_);
-  return values_;
+  return exec_.run(inputs);
 }
 
 Trit PackedEvaluator::output_lane(std::size_t o, int lane) const {
-  return values_[nl_->outputs()[o].node].lane(lane);
+  return exec_.values()[nl_->outputs()[o].node].lane(lane);
 }
 
 }  // namespace mcsn

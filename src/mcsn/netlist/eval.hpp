@@ -1,12 +1,20 @@
 #pragma once
 // Netlist evaluation under the ternary (metastable closure) semantics of the
-// paper's computational model, plus a 64-lane packed variant.
+// paper's computational model.
+//
+// Evaluator and PackedEvaluator are thin instantiations of the compiled,
+// levelized engine in compile.hpp (one templated executor, different lane
+// backends); their node-value API is unchanged from the original
+// pointer-chasing implementation, which survives as NodeWalkEvaluator — the
+// differential-testing baseline and benchmark comparator.
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "mcsn/core/packed.hpp"
 #include "mcsn/core/word.hpp"
+#include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/netlist.hpp"
 
 namespace mcsn {
@@ -22,13 +30,15 @@ namespace mcsn {
 /// Convenience: input vector given as a Word.
 [[nodiscard]] Word evaluate(const Netlist& nl, const Word& inputs);
 
-/// Reusable evaluator that amortizes allocation across calls — preferred in
-/// exhaustive test sweeps and benchmarks.
-class Evaluator {
+/// The legacy node-walking evaluator: dispatches on CellKind per node on
+/// every call, no dead-node elimination. Kept as the reference
+/// implementation the compiled engine is differentially tested (and
+/// benchmarked) against.
+class NodeWalkEvaluator {
  public:
-  explicit Evaluator(const Netlist& nl);
+  explicit NodeWalkEvaluator(const Netlist& nl);
 
-  /// Returns node values; valid until the next run().
+  /// Returns node values (indexable by NodeId); valid until the next run().
   std::span<const Trit> run(std::span<const Trit> inputs);
 
   /// Runs and copies outputs into `out` (resized as needed).
@@ -39,8 +49,31 @@ class Evaluator {
   std::vector<Trit> values_;
 };
 
+/// Reusable evaluator that amortizes compilation and allocation across
+/// calls — preferred in exhaustive test sweeps and benchmarks. Backed by the
+/// compiled engine (scalar backend, all nodes retained so run() stays
+/// NodeId-indexable).
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& nl);
+
+  /// Returns node values (indexable by NodeId); valid until the next run().
+  std::span<const Trit> run(std::span<const Trit> inputs);
+
+  /// Runs and copies outputs into `out` (resized as needed).
+  void run_outputs(std::span<const Trit> inputs, Word& out);
+
+ private:
+  const Netlist* nl_;
+  // shared_ptr keeps the program address stable across moves (the executor
+  // holds a pointer into it); vector<Evaluator> must stay movable.
+  std::shared_ptr<const CompiledProgram> prog_;
+  CompiledExecutor<ScalarBackend> exec_;
+};
+
 /// 64-lane packed evaluator: lane k of every input PackedTrit forms one
-/// independent input vector; outputs come back lane-aligned.
+/// independent input vector; outputs come back lane-aligned. Backed by the
+/// compiled engine (64-lane backend).
 class PackedEvaluator {
  public:
   explicit PackedEvaluator(const Netlist& nl);
@@ -48,7 +81,7 @@ class PackedEvaluator {
   std::span<const PackedTrit> run(std::span<const PackedTrit> inputs);
 
   [[nodiscard]] std::span<const PackedTrit> last_values() const {
-    return values_;
+    return exec_.values();
   }
 
   /// Extracts output `o`, lane `lane` from the last run.
@@ -56,7 +89,8 @@ class PackedEvaluator {
 
  private:
   const Netlist* nl_;
-  std::vector<PackedTrit> values_;
+  std::shared_ptr<const CompiledProgram> prog_;
+  CompiledExecutor<Packed64Backend> exec_;
 };
 
 }  // namespace mcsn

@@ -34,7 +34,8 @@ McSorter::McSorter(int channels, std::size_t bits, const McSorterOptions& opt)
       bits_(bits),
       network_(pick_network(channels, opt.prefer_depth)),
       netlist_(elaborate_network(network_, bits, sort2_builder(opt.sort2))),
-      evaluator_(netlist_) {}
+      batch_(netlist_, opt.batch),
+      exec_(batch_.program()) {}
 
 CircuitStats McSorter::stats() const { return compute_stats(netlist_); }
 
@@ -46,11 +47,14 @@ std::vector<Word> McSorter::sort(const std::vector<Word>& values) {
     assert(w.size() == bits_);
     in.insert(in.end(), w.begin(), w.end());
   }
-  Word out;
-  evaluator_.run_outputs(in, out);
+  exec_.run(in);
   std::vector<Word> sorted(static_cast<std::size_t>(channels_));
   for (std::size_t c = 0; c < sorted.size(); ++c) {
-    sorted[c] = out.sub(c * bits_, (c + 1) * bits_ - 1);
+    Word w(bits_);
+    for (std::size_t b = 0; b < bits_; ++b) {
+      w[b] = exec_.output_lane(c * bits_ + b, 0);
+    }
+    sorted[c] = std::move(w);
   }
   return sorted;
 }
@@ -66,6 +70,49 @@ std::vector<std::uint64_t> McSorter::sort_values(
   std::vector<std::uint64_t> out;
   out.reserve(sorted.size());
   for (const Word& w : sorted) out.push_back(gray_decode(w));
+  return out;
+}
+
+std::vector<std::vector<Word>> McSorter::sort_batch(
+    const std::vector<std::vector<Word>>& rounds) {
+  std::vector<Word> flat;
+  flat.reserve(rounds.size());
+  for (const std::vector<Word>& round : rounds) {
+    assert(static_cast<int>(round.size()) == channels_);
+    Word joined(static_cast<std::size_t>(channels_) * bits_);
+    std::size_t k = 0;
+    for (const Word& w : round) {
+      assert(w.size() == bits_);
+      for (const Trit t : w) joined[k++] = t;
+    }
+    flat.push_back(std::move(joined));
+  }
+  const std::vector<Word> outs = batch_.run(flat);
+  std::vector<std::vector<Word>> sorted(rounds.size());
+  for (std::size_t r = 0; r < outs.size(); ++r) {
+    sorted[r].reserve(static_cast<std::size_t>(channels_));
+    for (std::size_t c = 0; c < static_cast<std::size_t>(channels_); ++c) {
+      sorted[r].push_back(outs[r].sub(c * bits_, (c + 1) * bits_ - 1));
+    }
+  }
+  return sorted;
+}
+
+std::vector<std::vector<std::uint64_t>> McSorter::sort_values_batch(
+    const std::vector<std::vector<std::uint64_t>>& rounds) {
+  std::vector<std::vector<Word>> words(rounds.size());
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    words[r].reserve(rounds[r].size());
+    for (const std::uint64_t v : rounds[r]) {
+      words[r].push_back(gray_encode(v, bits_));
+    }
+  }
+  const std::vector<std::vector<Word>> sorted = sort_batch(words);
+  std::vector<std::vector<std::uint64_t>> out(sorted.size());
+  for (std::size_t r = 0; r < sorted.size(); ++r) {
+    out[r].reserve(sorted[r].size());
+    for (const Word& w : sorted[r]) out[r].push_back(gray_decode(w));
+  }
   return out;
 }
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "mcsn/nets/elaborate.hpp"
-#include "mcsn/netlist/eval.hpp"
+#include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/stats.hpp"
 
 namespace mcsn {
@@ -23,13 +23,16 @@ struct McSorterOptions {
   /// odd-even merge network is used.
   bool prefer_depth = true;
   Sort2Options sort2;
+  /// Batch engine knobs (thread sharding) used by sort_batch.
+  BatchOptions batch;
 };
 
 class McSorter {
  public:
   McSorter(int channels, std::size_t bits, const McSorterOptions& opt = {});
 
-  // The evaluator holds a pointer into the owned netlist; non-copyable.
+  // The executor holds a pointer into the owned compiled program;
+  // non-copyable (and, since copy is deleted, non-movable).
   McSorter(const McSorter&) = delete;
   McSorter& operator=(const McSorter&) = delete;
 
@@ -52,12 +55,28 @@ class McSorter {
   [[nodiscard]] std::vector<std::uint64_t> sort_values(
       const std::vector<std::uint64_t>& values);
 
+  /// Sorts many measurement rounds in one pass through the compiled batch
+  /// engine (256-lane packing, optional thread sharding). Each round is a
+  /// vector of channels() B-bit words; results come back round-aligned.
+  /// Far faster than calling sort() per round for large sweeps.
+  [[nodiscard]] std::vector<std::vector<Word>> sort_batch(
+      const std::vector<std::vector<Word>>& rounds);
+
+  /// Batch variant of sort_values: each round is a vector of channels()
+  /// integers, Gray-encoded/decoded transparently.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> sort_values_batch(
+      const std::vector<std::vector<std::uint64_t>>& rounds);
+
  private:
   int channels_;
   std::size_t bits_;
   ComparatorNetwork network_;
   Netlist netlist_;
-  Evaluator evaluator_;
+  // One dense, dead-node-eliminated program serves both the per-round
+  // scalar path (exec_) and sort_batch (batch_ shares the same program
+  // object; order matters — exec_ points into batch_'s program).
+  BatchEvaluator batch_;
+  CompiledExecutor<ScalarBackend> exec_;
 };
 
 }  // namespace mcsn

@@ -1,0 +1,276 @@
+// Differential tests for the compiled, levelized batch engine: every backend
+// width (scalar, 64-lane, 256-lane, BatchEvaluator) must be bit-identical to
+// the legacy node-walking evaluator on all catalog networks and widths,
+// including partial final lane groups and thread-sharded batches.
+
+#include "mcsn/netlist/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mcsn/core/valid.hpp"
+#include "mcsn/netlist/eval.hpp"
+#include "mcsn/nets/catalog.hpp"
+#include "mcsn/nets/elaborate.hpp"
+#include "mcsn/sorter.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+// Random ternary input vector (arbitrary trits, not just valid strings, to
+// stress every gate path).
+Word random_ternary(Xoshiro256& rng, std::size_t width) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    w[i] = trit_from_index(static_cast<int>(rng.below(3)));
+  }
+  return w;
+}
+
+std::vector<Netlist> catalog_netlists(std::size_t bits) {
+  std::vector<Netlist> nls;
+  for (const ComparatorNetwork& net :
+       {optimal_4(), optimal_7(), optimal_9(), size_optimal_10(),
+        depth_optimal_10(), batcher_odd_even(6)}) {
+    nls.push_back(elaborate_network(net, bits, sort2_builder(),
+                                    net.name() + "_B" + std::to_string(bits)));
+  }
+  return nls;
+}
+
+// The heart of the differential suite: legacy node-walk vs compiled scalar,
+// 64-lane, and 256-lane backends on the same corpus, every output lane.
+TEST(Compile, AllBackendsMatchLegacyOnCatalogNetworks) {
+  constexpr int kVectors = 300;  // > 256: exercises a partial wide group
+  for (const std::size_t bits : {1u, 3u, 8u}) {
+    for (const Netlist& nl : catalog_netlists(bits)) {
+      const std::size_t width = nl.inputs().size();
+      const std::size_t outs = nl.outputs().size();
+      Xoshiro256 rng(bits * 1000 + nl.node_count());
+      std::vector<Word> corpus;
+      corpus.reserve(kVectors);
+      for (int v = 0; v < kVectors; ++v) {
+        corpus.push_back(random_ternary(rng, width));
+      }
+
+      // Legacy reference.
+      NodeWalkEvaluator legacy(nl);
+      std::vector<Word> want;
+      want.reserve(kVectors);
+      std::vector<Trit> in;
+      Word out;
+      for (const Word& w : corpus) {
+        in.assign(w.begin(), w.end());
+        legacy.run_outputs(in, out);
+        want.push_back(out);
+      }
+
+      // Compiled scalar.
+      const CompiledProgram prog = CompiledProgram::compile(nl);
+      CompiledExecutor<ScalarBackend> scalar(prog);
+      std::vector<Trit> sin(width);
+      for (int v = 0; v < kVectors; ++v) {
+        for (std::size_t i = 0; i < width; ++i) sin[i] = corpus[v][i];
+        scalar.run(sin);
+        for (std::size_t o = 0; o < outs; ++o) {
+          ASSERT_EQ(scalar.output_lane(o, 0), want[v][o])
+              << nl.name() << " scalar v=" << v << " o=" << o;
+        }
+      }
+
+      // Compiled 64-lane and 256-lane, with partial final groups.
+      auto check_packed = [&](auto backend_tag, const char* label) {
+        using Backend = decltype(backend_tag);
+        CompiledExecutor<Backend> exec(prog);
+        std::vector<typename Backend::Value> pin(width);
+        for (int base = 0; base < kVectors; base += Backend::kLanes) {
+          const int active = std::min(Backend::kLanes, kVectors - base);
+          for (std::size_t i = 0; i < width; ++i) {
+            for (int lane = 0; lane < active; ++lane) {
+              Backend::set_lane(pin[i], lane, corpus[base + lane][i]);
+            }
+          }
+          exec.run(pin);
+          for (int lane = 0; lane < active; ++lane) {
+            for (std::size_t o = 0; o < outs; ++o) {
+              ASSERT_EQ(exec.output_lane(o, lane), want[base + lane][o])
+                  << nl.name() << " " << label << " v=" << base + lane
+                  << " o=" << o;
+            }
+          }
+        }
+      };
+      check_packed(Packed64Backend{}, "packed64");
+      check_packed(Packed256Backend{}, "packed256");
+
+      // BatchEvaluator over the whole corpus at once.
+      const BatchEvaluator batch(nl, BatchOptions{.threads = 1, .compile = {}});
+      const std::vector<Word> got = batch.run(corpus);
+      ASSERT_EQ(got.size(), want.size());
+      for (int v = 0; v < kVectors; ++v) {
+        ASSERT_EQ(got[v], want[v]) << nl.name() << " batch v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Compile, DeadNodeEliminationDropsUnobservableGates) {
+  Netlist nl("dead_gates");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId live = nl.and2(a, b);
+  // A whole dead cone, including a dead gate over the live one.
+  const NodeId d1 = nl.xor2(a, b);
+  const NodeId d2 = nl.or2(d1, live);
+  nl.inv(d2);
+  nl.mark_output(live, "o");
+
+  const CompiledProgram dense = CompiledProgram::compile(nl);
+  EXPECT_EQ(dense.live_gate_count(), 1u);
+  EXPECT_EQ(nl.gate_count(), 4u);
+
+  const CompiledProgram full =
+      CompiledProgram::compile(nl, {.eliminate_dead = false});
+  EXPECT_EQ(full.live_gate_count(), 4u);
+
+  // Outputs agree with legacy on the full ternary input space.
+  CompiledExecutor<ScalarBackend> exec(dense);
+  for (const Trit ta : kAllTrits) {
+    for (const Trit tb : kAllTrits) {
+      const Trit want = evaluate(nl, Word{ta, tb})[0];
+      const Trit in[2] = {ta, tb};
+      exec.run(std::span<const Trit>(in, 2));
+      EXPECT_EQ(exec.output_lane(0, 0), want);
+    }
+  }
+}
+
+TEST(Compile, DeadInputsGetNoSlotButStayAddressable) {
+  Netlist nl("dead_input");
+  const NodeId a = nl.add_input("a");
+  nl.add_input("unused");
+  const NodeId c = nl.constant(true);
+  nl.mark_output(nl.and2(a, c), "o");
+
+  const CompiledProgram prog = CompiledProgram::compile(nl);
+  ASSERT_EQ(prog.input_count(), 2u);
+  EXPECT_NE(prog.input_slots()[0], CompiledProgram::kNoSlot);
+  EXPECT_EQ(prog.input_slots()[1], CompiledProgram::kNoSlot);
+  ASSERT_EQ(prog.const_inits().size(), 1u);
+  EXPECT_EQ(prog.const_inits()[0].value, Trit::one);
+
+  // The executor still takes both inputs and ignores the dead one.
+  CompiledExecutor<ScalarBackend> exec(prog);
+  const Trit in[2] = {Trit::meta, Trit::one};
+  exec.run(std::span<const Trit>(in, 2));
+  EXPECT_EQ(exec.output_lane(0, 0), Trit::meta);
+}
+
+TEST(Compile, LevelizedScheduleIsTopologicalAndSliced) {
+  const Netlist nl =
+      elaborate_network(optimal_7(), 4, sort2_builder(), "sched_check");
+  const CompiledProgram prog = CompiledProgram::compile(nl);
+
+  ASSERT_GT(prog.level_count(), 0u);
+  std::vector<char> written(prog.slot_count(), 0);
+  for (const std::uint32_t s : prog.input_slots()) {
+    if (s != CompiledProgram::kNoSlot) written[s] = 1;
+  }
+  for (const CompiledProgram::ConstInit& c : prog.const_inits()) {
+    written[c.slot] = 1;
+  }
+  std::size_t seen = 0;
+  for (std::size_t l = 0; l < prog.level_count(); ++l) {
+    const std::span<const CompiledOp> level = prog.level_ops(l);
+    // Ops inside one level must be independent: no op reads a slot written
+    // by this level, so check reads against the pre-level state first.
+    for (const CompiledOp& op : level) {
+      const int arity = cell_arity(op.kind);
+      for (int j = 0; j < arity; ++j) {
+        EXPECT_TRUE(written[op.in[static_cast<std::size_t>(j)]])
+            << "level " << l << " reads a slot not yet written";
+      }
+    }
+    for (const CompiledOp& op : level) {
+      EXPECT_FALSE(written[op.out]) << "slot written twice";
+      written[op.out] = 1;
+    }
+    seen += level.size();
+  }
+  EXPECT_EQ(seen, prog.ops().size()) << "level slices must partition the ops";
+}
+
+TEST(Compile, RetainAllNodesKeepsNodeIdIndexing) {
+  const Netlist nl =
+      elaborate_network(optimal_4(), 3, sort2_builder(), "retain_check");
+  Evaluator ev(nl);
+  Xoshiro256 rng(7);
+  std::vector<Trit> in;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Word w = random_ternary(rng, nl.inputs().size());
+    in.assign(w.begin(), w.end());
+    const std::span<const Trit> got = ev.run(in);
+    const std::vector<Trit> want = evaluate_nodes(nl, in);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t id = 0; id < want.size(); ++id) {
+      ASSERT_EQ(got[id], want[id]) << "node " << id;
+    }
+  }
+}
+
+// sort_batch must agree with per-round sort() for every batch size around
+// the 64- and 256-lane group boundaries (partial final groups included).
+TEST(Compile, SortBatchMatchesPerRoundSortAcrossLaneBoundaries) {
+  const std::size_t bits = 5;
+  const int channels = 7;
+  McSorter sorter(channels, bits);
+  Xoshiro256 rng(99);
+
+  for (const std::size_t rounds : {1u, 63u, 64u, 65u, 256u, 300u}) {
+    std::vector<std::vector<Word>> batch(rounds);
+    for (auto& round : batch) {
+      round.reserve(static_cast<std::size_t>(channels));
+      for (int c = 0; c < channels; ++c) {
+        round.push_back(valid_from_rank(rng.below(valid_count(bits)), bits));
+      }
+    }
+    const std::vector<std::vector<Word>> got = sorter.sort_batch(batch);
+    ASSERT_EQ(got.size(), rounds);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      ASSERT_EQ(got[r], sorter.sort(batch[r])) << rounds << " rounds, r=" << r;
+    }
+  }
+}
+
+TEST(Compile, ThreadShardedBatchMatchesSerial) {
+  const Netlist nl =
+      elaborate_network(optimal_9(), 4, sort2_builder(), "shard_check");
+  Xoshiro256 rng(1234);
+  std::vector<Word> corpus;
+  for (int v = 0; v < 600; ++v) {
+    corpus.push_back(random_ternary(rng, nl.inputs().size()));
+  }
+  const BatchEvaluator serial(nl, BatchOptions{.threads = 1, .compile = {}});
+  const BatchEvaluator sharded(nl, BatchOptions{.threads = 3, .compile = {}});
+  EXPECT_EQ(serial.run(corpus), sharded.run(corpus));
+}
+
+TEST(Compile, SortValuesBatchRoundTrips) {
+  McSorter sorter(4, 6);
+  const std::vector<std::vector<std::uint64_t>> rounds = {
+      {9, 3, 60, 17}, {0, 63, 1, 62}, {5, 5, 5, 5}};
+  const auto got = sorter.sort_values_batch(rounds);
+  ASSERT_EQ(got.size(), rounds.size());
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(got[r], sorter.sort_values(rounds[r]));
+    for (std::size_t c = 1; c < got[r].size(); ++c) {
+      EXPECT_LE(got[r][c - 1], got[r][c]);  // ascending, like sort_values
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -91,6 +91,30 @@ TEST(Eval, EvaluatorReuseMatchesOneShot) {
   }
 }
 
+// The compiled Evaluator and the legacy node-walker are interchangeable:
+// identical node values and outputs on the full ternary input space.
+TEST(Eval, CompiledEvaluatorMatchesNodeWalk) {
+  const Netlist nl = mux_circuit();
+  Evaluator compiled(nl);
+  NodeWalkEvaluator legacy(nl);
+  Word a, b;
+  for (const Trit x : kAllTrits) {
+    for (const Trit y : kAllTrits) {
+      for (const Trit s : kAllTrits) {
+        const Trit in[3] = {x, y, s};
+        const std::span<const Trit> span(in, 3);
+        compiled.run_outputs(span, a);
+        legacy.run_outputs(span, b);
+        ASSERT_EQ(a, b);
+        const std::span<const Trit> cv = compiled.run(span);
+        const std::span<const Trit> lv = legacy.run(span);
+        ASSERT_EQ(std::vector<Trit>(cv.begin(), cv.end()),
+                  std::vector<Trit>(lv.begin(), lv.end()));
+      }
+    }
+  }
+}
+
 // Packed evaluation lane-for-lane equals scalar evaluation.
 TEST(Eval, PackedMatchesScalar) {
   const Netlist nl = mux_circuit();
