@@ -1,0 +1,246 @@
+// E16 — streaming sort service under load: capacity and latency of the
+// micro-batching pipeline (serve/) versus naive per-request McSorter::sort
+// at equal thread count, plus an open-loop Poisson sweep across arrival
+// rates and flush windows. Emits machine-readable JSON:
+//
+//   bench_serve_latency [--channels C] [--bits B] [--workers W]
+//                       [--requests N] [--rates r1,r2,...]   (req/s)
+//                       [--windows-us w1,w2,...] [--seed S]
+//
+// The capacity phase is closed-loop (submit as fast as backpressure allows)
+// and doubles as a differential check: serve-path and naive-path outputs
+// are both hashed against direct sort_batch outputs and the process fails
+// on mismatch. The sweep
+// phase is open-loop: arrivals are scheduled by an exponential clock
+// independent of completions, so queueing delay shows up in p99 instead of
+// being absorbed by a slow producer.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsn/serve/service.hpp"
+#include "mcsn/sorter.hpp"
+#include "mcsn/util/cli.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace {
+
+using namespace mcsn;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a_round(std::uint64_t h, const std::vector<Word>& round) {
+  for (const Word& w : round) {
+    for (const Trit t : w) {
+      h ^= static_cast<std::uint64_t>(t) + 1;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+/// Order-independent digest of a result set: XOR of standalone per-round
+/// hashes. Lets the thread-striped naive baseline be checked against the
+/// reference without caring how rounds were divided across threads.
+std::uint64_t round_digest(const std::vector<Word>& round) {
+  return fnv1a_round(0xcbf29ce484222325ULL, round);
+}
+
+std::vector<std::vector<Word>> make_rounds(std::size_t n, int channels,
+                                           std::size_t bits,
+                                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<Word>> rounds;
+  rounds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rounds.push_back(random_valid_round(rng, channels, bits));
+  }
+  return rounds;
+}
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(item, &pos);
+      if (pos != item.size() || v <= 0.0) return {};  // empty => usage
+      out.push_back(v);
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
+/// Naive baseline: `threads` threads, each with its own McSorter, calling
+/// sort() per round — every request pays a full scalar netlist evaluation.
+/// `digest` is the XOR of per-round result hashes (order-independent).
+double naive_vps(int threads, int channels, std::size_t bits,
+                 const std::vector<std::vector<Word>>& rounds,
+                 std::uint64_t& digest) {
+  std::vector<std::uint64_t> digests(static_cast<std::size_t>(threads), 0);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      McSorter sorter(channels, bits);
+      for (std::size_t i = static_cast<std::size_t>(t); i < rounds.size();
+           i += static_cast<std::size_t>(threads)) {
+        digests[static_cast<std::size_t>(t)] ^=
+            round_digest(sorter.sort(rounds[i]));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  digest = 0;
+  for (const std::uint64_t h : digests) digest ^= h;
+  return static_cast<double>(rounds.size()) / secs;
+}
+
+/// Serve capacity: closed-loop submission into the micro-batching service
+/// with `workers` executor threads.
+double serve_vps(int workers, std::chrono::microseconds window,
+                 const std::vector<std::vector<Word>>& rounds,
+                 std::uint64_t& checksum, MetricsSnapshot& metrics) {
+  ServeOptions opt;
+  opt.workers = workers;
+  opt.flush_window = window;
+  SortService service(opt);
+  std::vector<std::future<std::vector<Word>>> futures;
+  futures.reserve(rounds.size());
+  const auto t0 = Clock::now();
+  for (const std::vector<Word>& r : rounds) {
+    futures.push_back(service.submit(r));
+  }
+  checksum = 0xcbf29ce484222325ULL;
+  for (auto& f : futures) checksum = fnv1a_round(checksum, f.get());
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  metrics = service.metrics();
+  return static_cast<double>(rounds.size()) / secs;
+}
+
+struct SweepResult {
+  double rate = 0.0;
+  long window_us = 0;
+  double throughput = 0.0;
+  double elapsed_s = 0.0;
+  MetricsSnapshot metrics;
+};
+
+/// Open-loop point: exponential inter-arrivals at `rate` req/s; the
+/// producer never waits for completions (it only yields to backpressure).
+SweepResult open_loop_point(int workers, double rate, long window_us,
+                            const std::vector<std::vector<Word>>& rounds,
+                            std::uint64_t seed) {
+  ServeOptions opt;
+  opt.workers = workers;
+  opt.flush_window = std::chrono::microseconds(window_us);
+  SortService service(opt);
+  Xoshiro256 rng(seed);
+
+  std::vector<std::future<std::vector<Word>>> futures;
+  futures.reserve(rounds.size());
+  PoissonClock arrivals(rate, rng);
+  for (const std::vector<Word>& r : rounds) {
+    const auto scheduled = arrivals.next();
+    if (scheduled > Clock::now()) std::this_thread::sleep_until(scheduled);
+    futures.push_back(service.submit(r));
+  }
+  for (auto& f : futures) (void)f.get();
+
+  SweepResult res;
+  res.rate = rate;
+  res.window_us = window_us;
+  res.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - arrivals.start()).count();
+  res.throughput = static_cast<double>(rounds.size()) / res.elapsed_s;
+  res.metrics = service.metrics();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int channels = static_cast<int>(args.get_long_or("channels", 10));
+  const std::size_t bits =
+      static_cast<std::size_t>(args.get_long_or("bits", 8));
+  const int workers = static_cast<int>(args.get_long_or("workers", 1));
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_long_or("requests", 8192));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_long_or("seed", 42));
+  const std::vector<double> rates =
+      parse_list(args.get_or("rates", "10000,50000,200000"));
+  const std::vector<double> windows =
+      parse_list(args.get_or("windows-us", "100,500"));
+  if (channels < 2 || bits < 1 || bits > 16 || workers < 1 || requests < 1 ||
+      rates.empty() || windows.empty()) {
+    std::cerr << "usage: bench_serve_latency [--channels C>=2] [--bits 1..16]"
+                 " [--workers W>=1] [--requests N>=1]"
+                 " [--rates r1,r2,...] [--windows-us w1,w2,...] [--seed S]\n";
+    return 2;
+  }
+
+  const std::vector<std::vector<Word>> rounds =
+      make_rounds(requests, channels, bits, seed);
+
+  // Reference checksums for the differential checks: an ordered chain for
+  // the serve path (results come back in submission order) and an
+  // order-independent digest for the thread-striped naive baseline.
+  const McSorter reference(channels, bits);
+  std::uint64_t expect_chain = 0xcbf29ce484222325ULL;
+  std::uint64_t expect_digest = 0;
+  for (const std::vector<Word>& r : reference.sort_batch(rounds)) {
+    expect_chain = fnv1a_round(expect_chain, r);
+    expect_digest ^= round_digest(r);
+  }
+
+  std::uint64_t naive_sum = 0;
+  const double naive = naive_vps(workers, channels, bits, rounds, naive_sum);
+  std::uint64_t serve_sum = 0;
+  MetricsSnapshot cap_metrics;
+  const double serve =
+      serve_vps(workers, std::chrono::microseconds(200), rounds, serve_sum,
+                cap_metrics);
+  const bool agree = serve_sum == expect_chain && naive_sum == expect_digest;
+
+  std::cout << "{\n  \"workload\": {\"channels\": " << channels
+            << ", \"bits\": " << bits << ", \"workers\": " << workers
+            << ", \"requests\": " << requests << "},\n"
+            << "  \"capacity\": {\"naive_vps\": " << naive
+            << ", \"serve_vps\": " << serve
+            << ", \"speedup\": " << (naive > 0.0 ? serve / naive : 0.0)
+            << ", \"serve_mean_occupancy\": " << cap_metrics.mean_occupancy()
+            << ", \"results_match_sort_batch\": " << (agree ? "true" : "false")
+            << "},\n  \"sweep\": [\n";
+  bool first = true;
+  for (const double window_us : windows) {
+    for (const double rate : rates) {
+      const SweepResult r = open_loop_point(
+          workers, rate, static_cast<long>(window_us), rounds, seed + 1);
+      const MetricsSnapshot& m = r.metrics;
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "    {\"rate\": " << r.rate
+                << ", \"window_us\": " << r.window_us
+                << ", \"throughput_vps\": " << r.throughput
+                << ", \"elapsed_s\": " << r.elapsed_s
+                << ", \"batches\": " << m.batches
+                << ", \"mean_occupancy\": " << m.mean_occupancy()
+                << ", \"latency_us\": " << m.latency_ns.json(1000.0) << "}";
+    }
+  }
+  std::cout << "\n  ]\n}\n";
+  return agree ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 // be tracked across PRs:
 //
 //   bench_sim_throughput [--vectors N] [--bits B] [--channels C]
+//                        [--threads T]   (batch_compiled_mt workers;
+//                                         0 = hardware concurrency)
 //
 // Every engine runs the same input corpus and must produce the same output
 // checksum ("engines_agree": true) — a built-in differential smoke test.
@@ -59,9 +61,10 @@ int main(int argc, char** argv) {
   std::size_t n_vectors = 16384;
   std::size_t bits = 8;
   int channels = 10;
+  int mt_threads = 0;  // 0 = auto (hardware concurrency)
   const auto usage = [&] {
     std::cerr << "usage: bench_sim_throughput [--vectors N>=1] [--bits 1..16]"
-                 " [--channels C>=2]\n";
+                 " [--channels C>=2] [--threads T>=0]\n";
     return 2;
   };
   for (int i = 1; i < argc; i += 2) {
@@ -80,6 +83,8 @@ int main(int argc, char** argv) {
       bits = value;
     } else if (std::strcmp(argv[i], "--channels") == 0) {
       channels = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      mt_threads = static_cast<int>(value);
     } else {
       return usage();
     }
@@ -166,7 +171,8 @@ int main(int argc, char** argv) {
   }));
 
   results.push_back(run_engine("batch_compiled_mt", n_vectors, [&] {
-    const BatchEvaluator be(nl, BatchOptions{.threads = 0, .compile = {}});
+    const BatchEvaluator be(nl,
+                            BatchOptions{.threads = mt_threads, .compile = {}});
     const std::vector<Word> outs = be.run(corpus);
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (const Word& w : outs) h = fnv1a_word(h, w);
@@ -184,7 +190,8 @@ int main(int argc, char** argv) {
             << ", \"gates\": " << nl.gate_count()
             << ", \"live_gates\": " << prog.live_gate_count()
             << ", \"levels\": " << prog.level_count()
-            << ", \"vectors\": " << n_vectors << "},\n  \"engines\": [\n";
+            << ", \"vectors\": " << n_vectors
+            << ", \"mt_threads\": " << mt_threads << "},\n  \"engines\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const EngineResult& r = results[i];
     std::cout << "    {\"name\": \"" << r.name

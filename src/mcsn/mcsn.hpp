@@ -10,6 +10,8 @@
 //   ckt      — the paper's 2-sort(B) construction, PPC topologies,
 //              baselines (DATE'17-style, naive, serial, Bin-comp)
 //   nets     — comparator networks, catalog, SA synthesis, elaboration
+//   serve    — streaming sort service: micro-batching over the compiled
+//              engine, sorter pooling, futures API, metrics
 //   refdata  — published evaluation numbers (Tables 7/8)
 
 #include "mcsn/core/closure.hpp"
@@ -50,6 +52,12 @@
 #include "mcsn/nets/network.hpp"
 #include "mcsn/nets/search.hpp"
 #include "mcsn/refdata/paper_tables.hpp"
+#include "mcsn/serve/batcher.hpp"
+#include "mcsn/serve/metrics.hpp"
+#include "mcsn/serve/queue.hpp"
+#include "mcsn/serve/service.hpp"
+#include "mcsn/serve/sorter_pool.hpp"
 #include "mcsn/util/cli.hpp"
+#include "mcsn/util/histogram.hpp"
 #include "mcsn/util/rng.hpp"
 #include "mcsn/util/table.hpp"

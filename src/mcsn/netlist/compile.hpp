@@ -246,6 +246,16 @@ class CompiledExecutor {
     return *prog_;
   }
 
+  /// Re-points the executor at `prog` — for owners that hold the program and
+  /// an executor by value and need to fix the pointer up after a move. The
+  /// new program must have the same shape (slot layout) as the one the
+  /// executor was constructed with; slot contents carry over, so constants
+  /// stay materialized.
+  void rebind(const CompiledProgram& prog) noexcept {
+    assert(prog.slot_count() == slots_.size());
+    prog_ = &prog;
+  }
+
  private:
   const CompiledProgram* prog_;
   std::vector<Value> slots_;

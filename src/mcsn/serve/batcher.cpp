@@ -1,0 +1,79 @@
+#include "mcsn/serve/batcher.hpp"
+
+namespace mcsn {
+
+BatchGroup MicroBatcher::drain_shard(Shard& shard, FlushCause cause) {
+  BatchGroup group;
+  group.sorter = shard.sorter;
+  group.requests = std::move(shard.requests);
+  group.cause = cause;
+  shard.requests.clear();  // moved-from: guarantee a valid empty state
+  return group;
+}
+
+MicroBatcher::AddResult MicroBatcher::add(
+    std::shared_ptr<const McSorter> sorter, SortRequest request,
+    std::chrono::steady_clock::time_point now) {
+  const std::pair<int, std::size_t> key{sorter->channels(), sorter->bits()};
+  AddResult result;
+  std::lock_guard lock(mu_);
+  Shard& shard = shards_[key];
+  if (shard.requests.empty()) {
+    shard.sorter = std::move(sorter);
+    shard.oldest = now;
+    shard.requests.reserve(max_lanes_);
+    result.window_started = true;
+  }
+  shard.requests.push_back(std::move(request));
+  if (shard.requests.size() >= max_lanes_) {
+    result.full = drain_shard(shard, FlushCause::lane_full);
+    result.window_started = false;  // the window closed with the group
+  }
+  return result;
+}
+
+std::vector<BatchGroup> MicroBatcher::take_expired(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<BatchGroup> groups;
+  std::lock_guard lock(mu_);
+  for (auto& [key, shard] : shards_) {
+    if (!shard.requests.empty() && shard.oldest + window_ <= now) {
+      groups.push_back(drain_shard(shard, FlushCause::window));
+    }
+  }
+  return groups;
+}
+
+std::vector<BatchGroup> MicroBatcher::take_all() {
+  std::vector<BatchGroup> groups;
+  std::lock_guard lock(mu_);
+  for (auto& [key, shard] : shards_) {
+    if (!shard.requests.empty()) {
+      groups.push_back(drain_shard(shard, FlushCause::drain));
+    }
+  }
+  return groups;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+MicroBatcher::next_deadline() const {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::lock_guard lock(mu_);
+  for (const auto& [key, shard] : shards_) {
+    if (shard.requests.empty()) continue;
+    const auto d = shard.oldest + window_;
+    if (!deadline || d < *deadline) deadline = d;
+  }
+  return deadline;
+}
+
+bool MicroBatcher::empty() const { return pending() == 0; }
+
+std::size_t MicroBatcher::pending() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, shard] : shards_) n += shard.requests.size();
+  return n;
+}
+
+}  // namespace mcsn

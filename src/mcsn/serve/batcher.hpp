@@ -1,0 +1,95 @@
+#pragma once
+// Adaptive micro-batcher: coalesces individual sort requests into lane
+// groups for the 256-lane batch engine. Requests are sharded by shape
+// (channels, bits) so heterogeneous traffic never mixes inside one group;
+// a shard flushes when it fills max_lanes lanes (returned straight to the
+// caller, zero added latency) or when its oldest request has waited one
+// flush window (collected by take_expired, driven from the worker loop).
+//
+// Internally synchronized; time is always passed in, so tests can drive
+// the window deterministically with fake clocks.
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mcsn/core/word.hpp"
+#include "mcsn/serve/metrics.hpp"
+#include "mcsn/sorter.hpp"
+
+namespace mcsn {
+
+/// One in-flight sort request: a measurement round plus the promise its
+/// submitter holds the future of.
+struct SortRequest {
+  std::vector<Word> round;
+  std::promise<std::vector<Word>> result;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+/// A flushed group of same-shape requests, ready for one sort_batch call.
+struct BatchGroup {
+  std::shared_ptr<const McSorter> sorter;
+  std::vector<SortRequest> requests;
+  FlushCause cause = FlushCause::lane_full;
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(std::size_t max_lanes, std::chrono::nanoseconds window)
+      : max_lanes_(max_lanes == 0 ? 1 : max_lanes), window_(window) {}
+
+  struct AddResult {
+    /// The full group, when this request topped its shard up to max_lanes.
+    std::optional<BatchGroup> full;
+    /// True when this request opened a fresh shard window — the caller must
+    /// make sure some worker wakes by that shard's deadline.
+    bool window_started = false;
+  };
+
+  /// Adds a request to its shape's shard; `sorter` pins the compiled
+  /// program the eventual group will run on.
+  [[nodiscard]] AddResult add(std::shared_ptr<const McSorter> sorter,
+                              SortRequest request,
+                              std::chrono::steady_clock::time_point now);
+
+  /// Shards whose oldest request has waited >= window at `now`.
+  [[nodiscard]] std::vector<BatchGroup> take_expired(
+      std::chrono::steady_clock::time_point now);
+
+  /// Everything still pending, regardless of age (shutdown drain).
+  [[nodiscard]] std::vector<BatchGroup> take_all();
+
+  /// Earliest flush deadline over non-empty shards; nullopt when idle.
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point>
+  next_deadline() const;
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t max_lanes() const noexcept { return max_lanes_; }
+  [[nodiscard]] std::chrono::nanoseconds window() const noexcept {
+    return window_;
+  }
+
+ private:
+  struct Shard {
+    std::shared_ptr<const McSorter> sorter;
+    std::vector<SortRequest> requests;
+    std::chrono::steady_clock::time_point oldest{};
+  };
+
+  [[nodiscard]] static BatchGroup drain_shard(Shard& shard, FlushCause cause);
+
+  const std::size_t max_lanes_;
+  const std::chrono::nanoseconds window_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::size_t>, Shard> shards_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,43 @@
+#include "mcsn/serve/metrics.hpp"
+
+#include <sstream>
+
+namespace mcsn {
+
+double MetricsSnapshot::mean_occupancy() const {
+  if (batches == 0 || max_lanes == 0) return 0.0;
+  return static_cast<double>(completed + failed) /
+         (static_cast<double>(batches) * static_cast<double>(max_lanes));
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\"submitted\": " << submitted << ", \"completed\": " << completed
+     << ", \"rejected\": " << rejected << ", \"failed\": " << failed
+     << ", \"batches\": " << batches << ", \"flush\": {\"lane_full\": "
+     << flush_full << ", \"window\": " << flush_window
+     << ", \"drain\": " << flush_drain << "}"
+     << ", \"max_lanes\": " << max_lanes
+     << ", \"mean_occupancy\": " << mean_occupancy()
+     << ", \"batch_lanes\": " << batch_lanes.json()
+     << ", \"latency_us\": " << latency_ns.json(1000.0) << "}";
+  return os.str();
+}
+
+void ServiceMetrics::on_batch(std::size_t lanes, FlushCause cause,
+                              const Histogram& latencies_ns,
+                              std::uint64_t failed) {
+  std::lock_guard lock(mu_);
+  ++snap_.batches;
+  switch (cause) {
+    case FlushCause::lane_full: ++snap_.flush_full; break;
+    case FlushCause::window: ++snap_.flush_window; break;
+    case FlushCause::drain: ++snap_.flush_drain; break;
+  }
+  snap_.batch_lanes.record(lanes);
+  snap_.failed += failed;
+  snap_.completed += lanes - failed;
+  snap_.latency_ns.merge(latencies_ns);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,65 @@
+#pragma once
+// Service observability: counters, lane-occupancy, and latency quantiles,
+// snapshotted into a plain struct and exported as JSON. The live recorder
+// (ServiceMetrics) is internally synchronized; the snapshot is a value.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "mcsn/util/histogram.hpp"
+
+namespace mcsn {
+
+/// Why a lane group left the micro-batcher.
+enum class FlushCause { lane_full, window, drain };
+
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;  ///< requests admitted by submit()
+  std::uint64_t completed = 0;  ///< requests whose future was fulfilled
+  std::uint64_t rejected = 0;   ///< submits refused (service stopped)
+  std::uint64_t failed = 0;     ///< requests completed with an exception
+  std::uint64_t batches = 0;    ///< sort_batch executions
+  std::uint64_t flush_full = 0;    ///< batches flushed on lane-full
+  std::uint64_t flush_window = 0;  ///< batches flushed on window expiry
+  std::uint64_t flush_drain = 0;   ///< batches flushed by stop()/drain
+  std::size_t max_lanes = 0;       ///< configured lane-group target
+  Histogram latency_ns;            ///< submit -> future fulfilled
+  Histogram batch_lanes;           ///< requests per executed batch
+
+  /// Mean fraction of the lane-group target actually filled, in [0, 1].
+  [[nodiscard]] double mean_occupancy() const;
+
+  /// One JSON object; latencies reported in microseconds.
+  [[nodiscard]] std::string json() const;
+};
+
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(std::size_t max_lanes) { snap_.max_lanes = max_lanes; }
+
+  void on_submitted() {
+    std::lock_guard lock(mu_);
+    ++snap_.submitted;
+  }
+  void on_rejected() {
+    std::lock_guard lock(mu_);
+    ++snap_.rejected;
+  }
+
+  /// Records one executed batch: `lanes` requests, flushed for `cause`,
+  /// each completed request's latency in `latencies_ns`.
+  void on_batch(std::size_t lanes, FlushCause cause,
+                const Histogram& latencies_ns, std::uint64_t failed);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    std::lock_guard lock(mu_);
+    return snap_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot snap_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,108 @@
+#pragma once
+// Bounded MPMC queue for the streaming sort service: blocking push gives
+// producers backpressure, timed pop lets consumers double as flush timers,
+// and close() drains gracefully — items already queued are still handed out,
+// then pop returns nullopt.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mcsn {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (and drops `item`) if the
+  /// queue is or becomes closed before space frees up.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed (item dropped).
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    return take(lock);
+  }
+
+  /// Like pop(), but gives up at `deadline`; nullopt on timeout too.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return !items_.empty() || closed_; });
+    return take(lock);
+  }
+
+  /// Stops producers (push returns false) and unblocks everyone. Consumers
+  /// still drain items queued before the close.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> take(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;  // timed out, or closed + drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,209 @@
+#include "mcsn/serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mcsn/core/gray.hpp"
+
+namespace mcsn {
+
+namespace {
+
+ServeOptions sanitize(ServeOptions opt) {
+  opt.workers = std::max(1, opt.workers);
+  opt.max_lanes = std::max<std::size_t>(1, opt.max_lanes);
+  opt.max_inflight = std::max<std::size_t>(1, opt.max_inflight);
+  opt.ready_capacity = std::max<std::size_t>(1, opt.ready_capacity);
+  if (opt.flush_window < std::chrono::microseconds(0)) {
+    opt.flush_window = std::chrono::microseconds(0);
+  }
+  // Workers are the service's parallelism unit; the default "auto" engine
+  // sharding would nest a hardware_concurrency-sized pool inside every
+  // worker whenever max_lanes spans multiple lane groups. An explicit
+  // thread count is respected.
+  if (opt.sorter.batch.threads == 0) opt.sorter.batch.threads = 1;
+  return opt;
+}
+
+}  // namespace
+
+SortService::SortService(ServeOptions opt)
+    : opt_(sanitize(std::move(opt))),
+      pool_(opt_.sorter),
+      batcher_(opt_.max_lanes, opt_.flush_window),
+      ready_(opt_.ready_capacity),
+      metrics_(opt_.max_lanes) {
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i) {
+    workers_.emplace_back(&SortService::worker_loop, this);
+  }
+}
+
+SortService::~SortService() { stop(); }
+
+std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
+  if (round.empty()) {
+    throw std::invalid_argument("SortService::submit: empty round");
+  }
+  const std::size_t bits = round.front().size();
+  if (bits == 0) {
+    throw std::invalid_argument("SortService::submit: zero-width words");
+  }
+  for (const Word& w : round) {
+    if (w.size() != bits) {
+      throw std::invalid_argument("SortService::submit: ragged round");
+    }
+  }
+  const int channels = static_cast<int>(round.size());
+
+  // Early, non-authoritative rejection (the shared-lock check below is the
+  // real one): don't compile a novel shape's sorter for a stopped service.
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.on_rejected();
+    throw std::runtime_error("SortService: stopped");
+  }
+
+  // Compiles the shape's sorter on first sight (milliseconds); later
+  // requests hit the pool. Deliberately outside the lifecycle lock.
+  std::shared_ptr<const McSorter> sorter = pool_.acquire(channels, bits);
+
+  // Backpressure: wait for an inflight slot (workers free them as batches
+  // complete); stop() aborts the wait.
+  {
+    std::unique_lock lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] {
+      return inflight_ < opt_.max_inflight ||
+             !accepting_.load(std::memory_order_relaxed);
+    });
+    if (!accepting_.load(std::memory_order_relaxed)) {
+      metrics_.on_rejected();
+      throw std::runtime_error("SortService: stopped");
+    }
+    ++inflight_;
+  }
+
+  std::shared_lock lifecycle(lifecycle_mu_);
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    release_inflight(1);
+    metrics_.on_rejected();
+    throw std::runtime_error("SortService: stopped");
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  SortRequest request;
+  request.round = std::move(round);
+  request.enqueued = now;
+  std::future<std::vector<Word>> future = request.result.get_future();
+
+  // Counted before the batcher sees the request: once it's in a shard, a
+  // concurrent flush may complete it, and completed must never outrun
+  // submitted in a snapshot.
+  metrics_.on_submitted();
+  MicroBatcher::AddResult added =
+      batcher_.add(std::move(sorter), std::move(request), now);
+  if (added.full) {
+    ready_.push(std::move(*added.full));
+  } else if (added.window_started) {
+    // Wake a worker so it tracks the fresh shard's flush deadline; an empty
+    // group is the kick (workers skip it and recompute their deadline).
+    // Best-effort: with the queue full the workers are awake anyway.
+    ready_.try_push(BatchGroup{});
+  }
+  return future;
+}
+
+std::vector<Word> SortService::sort(std::vector<Word> round) {
+  return submit(std::move(round)).get();
+}
+
+std::vector<std::uint64_t> SortService::sort_values(
+    const std::vector<std::uint64_t>& values, std::size_t bits) {
+  std::vector<Word> round;
+  round.reserve(values.size());
+  for (const std::uint64_t v : values) round.push_back(gray_encode(v, bits));
+  const std::vector<Word> sorted = sort(std::move(round));
+  std::vector<std::uint64_t> out;
+  out.reserve(sorted.size());
+  for (const Word& w : sorted) out.push_back(gray_decode(w));
+  return out;
+}
+
+void SortService::stop() {
+  {
+    std::unique_lock lifecycle(lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    accepting_.store(false, std::memory_order_relaxed);
+  }
+  inflight_cv_.notify_all();  // abort submitters blocked on backpressure
+  for (BatchGroup& group : batcher_.take_all()) {
+    // Blocks while full (workers are still draining); the queue isn't
+    // closed yet, so the push can't be refused.
+    ready_.push(std::move(group));
+  }
+  ready_.close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void SortService::worker_loop() {
+  for (;;) {
+    // Sweep expired shards every iteration — not only when the ready queue
+    // runs dry — so sustained full-group traffic of one shape can't starve
+    // another shape's window flush past its deadline.
+    for (BatchGroup& expired :
+         batcher_.take_expired(std::chrono::steady_clock::now())) {
+      execute(std::move(expired));
+    }
+    const std::optional<std::chrono::steady_clock::time_point> deadline =
+        batcher_.next_deadline();
+    std::optional<BatchGroup> group =
+        deadline ? ready_.pop_until(*deadline) : ready_.pop();
+    if (group) {
+      execute(std::move(*group));
+      continue;
+    }
+    if (ready_.closed() && ready_.empty() && batcher_.empty()) return;
+  }
+}
+
+void SortService::execute(BatchGroup group) {
+  if (group.requests.empty()) return;  // wake-up kick, not work
+  const std::size_t n = group.requests.size();
+  std::vector<std::vector<Word>> rounds;
+  rounds.reserve(n);
+  for (SortRequest& r : group.requests) rounds.push_back(std::move(r.round));
+
+  // Metrics are recorded *before* the promises resolve, so a client that
+  // observed its future complete also observes the batch in the metrics.
+  try {
+    std::vector<std::vector<Word>> sorted = group.sorter->sort_batch(rounds);
+    const auto now = std::chrono::steady_clock::now();
+    Histogram latencies;
+    for (const SortRequest& r : group.requests) {
+      latencies.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                               r.enqueued)
+              .count()));
+    }
+    metrics_.on_batch(n, group.cause, latencies, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.requests[i].result.set_value(std::move(sorted[i]));
+    }
+  } catch (...) {
+    metrics_.on_batch(n, group.cause, Histogram{}, n);
+    const std::exception_ptr ex = std::current_exception();
+    for (SortRequest& r : group.requests) r.result.set_exception(ex);
+  }
+  release_inflight(n);
+}
+
+void SortService::release_inflight(std::size_t n) {
+  {
+    std::lock_guard lock(inflight_mu_);
+    inflight_ -= std::min(n, inflight_);
+  }
+  inflight_cv_.notify_all();
+}
+
+}  // namespace mcsn

@@ -1,0 +1,121 @@
+#pragma once
+// SortService — the streaming front door to the compiled batch engine.
+//
+// Many producer threads submit() individual measurement rounds; the service
+// coalesces them into full 256-lane groups per (channels, bits) shape
+// (MicroBatcher + SorterPool), executes groups on worker shards, and
+// fulfills each submitter's future. Small requests ride the wide engine at
+// high occupancy instead of paying a full netlist evaluation each:
+//
+//   SortService svc({.workers = 2});
+//   auto f1 = svc.submit(round_a);            // returns immediately
+//   auto f2 = svc.submit(round_b);
+//   std::vector<Word> sorted = f1.get();      // blocks until the batch ran
+//
+// Latency/throughput trade-off is one knob: flush_window. A shard flushes
+// the moment it fills max_lanes lanes (no added latency under load); a
+// partial group waits at most ~2x flush_window before a worker sweeps it.
+// Backpressure: at most max_inflight admitted-but-unfinished requests;
+// beyond that submit() blocks. stop() (or the destructor) stops admission,
+// drains every pending request, fulfills all futures, and joins workers.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsn/core/word.hpp"
+#include "mcsn/serve/batcher.hpp"
+#include "mcsn/serve/metrics.hpp"
+#include "mcsn/serve/queue.hpp"
+#include "mcsn/serve/sorter_pool.hpp"
+
+namespace mcsn {
+
+struct ServeOptions {
+  /// Worker threads draining the batcher and executing lane groups.
+  int workers = 1;
+  /// Lane-group target per batch; 256 fills one wide engine pass. Larger
+  /// values span several lane groups per flush, smaller trade throughput
+  /// for latency.
+  std::size_t max_lanes = 256;
+  /// Max time a request waits for lane-mates before a partial flush.
+  std::chrono::microseconds flush_window{200};
+  /// Backpressure bound: admitted-but-unfinished requests before submit()
+  /// blocks.
+  std::size_t max_inflight = 4096;
+  /// Bound on flushed-but-not-yet-executed lane groups.
+  std::size_t ready_capacity = 64;
+  /// Knobs for pooled sorters (network choice, sort2 style, engine).
+  McSorterOptions sorter;
+};
+
+class SortService {
+ public:
+  explicit SortService(ServeOptions opt = {});
+  ~SortService();
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Submits one measurement round (channels = round.size() words of equal
+  /// width) and returns the future of its sorted result. Blocks while the
+  /// service is at max_inflight. Throws std::invalid_argument on a
+  /// malformed round and std::runtime_error after stop().
+  [[nodiscard]] std::future<std::vector<Word>> submit(std::vector<Word> round);
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] std::vector<Word> sort(std::vector<Word> round);
+
+  /// Synchronous convenience over integers: Gray-encodes `values` at
+  /// `bits` wide, sorts, decodes.
+  [[nodiscard]] std::vector<std::uint64_t> sort_values(
+      const std::vector<std::uint64_t>& values, std::size_t bits);
+
+  /// Stops admission, flushes and executes everything pending (every future
+  /// completes), then joins the workers. Idempotent; the destructor calls
+  /// it.
+  void stop();
+
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] std::string metrics_json() const {
+    return metrics_.snapshot().json();
+  }
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opt_; }
+  /// Distinct request shapes seen (compiled sorters in the pool).
+  [[nodiscard]] std::size_t shapes() const { return pool_.size(); }
+
+ private:
+  void worker_loop();
+  void execute(BatchGroup group);
+  void release_inflight(std::size_t n);
+
+  ServeOptions opt_;
+  SorterPool pool_;
+  MicroBatcher batcher_;
+  BoundedQueue<BatchGroup> ready_;
+  ServiceMetrics metrics_;
+
+  // Guards the submit-vs-stop race: submit holds it shared across
+  // admission-check + batcher add + ready push; stop takes it exclusive to
+  // flip accepting_, so no request can slip into the batcher after the
+  // shutdown drain.
+  std::shared_mutex lifecycle_mu_;
+  std::atomic<bool> accepting_{true};
+  bool stopped_ = false;  // guarded by lifecycle_mu_
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,40 @@
+#include "mcsn/serve/sorter_pool.hpp"
+
+namespace mcsn {
+
+std::shared_ptr<const McSorter> SorterPool::acquire(int channels,
+                                                    std::size_t bits) {
+  const Key key{channels, bits};
+  std::promise<std::shared_ptr<const McSorter>> building;
+  Entry entry;
+  bool builder = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      entry = it->second;
+    } else {
+      entry = building.get_future().share();
+      cache_.emplace(key, entry);
+      builder = true;
+    }
+  }
+  if (builder) {
+    try {
+      building.set_value(
+          std::make_shared<const McSorter>(channels, bits, opt_));
+    } catch (...) {
+      building.set_exception(std::current_exception());
+      std::lock_guard lock(mu_);
+      cache_.erase(key);  // don't cache the failure; waiters still see it
+    }
+  }
+  return entry.get();
+}
+
+std::size_t SorterPool::size() const {
+  std::lock_guard lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace mcsn

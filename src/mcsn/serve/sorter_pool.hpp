@@ -1,0 +1,44 @@
+#pragma once
+// Cache of compiled sorters keyed by request shape (channels, bits).
+// Elaborating and compiling a sorter costs milliseconds — done once per
+// shape, then every micro-batch of that shape reuses the same program.
+//
+// Concurrency: the first thread to request a shape builds it outside the
+// map lock; others requesting the same shape wait on a shared_future, and
+// requests for *other* shapes are never stalled by an in-flight build.
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "mcsn/sorter.hpp"
+
+namespace mcsn {
+
+class SorterPool {
+ public:
+  explicit SorterPool(McSorterOptions opt = {}) : opt_(std::move(opt)) {}
+
+  /// The pooled sorter for (channels, bits), building it on first use.
+  /// Throws (and leaves no cache entry) if construction fails, e.g. on a
+  /// degenerate shape. The result is shared and immutable; McSorter's
+  /// const batch API is safe for concurrent use.
+  [[nodiscard]] std::shared_ptr<const McSorter> acquire(int channels,
+                                                        std::size_t bits);
+
+  /// Number of distinct shapes built or building.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Key = std::pair<int, std::size_t>;
+  using Entry = std::shared_future<std::shared_ptr<const McSorter>>;
+
+  McSorterOptions opt_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> cache_;
+};
+
+}  // namespace mcsn

@@ -37,6 +37,31 @@ McSorter::McSorter(int channels, std::size_t bits, const McSorterOptions& opt)
       batch_(netlist_, opt.batch),
       exec_(batch_.program()) {}
 
+McSorter::McSorter(McSorter&& other) noexcept
+    : channels_(other.channels_),
+      bits_(other.bits_),
+      network_(std::move(other.network_)),
+      netlist_(std::move(other.netlist_)),
+      batch_(std::move(other.batch_)),
+      exec_(std::move(other.exec_)) {
+  // batch_ owns the compiled program; the moved executor still points at the
+  // old object's storage.
+  exec_.rebind(batch_.program());
+}
+
+McSorter& McSorter::operator=(McSorter&& other) noexcept {
+  if (this != &other) {
+    channels_ = other.channels_;
+    bits_ = other.bits_;
+    network_ = std::move(other.network_);
+    netlist_ = std::move(other.netlist_);
+    batch_ = std::move(other.batch_);
+    exec_ = std::move(other.exec_);
+    exec_.rebind(batch_.program());
+  }
+  return *this;
+}
+
 CircuitStats McSorter::stats() const { return compute_stats(netlist_); }
 
 std::vector<Word> McSorter::sort(const std::vector<Word>& values) {
@@ -74,7 +99,7 @@ std::vector<std::uint64_t> McSorter::sort_values(
 }
 
 std::vector<std::vector<Word>> McSorter::sort_batch(
-    const std::vector<std::vector<Word>>& rounds) {
+    const std::vector<std::vector<Word>>& rounds) const {
   std::vector<Word> flat;
   flat.reserve(rounds.size());
   for (const std::vector<Word>& round : rounds) {
@@ -99,7 +124,7 @@ std::vector<std::vector<Word>> McSorter::sort_batch(
 }
 
 std::vector<std::vector<std::uint64_t>> McSorter::sort_values_batch(
-    const std::vector<std::vector<std::uint64_t>>& rounds) {
+    const std::vector<std::vector<std::uint64_t>>& rounds) const {
   std::vector<std::vector<Word>> words(rounds.size());
   for (std::size_t r = 0; r < rounds.size(); ++r) {
     words[r].reserve(rounds[r].size());

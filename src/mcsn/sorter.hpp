@@ -31,10 +31,13 @@ class McSorter {
  public:
   McSorter(int channels, std::size_t bits, const McSorterOptions& opt = {});
 
-  // The executor holds a pointer into the owned compiled program;
-  // non-copyable (and, since copy is deleted, non-movable).
+  // The executor holds a pointer into the owned compiled program, so copies
+  // are deleted; moves re-pin that pointer, letting pools and containers
+  // hold sorters by value.
   McSorter(const McSorter&) = delete;
   McSorter& operator=(const McSorter&) = delete;
+  McSorter(McSorter&& other) noexcept;
+  McSorter& operator=(McSorter&& other) noexcept;
 
   [[nodiscard]] int channels() const noexcept { return channels_; }
   [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
@@ -59,13 +62,17 @@ class McSorter {
   /// engine (256-lane packing, optional thread sharding). Each round is a
   /// vector of channels() B-bit words; results come back round-aligned.
   /// Far faster than calling sort() per round for large sweeps.
+  ///
+  /// Const and safe to call concurrently from multiple threads (each call
+  /// runs its own executor over the shared program); sort()/sort_values()
+  /// mutate the scalar executor and are not.
   [[nodiscard]] std::vector<std::vector<Word>> sort_batch(
-      const std::vector<std::vector<Word>>& rounds);
+      const std::vector<std::vector<Word>>& rounds) const;
 
   /// Batch variant of sort_values: each round is a vector of channels()
   /// integers, Gray-encoded/decoded transparently.
   [[nodiscard]] std::vector<std::vector<std::uint64_t>> sort_values_batch(
-      const std::vector<std::vector<std::uint64_t>>& rounds);
+      const std::vector<std::vector<std::uint64_t>>& rounds) const;
 
  private:
   int channels_;

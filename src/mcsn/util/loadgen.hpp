@@ -1,0 +1,61 @@
+#pragma once
+// Shared load-generation helpers for the serve bench, the sortd driver and
+// tests: a Poisson arrival clock and a random valid-round builder. One
+// definition so the exponential pacing and the measurement-round corpus
+// can't drift between the drivers.
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "mcsn/core/valid.hpp"
+#include "mcsn/core/word.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+
+/// Open-loop Poisson arrival schedule: exponential inter-arrival times at
+/// `rate` events/second, anchored at construction time. next() returns the
+/// absolute steady_clock instant of the next arrival, independent of how
+/// late the caller is (that's what makes the loop open rather than closed).
+class PoissonClock {
+ public:
+  PoissonClock(double rate_per_sec, Xoshiro256& rng,
+               std::chrono::steady_clock::time_point start =
+                   std::chrono::steady_clock::now())
+      : rate_(rate_per_sec), rng_(&rng), start_(start) {}
+
+  [[nodiscard]] std::chrono::steady_clock::time_point next() {
+    // uniform() is in [0, 1), so 1 - u is in (0, 1] and log() is finite.
+    offset_s_ += -std::log(1.0 - rng_->uniform()) / rate_;
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(offset_s_));
+  }
+
+  [[nodiscard]] std::chrono::steady_clock::time_point start() const noexcept {
+    return start_;
+  }
+
+ private:
+  double rate_;
+  Xoshiro256* rng_;
+  std::chrono::steady_clock::time_point start_;
+  double offset_s_ = 0.0;
+};
+
+/// One measurement round: `channels` uniformly random valid strings of
+/// `bits` trits (marginal measurements included — ~half carry an M bit).
+[[nodiscard]] inline std::vector<Word> random_valid_round(Xoshiro256& rng,
+                                                          int channels,
+                                                          std::size_t bits) {
+  std::vector<Word> round;
+  round.reserve(static_cast<std::size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    round.push_back(valid_from_rank(rng.below(valid_count(bits)), bits));
+  }
+  return round;
+}
+
+}  // namespace mcsn

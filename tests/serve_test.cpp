@@ -1,0 +1,333 @@
+// The streaming sort service: bounded queue semantics, sorter pooling,
+// micro-batcher flush rules, and — the load-bearing property — that any
+// interleaving of requests through the service yields results bit-identical
+// to a direct sort_batch of the same rounds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "mcsn/serve/batcher.hpp"
+#include "mcsn/serve/queue.hpp"
+#include "mcsn/serve/service.hpp"
+#include "mcsn/serve/sorter_pool.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+std::vector<Word> random_round(Xoshiro256& rng, int channels,
+                               std::size_t bits) {
+  return random_valid_round(rng, channels, bits);
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndDrainAfterClose) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // refused after close...
+  EXPECT_EQ(q.pop(), 1);    // ...but queued items still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilConsumerFreesSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // must block: capacity 1, queue full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, PopUntilTimesOutOnEmpty) {
+  BoundedQueue<int> q(1);
+  const auto t0 = Clock::now();
+  EXPECT_EQ(q.pop_until(t0 + 10ms), std::nullopt);
+  EXPECT_GE(Clock::now() - t0, 10ms);
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(5ms);
+  q.close();
+  consumer.join();
+}
+
+// --- SorterPool -------------------------------------------------------------
+
+TEST(SorterPool, ReusesCompiledSorterPerShape) {
+  SorterPool pool;
+  const auto a = pool.acquire(4, 4);
+  const auto b = pool.acquire(4, 4);
+  const auto c = pool.acquire(6, 3);
+  EXPECT_EQ(a.get(), b.get());  // same compiled instance
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(a->channels(), 4);
+  EXPECT_EQ(c->bits(), 3u);
+}
+
+TEST(SorterPool, FailedBuildIsNotCached) {
+  SorterPool pool;
+  EXPECT_THROW((void)pool.acquire(0, 4), std::invalid_argument);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_NE(pool.acquire(4, 4), nullptr);  // pool still usable
+}
+
+// --- MicroBatcher -----------------------------------------------------------
+
+TEST(MicroBatcher, FlushesOnLaneFull) {
+  SorterPool pool;
+  const auto sorter = pool.acquire(2, 2);
+  MicroBatcher batcher(4, 1ms);
+  Xoshiro256 rng(1);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 3; ++i) {
+    auto r = batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
+    EXPECT_FALSE(r.full.has_value());
+    EXPECT_EQ(r.window_started, i == 0);
+  }
+  auto r = batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
+  ASSERT_TRUE(r.full.has_value());
+  EXPECT_FALSE(r.window_started);
+  EXPECT_EQ(r.full->requests.size(), 4u);
+  EXPECT_EQ(r.full->cause, FlushCause::lane_full);
+  EXPECT_TRUE(batcher.empty());
+}
+
+TEST(MicroBatcher, FlushesOnWindowExpiry) {
+  SorterPool pool;
+  const auto sorter = pool.acquire(2, 2);
+  MicroBatcher batcher(256, 1ms);
+  Xoshiro256 rng(2);
+  const auto t0 = Clock::now();
+  (void)batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
+  (void)batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0 + 100us);
+
+  ASSERT_TRUE(batcher.next_deadline().has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + 1ms);  // pinned to the oldest
+
+  EXPECT_TRUE(batcher.take_expired(t0 + 999us).empty());  // not yet
+  auto groups = batcher.take_expired(t0 + 1ms);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].requests.size(), 2u);
+  EXPECT_EQ(groups[0].cause, FlushCause::window);
+  EXPECT_TRUE(batcher.empty());
+  EXPECT_FALSE(batcher.next_deadline().has_value());
+}
+
+TEST(MicroBatcher, ShardsByShapeAndDrainsAll) {
+  SorterPool pool;
+  MicroBatcher batcher(256, 1ms);
+  Xoshiro256 rng(3);
+  const auto t0 = Clock::now();
+  (void)batcher.add(pool.acquire(2, 2), {random_round(rng, 2, 2), {}, t0}, t0);
+  (void)batcher.add(pool.acquire(4, 3), {random_round(rng, 4, 3), {}, t0}, t0);
+  (void)batcher.add(pool.acquire(2, 2), {random_round(rng, 2, 2), {}, t0}, t0);
+  EXPECT_EQ(batcher.pending(), 3u);
+
+  auto groups = batcher.take_all();
+  ASSERT_EQ(groups.size(), 2u);  // one per shape
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.cause, FlushCause::drain);
+    for (const auto& req : g.requests) {
+      EXPECT_EQ(static_cast<int>(req.round.size()), g.sorter->channels());
+    }
+  }
+  EXPECT_TRUE(batcher.empty());
+}
+
+// --- SortService ------------------------------------------------------------
+
+// The tentpole property: an arbitrary interleaving of mixed-shape requests
+// through the micro-batched service is bit-identical to direct sort_batch
+// calls on the same rounds — including partial final lane groups.
+TEST(SortService, BatchingEquivalentToDirectSortBatch) {
+  struct Shape {
+    int channels;
+    std::size_t bits;
+    std::size_t count;
+  };
+  // Counts straddle lane-group boundaries: > 256 (full group + partial),
+  // small partial, and an exact sub-group size.
+  const std::vector<Shape> shapes = {{4, 4, 300}, {6, 5, 57}, {7, 3, 128}};
+
+  Xoshiro256 rng(7);
+  std::vector<std::vector<std::vector<Word>>> rounds(shapes.size());
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (shape, index)
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    rounds[s].reserve(shapes[s].count);
+    for (std::size_t i = 0; i < shapes[s].count; ++i) {
+      rounds[s].push_back(
+          random_round(rng, shapes[s].channels, shapes[s].bits));
+      order.emplace_back(s, i);
+    }
+  }
+  rng.shuffle(order);  // arbitrary interleaving of heterogeneous traffic
+
+  ServeOptions opt;
+  opt.workers = 2;
+  opt.flush_window = 500us;
+  SortService service(opt);
+
+  std::vector<std::vector<std::future<std::vector<Word>>>> futures(
+      shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    futures[s].resize(shapes[s].count);
+  }
+  for (const auto& [s, i] : order) {
+    futures[s][i] = service.submit(rounds[s][i]);
+  }
+
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const McSorter reference(shapes[s].channels, shapes[s].bits);
+    const std::vector<std::vector<Word>> expect =
+        reference.sort_batch(rounds[s]);
+    for (std::size_t i = 0; i < shapes[s].count; ++i) {
+      ASSERT_EQ(futures[s][i].get(), expect[i])
+          << "shape " << shapes[s].channels << "x" << shapes[s].bits
+          << " request " << i;
+    }
+  }
+
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, order.size());
+  EXPECT_EQ(m.completed, order.size());
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_GE(m.batches, 4u);  // at least ceil(300/256)+1+1 shape flushes
+  EXPECT_EQ(m.flush_full + m.flush_window + m.flush_drain, m.batches);
+  EXPECT_GT(m.mean_occupancy(), 0.0);
+  EXPECT_EQ(service.shapes(), shapes.size());
+}
+
+TEST(SortService, ConcurrentProducersStaySorted) {
+  ServeOptions opt;
+  opt.workers = 2;
+  opt.flush_window = 200us;
+  SortService service(opt);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 64;
+  std::vector<std::thread> producers;
+  std::vector<int> failures(kProducers, 0);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(p));
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::vector<std::uint64_t> vals;
+        for (int c = 0; c < 6; ++c) vals.push_back(rng.below(32));
+        std::vector<std::uint64_t> expect = vals;
+        std::sort(expect.begin(), expect.end());
+        if (service.sort_values(vals, 5) != expect) ++failures[p];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(failures[p], 0);
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.completed,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_GT(m.latency_ns.count(), 0u);
+}
+
+TEST(SortService, StopDrainsEveryPendingFuture) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.flush_window = std::chrono::microseconds(1h);  // window never expires
+  SortService service(opt);
+
+  Xoshiro256 rng(9);
+  std::vector<std::future<std::vector<Word>>> futures;
+  std::vector<std::vector<Word>> sent;
+  for (int i = 0; i < 40; ++i) {  // partial group: stays pending in batcher
+    sent.push_back(random_round(rng, 4, 4));
+    futures.push_back(service.submit(sent.back()));
+  }
+  service.stop();
+
+  const McSorter reference(4, 4);
+  const auto expect = reference.sort_batch(sent);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expect[i]);  // fulfilled by the drain
+  }
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.flush_drain, 1u);
+  EXPECT_EQ(m.completed, 40u);
+
+  EXPECT_THROW((void)service.submit(random_round(rng, 4, 4)),
+               std::runtime_error);
+  EXPECT_EQ(service.metrics().rejected, 1u);
+  service.stop();  // idempotent
+}
+
+TEST(SortService, RejectsMalformedRounds) {
+  SortService service;
+  EXPECT_THROW((void)service.submit({}), std::invalid_argument);
+  EXPECT_THROW((void)service.submit({Word(0), Word(0)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.submit({Word(4), Word(3)}),
+               std::invalid_argument);
+}
+
+TEST(SortService, MetricsJsonHasTheAdvertisedFields) {
+  ServeOptions opt;
+  opt.flush_window = 100us;
+  SortService service(opt);
+  (void)service.sort_values({3, 1, 2, 0}, 4);
+  const std::string json = service.metrics_json();
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"batches\"", "\"flush\"",
+        "\"mean_occupancy\"", "\"batch_lanes\"", "\"latency_us\"", "\"p50\"",
+        "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(SortService, BackpressureBoundsInflight) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.max_inflight = 8;
+  opt.flush_window = 100us;
+  SortService service(opt);
+  // Far more submissions than max_inflight: the bound forces submit() to
+  // block and the service to keep up, rather than queueing unboundedly.
+  Xoshiro256 rng(21);
+  std::vector<std::future<std::vector<Word>>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(service.submit(random_round(rng, 4, 4)));
+  }
+  for (auto& f : futures) (void)f.get();
+  EXPECT_EQ(service.metrics().completed, 200u);
+}
+
+}  // namespace
+}  // namespace mcsn

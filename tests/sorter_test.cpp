@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "mcsn/core/gray.hpp"
 #include "mcsn/core/valid.hpp"
 #include "mcsn/util/rng.hpp"
 
@@ -66,6 +67,33 @@ TEST(McSorter, StatsReflectUnderlyingNetlist) {
   EXPECT_EQ(s.gates, 5 * 55u);  // 5 comparators x sort2(4)
   EXPECT_TRUE(s.mc_safe);
   EXPECT_GT(s.area, 0.0);
+}
+
+TEST(McSorter, MovableWithRepinnedExecutor) {
+  McSorter a(4, 4);
+  const std::vector<std::uint64_t> in{9, 3, 14, 0};
+  const std::vector<std::uint64_t> expect{0, 3, 9, 14};
+  ASSERT_EQ(a.sort_values(in), expect);
+
+  McSorter b(std::move(a));  // move ctor must re-pin the executor
+  EXPECT_EQ(b.sort_values(in), expect);
+  EXPECT_EQ(b.sort_batch({{gray_encode(2, 4), gray_encode(1, 4),
+                           gray_encode(3, 4), gray_encode(0, 4)}})
+                .size(),
+            1u);
+
+  McSorter c(6, 5);
+  c = std::move(b);  // move assignment too
+  EXPECT_EQ(c.channels(), 4);
+  EXPECT_EQ(c.sort_values(in), expect);
+
+  // Pools/containers can now hold sorters by value.
+  std::vector<McSorter> pool;
+  pool.push_back(McSorter(4, 4));
+  pool.push_back(McSorter(7, 3));  // reallocation moves the first element
+  EXPECT_EQ(pool[0].sort_values(in), expect);
+  EXPECT_EQ(pool[1].sort_values({5, 2, 7, 0, 1, 6, 3}),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 5, 6, 7}));
 }
 
 TEST(McSorter, RejectsDegenerateShapes) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "mcsn/util/cli.hpp"
+#include "mcsn/util/histogram.hpp"
 #include "mcsn/util/rng.hpp"
 #include "mcsn/util/table.hpp"
 
@@ -51,6 +52,59 @@ TEST(Cli, ParsesFlagsAndPositionals) {
   ASSERT_EQ(args.positional().size(), 2u);
   EXPECT_EQ(args.positional()[0], "pos1");
   EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Histogram, ExactBelowEightAndEmptySafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  for (std::uint64_t v : {0, 1, 2, 3, 4, 5, 6, 7}) h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.quantile(0.5), 3u);  // rank-4 value (1-based) of 0..7
+  EXPECT_EQ(h.quantile(1.0), 7u);
+  EXPECT_NEAR(h.mean(), 3.5, 1e-12);
+}
+
+TEST(Histogram, QuantilesWithinBucketResolution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  // Log buckets with 8 sub-buckets: <= 1/16 relative error.
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = q * 10000.0;
+    const double got = static_cast<double>(h.quantile(q));
+    EXPECT_GE(got, exact * (1.0 - 1.0 / 16.0)) << q;
+    EXPECT_LE(got, exact * (1.0 + 1.0 / 16.0)) << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), 10000u);  // clamped to the observed max
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.below(1 << 20);
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.quantile(0.5), combined.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), combined.quantile(0.99));
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+}
+
+TEST(Histogram, JsonScalesByUnit) {
+  Histogram h;
+  h.record(2000);
+  h.record(4000);
+  const std::string json = h.json(1000.0);  // ns -> us
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

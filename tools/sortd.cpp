@@ -1,0 +1,150 @@
+// sortd — load-serving driver for the streaming sort service.
+//
+// Two modes:
+//
+//   tool_sortd --rate 50000 --duration-s 2        synthetic Poisson load:
+//     submits random valid measurement rounds at the given arrival rate for
+//     the given duration, then prints the service metrics JSON (request and
+//     batch counters, lane occupancy, p50/p99 latency).
+//
+//   tool_sortd --stdin                            pipe mode:
+//     each input line is one round of whitespace-separated integers; every
+//     line is submitted asynchronously (the service coalesces them into
+//     lane groups) and the sorted lines are printed in input order. Metrics
+//     JSON goes to stderr.
+//
+// Shared knobs: --channels C --bits B --workers W --window-us U
+//               --max-lanes L --max-inflight N --seed S
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/serve/service.hpp"
+#include "mcsn/util/cli.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace {
+
+using namespace mcsn;
+using Clock = std::chrono::steady_clock;
+
+int run_stdin(SortService& service, std::size_t bits) {
+  const std::uint64_t limit = std::uint64_t{1} << bits;
+  std::vector<std::future<std::vector<Word>>> futures;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::vector<Word> round;
+    std::uint64_t v = 0;
+    while (ss >> v) {
+      if (v >= limit) {
+        std::cerr << "sortd: line " << lineno << ": value " << v
+                  << " needs more than " << bits << " bits\n";
+        return 2;
+      }
+      round.push_back(gray_encode(v, bits));
+    }
+    if (!ss.eof()) {
+      std::cerr << "sortd: line " << lineno << ": not an integer round\n";
+      return 2;
+    }
+    if (round.empty()) continue;
+    futures.push_back(service.submit(std::move(round)));
+  }
+  for (auto& f : futures) {
+    const std::vector<Word> sorted = f.get();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      std::cout << (i ? " " : "") << gray_decode(sorted[i]);
+    }
+    std::cout << "\n";
+  }
+  std::cerr << service.metrics_json() << "\n";
+  return 0;
+}
+
+int run_load(SortService& service, int channels, std::size_t bits,
+             double rate, double duration_s, std::uint64_t seed) {
+  // Oldest futures are drained once the window tops this size, bounding
+  // driver memory on long soak runs (rate x duration can reach millions);
+  // an old future is all but certainly fulfilled, so the get() is cheap.
+  constexpr std::size_t kMaxPendingFutures = 16384;
+  Xoshiro256 rng(seed);
+  std::deque<std::future<std::vector<Word>>> futures;
+  std::size_t completed = 0;
+  PoissonClock arrivals(rate, rng);
+  const auto end = arrivals.start() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(duration_s));
+  while (true) {
+    const auto scheduled = arrivals.next();
+    if (scheduled >= end) break;
+    if (scheduled > Clock::now()) std::this_thread::sleep_until(scheduled);
+    futures.push_back(
+        service.submit(random_valid_round(rng, channels, bits)));
+    while (futures.size() > kMaxPendingFutures) {
+      (void)futures.front().get();
+      futures.pop_front();
+      ++completed;
+    }
+  }
+  for (auto& f : futures) {
+    (void)f.get();
+    ++completed;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - arrivals.start()).count();
+  std::cout << "{\"offered_rate\": " << rate
+            << ", \"elapsed_s\": " << elapsed << ", \"throughput_vps\": "
+            << static_cast<double>(completed) / elapsed
+            << ",\n \"service\": " << service.metrics_json() << "}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int channels = static_cast<int>(args.get_long_or("channels", 10));
+  const std::size_t bits =
+      static_cast<std::size_t>(args.get_long_or("bits", 8));
+  double rate = 20000.0;
+  double duration_s = 1.0;
+  try {
+    rate = std::stod(args.get_or("rate", "20000"));
+    duration_s = std::stod(args.get_or("duration-s", "1"));
+  } catch (const std::exception&) {
+    rate = duration_s = 0.0;  // falls through to usage
+  }
+  if (channels < 2 || bits < 1 || bits > 16 || rate <= 0.0 ||
+      duration_s <= 0.0) {
+    std::cerr << "usage: tool_sortd [--channels C>=2] [--bits 1..16]"
+                 " [--workers W] [--window-us U] [--max-lanes L]"
+                 " [--max-inflight N] [--rate R] [--duration-s S]"
+                 " [--seed S] [--stdin]\n";
+    return 2;
+  }
+
+  ServeOptions opt;
+  opt.workers = static_cast<int>(args.get_long_or("workers", 1));
+  opt.flush_window =
+      std::chrono::microseconds(args.get_long_or("window-us", 200));
+  opt.max_lanes =
+      static_cast<std::size_t>(args.get_long_or("max-lanes", 256));
+  opt.max_inflight =
+      static_cast<std::size_t>(args.get_long_or("max-inflight", 4096));
+  SortService service(opt);
+
+  if (args.has("stdin")) return run_stdin(service, bits);
+  return run_load(service, channels, bits, rate, duration_s,
+                  static_cast<std::uint64_t>(args.get_long_or("seed", 42)));
+}
