@@ -16,8 +16,10 @@
 // being absorbed by a slow producer.
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -72,7 +74,11 @@ std::vector<double> parse_list(const std::string& csv) {
     try {
       std::size_t pos = 0;
       const double v = std::stod(item, &pos);
-      if (pos != item.size() || v <= 0.0) return {};  // empty => usage
+      // Finite and positive: these feed PoissonClock rates and window
+      // durations, where inf/NaN would spin the open loop forever.
+      if (pos != item.size() || !std::isfinite(v) || v <= 0.0) {
+        return {};  // empty => usage
+      }
       out.push_back(v);
     } catch (const std::exception&) {
       return {};
@@ -171,6 +177,10 @@ SweepResult open_loop_point(int workers, double rate, long window_us,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The JSON on stdout is consumed by CI artifact tooling; keep it in the
+  // locale-independent "C" form regardless of the global locale.
+  std::cout.imbue(std::locale::classic());
+
   const CliArgs args(argc, argv);
   const int channels = static_cast<int>(args.get_long_or("channels", 10));
   const std::size_t bits =

@@ -8,8 +8,14 @@
 // be tracked across PRs:
 //
 //   bench_sim_throughput [--vectors N] [--bits B] [--channels C]
-//                        [--threads T]   (batch_compiled_mt workers;
-//                                         0 = hardware concurrency)
+//                        [--threads T]   (batch_compiled_mt / level_mt
+//                                         parallelism; 0 = hardware
+//                                         concurrency)
+//
+// batch_compiled_mt shards lane groups across the persistent pool
+// (across-vector); level_mt runs groups sequentially but slices each
+// evaluation's wide levels across the same pool (intra-vector) — the mode
+// that speeds up one huge netlist even at batch size 1.
 //
 // Every engine runs the same input corpus and must produce the same output
 // checksum ("engines_agree": true) — a built-in differential smoke test.
@@ -18,6 +24,7 @@
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <locale>
 #include <string>
 #include <vector>
 
@@ -58,6 +65,10 @@ EngineResult run_engine(const std::string& name, std::size_t vectors, F&& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The JSON on stdout is consumed by CI artifact tooling; keep it in the
+  // locale-independent "C" form regardless of the global locale.
+  std::cout.imbue(std::locale::classic());
+
   std::size_t n_vectors = 16384;
   std::size_t bits = 8;
   int channels = 10;
@@ -163,7 +174,9 @@ int main(int argc, char** argv) {
   }));
 
   results.push_back(run_engine("batch_compiled", n_vectors, [&] {
-    const BatchEvaluator be(nl, BatchOptions{.threads = 1, .compile = {}});
+    BatchOptions o;
+    o.threads = 1;
+    const BatchEvaluator be(nl, o);
     const std::vector<Word> outs = be.run(corpus);
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (const Word& w : outs) h = fnv1a_word(h, w);
@@ -171,8 +184,25 @@ int main(int argc, char** argv) {
   }));
 
   results.push_back(run_engine("batch_compiled_mt", n_vectors, [&] {
-    const BatchEvaluator be(nl,
-                            BatchOptions{.threads = mt_threads, .compile = {}});
+    BatchOptions o;
+    o.threads = mt_threads;
+    const BatchEvaluator be(nl, o);
+    const std::vector<Word> outs = be.run(corpus);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Word& w : outs) h = fnv1a_word(h, w);
+    return h;
+  }));
+
+  results.push_back(run_engine("level_mt", n_vectors, [&] {
+    // Intra-vector level slicing: groups run one at a time, each sliced
+    // across the pool per level. The low min_level_ops makes the slicing
+    // engage on this workload's levels so the parallel path is exercised
+    // (and checksum-checked) even on modest netlists.
+    BatchOptions o;
+    o.threads = mt_threads;
+    o.level_parallel = true;
+    o.level_min_ops = 64;
+    const BatchEvaluator be(nl, o);
     const std::vector<Word> outs = be.run(corpus);
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (const Word& w : outs) h = fnv1a_word(h, w);

@@ -61,3 +61,4 @@
 #include "mcsn/util/histogram.hpp"
 #include "mcsn/util/rng.hpp"
 #include "mcsn/util/table.hpp"
+#include "mcsn/util/thread_pool.hpp"

@@ -1,7 +1,6 @@
 #include "mcsn/netlist/compile.hpp"
 
 #include <algorithm>
-#include <thread>
 
 namespace mcsn {
 
@@ -135,7 +134,46 @@ CompiledProgram CompiledProgram::compile(const Netlist& nl,
 }
 
 BatchEvaluator::BatchEvaluator(const Netlist& nl, const BatchOptions& opt)
-    : prog_(CompiledProgram::compile(nl, opt.compile)), opt_(opt) {}
+    : prog_(CompiledProgram::compile(nl, opt.compile)),
+      opt_(opt),
+      parallel_(opt.threads > 0
+                    ? opt.threads
+                    : (opt.pool
+                           ? static_cast<int>(opt.pool->parallelism())
+                           : static_cast<int>(
+                                 ThreadPool::hardware_parallelism()))),
+      pool_(opt.pool) {}
+
+BatchEvaluator::BatchEvaluator(BatchEvaluator&& other) noexcept
+    : prog_(std::move(other.prog_)),
+      opt_(std::move(other.opt_)),
+      parallel_(other.parallel_) {
+  std::lock_guard lock(other.pool_mu_);
+  pool_ = std::move(other.pool_);
+}
+
+BatchEvaluator& BatchEvaluator::operator=(BatchEvaluator&& other) noexcept {
+  if (this != &other) {
+    prog_ = std::move(other.prog_);
+    opt_ = std::move(other.opt_);
+    parallel_ = other.parallel_;
+    std::scoped_lock lock(pool_mu_, other.pool_mu_);
+    pool_ = std::move(other.pool_);
+  }
+  return *this;
+}
+
+ThreadPool* BatchEvaluator::acquire_pool() const {
+  std::lock_guard lock(pool_mu_);
+  if (!pool_ && parallel_ > 1) {
+    // Lazily owned, created once and kept: construction cost (the only
+    // thread spawns this evaluator ever performs) is paid on the first
+    // parallel run(), never per call.
+    pool_ = std::make_shared<ThreadPool>(
+        static_cast<std::size_t>(parallel_ - 1));
+  }
+  return pool_.get();
+}
 
 std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
   using Backend = Packed256Backend;
@@ -148,43 +186,62 @@ std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
   if (n == 0) return results;
   const std::size_t groups = (n + kLanes - 1) / kLanes;
 
-  auto worker = [&](std::size_t first_group, std::size_t stride) {
+  const auto pack = [&](std::span<Backend::Value> packed, std::size_t base,
+                        int active) {
+    for (std::size_t i = 0; i < width; ++i) {
+      Backend::Value& v = packed[i];
+      for (int lane = 0; lane < active; ++lane) {
+        assert(inputs[base + static_cast<std::size_t>(lane)].size() == width);
+        v.set_lane(lane, inputs[base + static_cast<std::size_t>(lane)][i]);
+      }
+    }
+  };
+  const auto unpack = [&](const auto& exec, std::size_t base, int active) {
+    for (int lane = 0; lane < active; ++lane) {
+      Word w(outs);
+      for (std::size_t o = 0; o < outs; ++o) {
+        w[o] = exec.output_lane(o, lane);
+      }
+      results[base + static_cast<std::size_t>(lane)] = std::move(w);
+    }
+  };
+
+  if (opt_.level_parallel) {
+    // Intra-vector mode: lane groups run sequentially; each evaluation is
+    // sliced across wide levels on the pool. Effective even at one group.
+    LevelParallelExecutor<Backend> exec(
+        prog_, parallel_ > 1 ? acquire_pool() : nullptr,
+        LevelParallelOptions{parallel_, opt_.level_min_ops});
+    std::vector<Backend::Value> packed(width);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t base = g * kLanes;
+      const int active = static_cast<int>(std::min(kLanes, n - base));
+      pack(packed, base, active);
+      exec.run(packed);
+      unpack(exec, base, active);
+    }
+    return results;
+  }
+
+  const auto shard = [&](std::size_t first_group, std::size_t stride) {
     CompiledExecutor<Backend> exec(prog_);
     std::vector<Backend::Value> packed(width);
     for (std::size_t g = first_group; g < groups; g += stride) {
       const std::size_t base = g * kLanes;
       const int active = static_cast<int>(std::min(kLanes, n - base));
-      for (std::size_t i = 0; i < width; ++i) {
-        Backend::Value& v = packed[i];
-        for (int lane = 0; lane < active; ++lane) {
-          assert(inputs[base + static_cast<std::size_t>(lane)].size() == width);
-          v.set_lane(lane, inputs[base + static_cast<std::size_t>(lane)][i]);
-        }
-      }
+      pack(packed, base, active);
       exec.run(packed);
-      for (int lane = 0; lane < active; ++lane) {
-        Word w(outs);
-        for (std::size_t o = 0; o < outs; ++o) {
-          w[o] = exec.output_lane(o, lane);
-        }
-        results[base + static_cast<std::size_t>(lane)] = std::move(w);
-      }
+      unpack(exec, base, active);
     }
   };
 
-  std::size_t threads =
-      opt_.threads > 0 ? static_cast<std::size_t>(opt_.threads)
-                       : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, groups);
-  if (threads <= 1) {
-    worker(0, 1);
+  const std::size_t shards =
+      std::min(static_cast<std::size_t>(parallel_), groups);
+  if (shards <= 1) {
+    shard(0, 1);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back(worker, t, threads);
-    }
-    for (std::thread& t : pool) t.join();
+    acquire_pool()->run_and_wait(
+        shards, [&](std::size_t t) { shard(t, shards); });
   }
   return results;
 }

@@ -1,5 +1,6 @@
 #include "mcsn/serve/metrics.hpp"
 
+#include <locale>
 #include <sstream>
 
 namespace mcsn {
@@ -12,6 +13,9 @@ double MetricsSnapshot::mean_occupancy() const {
 
 std::string MetricsSnapshot::json() const {
   std::ostringstream os;
+  // Locale-independent output: this JSON is parsed by CI artifact tooling,
+  // so a grouping/comma global locale must not leak into it.
+  os.imbue(std::locale::classic());
   os << "{\"submitted\": " << submitted << ", \"completed\": " << completed
      << ", \"rejected\": " << rejected << ", \"failed\": " << failed
      << ", \"batches\": " << batches << ", \"flush\": {\"lane_full\": "

@@ -24,16 +24,24 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while the queue is full. Returns false (and drops `item`) if the
-  /// queue is or becomes closed before space frees up.
-  bool push(T item) {
+  /// queue is or becomes closed before space frees up. Prefer
+  /// push_or_reclaim when the item must not be lost on refusal.
+  [[nodiscard]] bool push(T item) {
+    return !push_or_reclaim(std::move(item)).has_value();
+  }
+
+  /// Blocking push that hands `item` back instead of destroying it when the
+  /// queue is (or becomes) closed: nullopt on success, the unconsumed item
+  /// on refusal — so the caller can fail promises, log, or retry elsewhere.
+  [[nodiscard]] std::optional<T> push_or_reclaim(T item) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock,
                    [this] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    if (closed_) return std::optional<T>(std::move(item));
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return std::nullopt;
   }
 
   /// Non-blocking push: false when full or closed (item dropped).

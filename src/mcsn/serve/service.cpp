@@ -17,11 +17,22 @@ ServeOptions sanitize(ServeOptions opt) {
   if (opt.flush_window < std::chrono::microseconds(0)) {
     opt.flush_window = std::chrono::microseconds(0);
   }
-  // Workers are the service's parallelism unit; the default "auto" engine
-  // sharding would nest a hardware_concurrency-sized pool inside every
-  // worker whenever max_lanes spans multiple lane groups. An explicit
-  // thread count is respected.
-  if (opt.sorter.batch.threads == 0) opt.sorter.batch.threads = 1;
+  // Engine parallelism is one persistent pool shared by every worker and
+  // every pooled sorter (see ServeOptions::sorter), so thread count is
+  // additive (workers + pool), never multiplicative. With no pool and no
+  // explicit thread count the engine stays serial inside a worker — the
+  // workers knob remains the service's parallelism unit.
+  BatchOptions& batch = opt.sorter.batch;
+  if (batch.pool) {
+    if (batch.threads <= 0) {
+      batch.threads = static_cast<int>(batch.pool->parallelism());
+    }
+  } else if (batch.threads > 1) {
+    batch.pool =
+        std::make_shared<ThreadPool>(static_cast<std::size_t>(batch.threads - 1));
+  } else {
+    batch.threads = 1;
+  }
   return opt;
 }
 
@@ -102,7 +113,12 @@ std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
   MicroBatcher::AddResult added =
       batcher_.add(std::move(sorter), std::move(request), now);
   if (added.full) {
-    ready_.push(std::move(*added.full));
+    // A refused push must not drop the group: its promises (including the
+    // one whose future this call returns) would die unfulfilled and its
+    // inflight slots would leak, wedging every later submitter at the
+    // backpressure gate. publish_ready fails the group explicitly instead;
+    // this caller then sees the failure through its own future.
+    publish_ready(std::move(*added.full));
   } else if (added.window_started) {
     // Wake a worker so it tracks the fresh shard's flush deadline; an empty
     // group is the kick (workers skip it and recompute their deadline).
@@ -137,9 +153,10 @@ void SortService::stop() {
   }
   inflight_cv_.notify_all();  // abort submitters blocked on backpressure
   for (BatchGroup& group : batcher_.take_all()) {
-    // Blocks while full (workers are still draining); the queue isn't
-    // closed yet, so the push can't be refused.
-    ready_.push(std::move(group));
+    // Blocks while full (workers are still draining). The queue isn't
+    // closed yet so the push should succeed, but a refusal must still fail
+    // the group's promises rather than strand every waiter.
+    publish_ready(std::move(group));
   }
   ready_.close();
   for (std::thread& t : workers_) t.join();
@@ -163,7 +180,16 @@ void SortService::worker_loop() {
       execute(std::move(*group));
       continue;
     }
-    if (ready_.closed() && ready_.empty() && batcher_.empty()) return;
+    if (ready_.closed() && ready_.empty()) {
+      // The queue only closes during shutdown: nothing in the batcher can
+      // gain lane-mates anymore, so drain it now instead of spinning on an
+      // instantly-returning pop until a flush window (which may be hours)
+      // expires. Concurrent workers split the groups via take_all's lock.
+      for (BatchGroup& leftover : batcher_.take_all()) {
+        execute(std::move(leftover));
+      }
+      return;
+    }
   }
 }
 
@@ -194,6 +220,25 @@ void SortService::execute(BatchGroup group) {
     metrics_.on_batch(n, group.cause, Histogram{}, n);
     const std::exception_ptr ex = std::current_exception();
     for (SortRequest& r : group.requests) r.result.set_exception(ex);
+  }
+  release_inflight(n);
+}
+
+void SortService::publish_ready(BatchGroup group) {
+  if (std::optional<BatchGroup> refused =
+          ready_.push_or_reclaim(std::move(group))) {
+    fail_group(std::move(*refused), "SortService: batch queue closed");
+  }
+}
+
+void SortService::fail_group(BatchGroup group, const char* reason) {
+  const std::size_t n = group.requests.size();
+  if (n == 0) return;
+  const std::exception_ptr ex =
+      std::make_exception_ptr(std::runtime_error(reason));
+  for (SortRequest& r : group.requests) {
+    metrics_.on_rejected();
+    r.result.set_exception(ex);
   }
   release_inflight(n);
 }

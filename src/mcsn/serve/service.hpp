@@ -54,6 +54,19 @@ struct ServeOptions {
   /// Bound on flushed-but-not-yet-executed lane groups.
   std::size_t ready_capacity = 64;
   /// Knobs for pooled sorters (network choice, sort2 style, engine).
+  ///
+  /// Engine threading composes with the service's workers through one
+  /// shared ThreadPool instead of nesting thread sets per worker:
+  ///   * sorter.batch.pool set      — every pooled sorter shards onto that
+  ///     pool (inject one pool to share it across services and other
+  ///     BatchEvaluator owners);
+  ///   * sorter.batch.threads > 1   — the service creates one pool of
+  ///     threads - 1 workers shared by all shapes and all workers;
+  ///   * sorter.batch.threads == 0  — engine stays serial inside a worker
+  ///     (the workers knob is the service's parallelism unit by default).
+  /// Total thread count is workers + pool size — never workers x threads.
+  /// sorter.batch.level_parallel rides the same pool for intra-vector
+  /// slicing of huge netlists.
   McSorterOptions sorter;
 };
 
@@ -93,8 +106,16 @@ class SortService {
   [[nodiscard]] std::size_t shapes() const { return pool_.size(); }
 
  private:
+  friend struct SortServiceTestPeer;  // white-box fault injection in tests
+
   void worker_loop();
   void execute(BatchGroup group);
+  /// Hands a flushed group to the workers; if the ready queue refuses it
+  /// (closed), fails every promise in the group instead of dropping it.
+  void publish_ready(BatchGroup group);
+  /// Fails all promises of a group that can no longer execute, counting
+  /// each request as rejected and releasing its inflight slot.
+  void fail_group(BatchGroup group, const char* reason);
   void release_inflight(std::size_t n);
 
   ServeOptions opt_;

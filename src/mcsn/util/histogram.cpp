@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <locale>
 #include <sstream>
 
 namespace mcsn {
@@ -62,6 +63,10 @@ std::string Histogram::json(double unit) const {
     return static_cast<double>(v) / unit;
   };
   std::ostringstream os;
+  // A default-constructed stream inherits the global locale; under e.g. a
+  // de_DE locale that means digit grouping and decimal commas — invalid
+  // JSON. Always emit in the locale-independent "C" form.
+  os.imbue(std::locale::classic());
   os << "{\"count\": " << count_ << ", \"min\": " << scaled(min())
      << ", \"p50\": " << scaled(quantile(0.5))
      << ", \"p90\": " << scaled(quantile(0.9))

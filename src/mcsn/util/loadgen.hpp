@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "mcsn/core/valid.hpp"
@@ -21,10 +22,18 @@ namespace mcsn {
 /// late the caller is (that's what makes the loop open rather than closed).
 class PoissonClock {
  public:
+  /// Throws std::invalid_argument unless rate_per_sec is finite and > 0 —
+  /// a zero/negative/NaN rate would make every deadline inf or NaN, and
+  /// sleep_until(inf) degrades to a never-ending spin in the open loop.
   PoissonClock(double rate_per_sec, Xoshiro256& rng,
                std::chrono::steady_clock::time_point start =
                    std::chrono::steady_clock::now())
-      : rate_(rate_per_sec), rng_(&rng), start_(start) {}
+      : rate_(rate_per_sec), rng_(&rng), start_(start) {
+    if (!std::isfinite(rate_per_sec) || rate_per_sec <= 0.0) {
+      throw std::invalid_argument(
+          "PoissonClock: rate_per_sec must be finite and > 0");
+    }
+  }
 
   [[nodiscard]] std::chrono::steady_clock::time_point next() {
     // uniform() is in [0, 1), so 1 - u is in (0, 1] and log() is finite.

@@ -1,0 +1,96 @@
+#include "mcsn/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mcsn {
+
+namespace {
+std::atomic<std::uint64_t> g_threads_started{0};
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&ThreadPool::worker_loop, this);
+    g_threads_started.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::hardware_parallelism() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::uint64_t ThreadPool::threads_started() noexcept {
+  return g_threads_started.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::execute(const std::shared_ptr<Batch>& batch, std::size_t i,
+                         std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    (*batch->fn)(i);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  if (err && !batch->error) batch->error = err;
+  if (++batch->done == batch->total) batch->finished.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (!pending_.empty()) {
+      // Claim the next index of the oldest batch; drop the batch from the
+      // pending deque once fully claimed (completion is tracked separately
+      // by done, which stragglers keep bumping).
+      const std::shared_ptr<Batch> batch = pending_.front();
+      const std::size_t i = batch->next++;
+      if (batch->next == batch->total) pending_.pop_front();
+      execute(batch, i, lock);
+      continue;
+    }
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::run_and_wait(std::size_t n,
+                              const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  const auto batch = std::make_shared<Batch>();
+  batch->fn = &task;
+  batch->total = n;
+
+  std::unique_lock lock(mu_);
+  const bool offer = n > 1 && !workers_.empty();
+  if (offer) pending_.push_back(batch);
+  lock.unlock();
+  if (offer) work_cv_.notify_all();
+  lock.lock();
+
+  // The caller works its own batch alongside the pool, so a pool busy with
+  // other owners (or with zero workers) still makes progress.
+  while (batch->next < batch->total) {
+    const std::size_t i = batch->next++;
+    if (batch->next == batch->total && offer) {
+      std::erase(pending_, batch);
+    }
+    execute(batch, i, lock);
+  }
+  batch->finished.wait(lock, [&] { return batch->done == batch->total; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace mcsn

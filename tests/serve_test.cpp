@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <locale>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +22,16 @@
 #include "mcsn/util/rng.hpp"
 
 namespace mcsn {
+
+/// White-box fault injection: closes the ready queue underneath a live
+/// service so tests can drive the refused-push path that no public API
+/// sequence reaches (the lifecycle lock orders real close() after drain).
+struct SortServiceTestPeer {
+  static void close_ready_queue(SortService& service) {
+    service.ready_.close();
+  }
+};
+
 namespace {
 
 using namespace std::chrono_literals;
@@ -80,6 +93,57 @@ TEST(BoundedQueue, CloseUnblocksWaitingConsumer) {
   std::this_thread::sleep_for(5ms);
   q.close();
   consumer.join();
+}
+
+TEST(BoundedQueue, CloseUnblocksAllBlockedProducers) {
+  // Several producers stuck in a blocking push on a full queue: close()
+  // must wake every one of them, each returning false, with no deadlock.
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));  // fill to capacity
+  constexpr int kProducers = 3;
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (!q.push(100 + p)) ++refused;
+    });
+  }
+  std::this_thread::sleep_for(20ms);  // let them reach the full-queue wait
+  q.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(refused.load(), kProducers);
+  EXPECT_EQ(q.pop(), 0);  // pre-close item still drains
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CapacityZeroClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));   // one slot exists
+  EXPECT_FALSE(q.try_push(2));  // and only one
+  EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(BoundedQueue, PopUntilWithExpiredDeadline) {
+  BoundedQueue<int> q(2);
+  // Empty + already-expired deadline: immediate nullopt, no wait.
+  const auto past = Clock::now() - 1h;
+  const auto t0 = Clock::now();
+  EXPECT_EQ(q.pop_until(past), std::nullopt);
+  EXPECT_LT(Clock::now() - t0, 5s);  // returned promptly, no 1h hang
+  // An available item is still handed out even though the deadline passed.
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.pop_until(past), 7);
+}
+
+TEST(BoundedQueue, PushOrReclaimReturnsItemWhenClosed) {
+  BoundedQueue<std::string> q(2);
+  EXPECT_EQ(q.push_or_reclaim("kept"), std::nullopt);
+  q.close();
+  const std::optional<std::string> back = q.push_or_reclaim("bounced");
+  ASSERT_TRUE(back.has_value());  // the item survives the refusal
+  EXPECT_EQ(*back, "bounced");
+  EXPECT_EQ(q.pop(), "kept");
 }
 
 // --- SorterPool -------------------------------------------------------------
@@ -287,6 +351,112 @@ TEST(SortService, StopDrainsEveryPendingFuture) {
                std::runtime_error);
   EXPECT_EQ(service.metrics().rejected, 1u);
   service.stop();  // idempotent
+}
+
+// Regression: a refused ready-queue push used to drop the BatchGroup on the
+// floor — promises died unfulfilled and the group's inflight slots leaked,
+// wedging all later submitters at the backpressure gate. Now every request
+// in the refused group fails fast and its slots are released.
+TEST(SortService, RefusedReadyPushFailsGroupInsteadOfDroppingIt) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.max_lanes = 1;   // every submit flushes a full group immediately
+  opt.max_inflight = 2;  // tight bound: leaked slots would hang the test
+  SortService service(opt);
+  Xoshiro256 rng(31);
+
+  SortServiceTestPeer::close_ready_queue(service);
+
+  // Well past max_inflight: only possible if each refused group releases
+  // its inflight slots. Every future must carry the failure, not hang.
+  for (int i = 0; i < 8; ++i) {
+    std::future<std::vector<Word>> f = service.submit(random_round(rng, 4, 4));
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "request " << i;
+    EXPECT_THROW((void)f.get(), std::runtime_error) << "request " << i;
+  }
+
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, 8u);
+  EXPECT_EQ(m.rejected, 8u);  // refused pushes count as rejections
+  EXPECT_EQ(m.completed, 0u);
+  service.stop();  // still clean to stop after the induced fault
+}
+
+// The engine pool knob: batch.threads > 1 creates ONE pool shared by every
+// worker and shape (never workers x threads), and serving results stay
+// bit-identical to direct sort_batch.
+TEST(SortService, SharedEnginePoolServesCorrectlyAcrossShapes) {
+  ServeOptions opt;
+  opt.workers = 2;
+  opt.flush_window = 200us;
+  // max_lanes spans two 256-lane engine groups, so a full flush actually
+  // shards across the pool — the exact nesting the old sanitize() hack
+  // had to forbid.
+  opt.max_lanes = 512;
+  opt.sorter.batch.threads = 3;  // one shared 2-worker pool via sanitize()
+  SortService service(opt);
+  ASSERT_NE(service.options().sorter.batch.pool, nullptr);
+  EXPECT_EQ(service.options().sorter.batch.pool->worker_count(), 2u);
+
+  const std::uint64_t spawned = ThreadPool::threads_started();
+  Xoshiro256 rng(17);
+  struct Shape {
+    int channels;
+    std::size_t bits;
+  };
+  for (const Shape s : {Shape{4, 4}, Shape{6, 3}}) {
+    std::vector<std::vector<Word>> rounds;
+    std::vector<std::future<std::vector<Word>>> futures;
+    for (int i = 0; i < 600; ++i) {  // > 512: at least one sharded flush
+      rounds.push_back(random_round(rng, s.channels, s.bits));
+      futures.push_back(service.submit(rounds.back()));
+    }
+    // Explicitly serial reference: default auto-threads would lazily spawn
+    // a pool of its own on multi-core hosts and trip the spawn assertion.
+    McSorterOptions serial;
+    serial.batch.threads = 1;
+    const McSorter reference(s.channels, s.bits, serial);
+    const auto expect = reference.sort_batch(rounds);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      ASSERT_EQ(futures[i].get(), expect[i])
+          << s.channels << "x" << s.bits << " request " << i;
+    }
+  }
+  // Every shape's sorter shared the one service pool, and serving spawned
+  // nothing further (the references above are explicitly serial).
+  EXPECT_EQ(ThreadPool::threads_started(), spawned);
+  service.stop();
+}
+
+// Metrics JSON must stay locale-independent (CI parses the artifacts).
+TEST(SortService, MetricsJsonIsLocaleIndependent) {
+  struct CommaPunct : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  MetricsSnapshot snap;
+  snap.submitted = 1234567;
+  snap.completed = 1234567;
+  snap.batches = 1000;
+  snap.max_lanes = 256;
+  for (int i = 0; i < 1000; ++i) snap.latency_ns.record(2500000);
+
+  const std::locale previous =
+      std::locale::global(std::locale(std::locale::classic(),
+                                      new CommaPunct));
+  const std::string json = snap.json();
+  std::locale::global(previous);
+
+  EXPECT_NE(json.find("\"submitted\": 1234567"), std::string::npos) << json;
+  EXPECT_EQ(json.find("1.234"), std::string::npos) << json;  // no grouping
+  // Commas may only be JSON separators (always followed by a space here),
+  // never decimal commas inside a number.
+  for (std::size_t pos = json.find(','); pos != std::string::npos;
+       pos = json.find(',', pos + 1)) {
+    ASSERT_LT(pos + 1, json.size());
+    EXPECT_EQ(json[pos + 1], ' ') << "decimal comma at " << pos << ": " << json;
+  }
 }
 
 TEST(SortService, RejectsMalformedRounds) {

@@ -17,9 +17,11 @@
 //               --max-lanes L --max-inflight N --seed S
 
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <future>
 #include <iostream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -113,10 +115,19 @@ int run_load(SortService& service, int channels, std::size_t bits,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // JSON and sorted rounds must come out locale-independent even if a
+  // linked component switches the global locale.
+  std::cout.imbue(std::locale::classic());
+  std::cerr.imbue(std::locale::classic());
+
   const CliArgs args(argc, argv);
   const int channels = static_cast<int>(args.get_long_or("channels", 10));
   const std::size_t bits =
       static_cast<std::size_t>(args.get_long_or("bits", 8));
+  const long workers = args.get_long_or("workers", 1);
+  const long window_us = args.get_long_or("window-us", 200);
+  const long max_lanes = args.get_long_or("max-lanes", 256);
+  const long max_inflight = args.get_long_or("max-inflight", 4096);
   double rate = 20000.0;
   double duration_s = 1.0;
   try {
@@ -125,23 +136,24 @@ int main(int argc, char** argv) {
   } catch (const std::exception&) {
     rate = duration_s = 0.0;  // falls through to usage
   }
-  if (channels < 2 || bits < 1 || bits > 16 || rate <= 0.0 ||
-      duration_s <= 0.0) {
+  // Reject (rather than clamp) every value that would wedge the open loop:
+  // a non-finite or non-positive rate feeds PoissonClock inf/NaN deadlines,
+  // and negative pool/queue bounds would wrap through the size_t casts.
+  if (channels < 2 || bits < 1 || bits > 16 || !std::isfinite(rate) ||
+      rate <= 0.0 || !std::isfinite(duration_s) || duration_s <= 0.0 ||
+      workers < 1 || window_us < 0 || max_lanes < 1 || max_inflight < 1) {
     std::cerr << "usage: tool_sortd [--channels C>=2] [--bits 1..16]"
-                 " [--workers W] [--window-us U] [--max-lanes L]"
-                 " [--max-inflight N] [--rate R] [--duration-s S]"
+                 " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
+                 " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
                  " [--seed S] [--stdin]\n";
     return 2;
   }
 
   ServeOptions opt;
-  opt.workers = static_cast<int>(args.get_long_or("workers", 1));
-  opt.flush_window =
-      std::chrono::microseconds(args.get_long_or("window-us", 200));
-  opt.max_lanes =
-      static_cast<std::size_t>(args.get_long_or("max-lanes", 256));
-  opt.max_inflight =
-      static_cast<std::size_t>(args.get_long_or("max-inflight", 4096));
+  opt.workers = static_cast<int>(workers);
+  opt.flush_window = std::chrono::microseconds(window_us);
+  opt.max_lanes = static_cast<std::size_t>(max_lanes);
+  opt.max_inflight = static_cast<std::size_t>(max_inflight);
   SortService service(opt);
 
   if (args.has("stdin")) return run_stdin(service, bits);
