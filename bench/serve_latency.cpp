@@ -8,18 +8,22 @@
 //                       [--windows-us w1,w2,...] [--seed S]
 //
 // The capacity phase is closed-loop (submit as fast as backpressure allows)
-// and doubles as a differential check: serve-path and naive-path outputs
-// are both hashed against direct sort_batch outputs and the process fails
-// on mismatch. The sweep
-// phase is open-loop: arrivals are scheduled by an exponential clock
-// independent of completions, so queueing delay shows up in p99 instead of
-// being absorbed by a slow producer.
+// and doubles as a differential check: every series — naive per-request,
+// futures serve path, callback-completion serve path (submit_callback) and
+// the direct zero-copy engine path (flat_batch) — is hashed against direct
+// sort_batch outputs and the process fails on mismatch. The sweep phase is
+// open-loop: arrivals are scheduled by an exponential clock independent of
+// completions, so queueing delay shows up in p99 instead of being absorbed
+// by a slow producer.
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <iostream>
 #include <locale>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -113,6 +117,97 @@ double naive_vps(int threads, int channels, std::size_t bits,
   return static_cast<double>(rounds.size()) / secs;
 }
 
+std::uint64_t fnv1a_flat(std::uint64_t h, std::span<const Trit> trits) {
+  for (const Trit t : trits) {
+    h ^= static_cast<std::uint64_t>(t) + 1;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The zero-copy upper bound: one sort_batch_flat over the whole corpus in
+/// a single flat buffer — what the serve path amortizes toward. Flattening
+/// is untimed (a real producer would have written flat buffers to begin
+/// with); `checksum` chains the flat output rows, comparable to the
+/// serve-path chain.
+double flat_batch_vps(int threads, int channels, std::size_t bits,
+                      const std::vector<std::vector<Word>>& rounds,
+                      std::uint64_t& checksum) {
+  McSorterOptions opt;
+  opt.batch.threads = threads;
+  const McSorter sorter(channels, bits, opt);
+  const std::size_t round_trits = sorter.shape().trits();
+  std::vector<Trit> in;
+  in.reserve(rounds.size() * round_trits);
+  for (const std::vector<Word>& round : rounds) {
+    for (const Word& w : round) in.insert(in.end(), w.begin(), w.end());
+  }
+  std::vector<Trit> out(in.size());
+  const auto t0 = Clock::now();
+  const Status status = sorter.sort_batch_flat(in, out);
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!status.ok()) {
+    std::cerr << "flat_batch failed: " << status.to_string() << "\n";
+    checksum = 0;
+    return 0.0;
+  }
+  checksum = fnv1a_flat(0xcbf29ce484222325ULL, out);
+  return static_cast<double>(rounds.size()) / secs;
+}
+
+/// Serve capacity via callback completions: no promise/future shared state
+/// per request; each completion writes its slot and the last one releases
+/// the driver. `checksum` chains the responses in submission order.
+double serve_callback_vps(int workers, std::chrono::microseconds window,
+                          const std::vector<std::vector<Word>>& rounds,
+                          std::uint64_t& checksum, MetricsSnapshot& metrics) {
+  const std::size_t n = rounds.size();
+  // Completion state outlives the service (declared first): any return
+  // path destroys the service — whose stop() runs the still-pending
+  // callbacks — before the slots they write to.
+  std::vector<SortResponse> slots(n);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+
+  ServeOptions opt;
+  opt.workers = workers;
+  opt.flush_window = window;
+  SortService service(opt);
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    StatusOr<SortRequest> request = SortRequest::from_words(rounds[i]);
+    if (!request.ok()) {
+      std::cerr << "submit_callback: " << request.status().to_string() << "\n";
+      checksum = 0;
+      return 0.0;
+    }
+    service.submit(std::move(*request), [&, i](SortResponse response) {
+      slots[i] = std::move(response);
+      std::lock_guard lock(mu);
+      if (++completed == n) cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return completed == n; });
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  metrics = service.metrics();
+  checksum = 0xcbf29ce484222325ULL;
+  for (const SortResponse& response : slots) {
+    if (!response.status.ok()) {
+      std::cerr << "submit_callback response: "
+                << response.status.to_string() << "\n";
+      checksum = 0;
+      return 0.0;
+    }
+    checksum = fnv1a_flat(checksum, response.payload);
+  }
+  return static_cast<double>(n) / secs;
+}
+
 /// Serve capacity: closed-loop submission into the micro-batching service
 /// with `workers` executor threads.
 double serve_vps(int workers, std::chrono::microseconds window,
@@ -194,12 +289,22 @@ int main(int argc, char** argv) {
       parse_list(args.get_or("rates", "10000,50000,200000"));
   const std::vector<double> windows =
       parse_list(args.get_or("windows-us", "100,500"));
-  if (channels < 2 || bits < 1 || bits > 16 || workers < 1 || requests < 1 ||
+  if (channels < 2 || bits < 1 || bits > 16 || requests < 1 ||
       rates.empty() || windows.empty()) {
     std::cerr << "usage: bench_serve_latency [--channels C>=2] [--bits 1..16]"
                  " [--workers W>=1] [--requests N>=1]"
                  " [--rates r1,r2,...] [--windows-us w1,w2,...] [--seed S]\n";
     return 2;
+  }
+  // Service knobs go through ServeOptions::validate() so an out-of-range
+  // flag errors with the offending knob named instead of being clamped.
+  {
+    ServeOptions probe;
+    probe.workers = workers;
+    if (Status s = probe.validate(); !s.ok()) {
+      std::cerr << "bench_serve_latency: " << s.to_string() << "\n";
+      return 2;
+    }
   }
 
   const std::vector<std::vector<Word>> rounds =
@@ -223,15 +328,28 @@ int main(int argc, char** argv) {
   const double serve =
       serve_vps(workers, std::chrono::microseconds(200), rounds, serve_sum,
                 cap_metrics);
-  const bool agree = serve_sum == expect_chain && naive_sum == expect_digest;
+  std::uint64_t callback_sum = 0;
+  MetricsSnapshot callback_metrics;
+  const double callback =
+      serve_callback_vps(workers, std::chrono::microseconds(200), rounds,
+                         callback_sum, callback_metrics);
+  std::uint64_t flat_sum = 0;
+  const double flat = flat_batch_vps(workers, channels, bits, rounds,
+                                     flat_sum);
+  const bool agree = serve_sum == expect_chain && naive_sum == expect_digest &&
+                     callback_sum == expect_chain && flat_sum == expect_chain;
 
   std::cout << "{\n  \"workload\": {\"channels\": " << channels
             << ", \"bits\": " << bits << ", \"workers\": " << workers
             << ", \"requests\": " << requests << "},\n"
             << "  \"capacity\": {\"naive_vps\": " << naive
             << ", \"serve_vps\": " << serve
+            << ", \"submit_callback_vps\": " << callback
+            << ", \"flat_batch_vps\": " << flat
             << ", \"speedup\": " << (naive > 0.0 ? serve / naive : 0.0)
             << ", \"serve_mean_occupancy\": " << cap_metrics.mean_occupancy()
+            << ", \"callback_mean_occupancy\": "
+            << callback_metrics.mean_occupancy()
             << ", \"results_match_sort_batch\": " << (agree ? "true" : "false")
             << "},\n  \"sweep\": [\n";
   bool first = true;

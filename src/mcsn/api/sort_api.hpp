@@ -1,0 +1,148 @@
+#pragma once
+// The unified request/response object model for every sorting path.
+//
+// A SortRequest is one measurement round in the shape {channels, bits}:
+// a *flat, contiguous* trit payload of channels x bits trits (round-major,
+// channel c's word occupying [c*bits, (c+1)*bits)), viewed through a
+// std::span. The span either aliases caller memory (zero-copy: the caller
+// guarantees the buffer outlives completion) or points into storage the
+// request owns. Intent flags ride along: whether the caller thinks in raw
+// Gray-coded trits or plain integers, and an optional deadline after which
+// the service fails the request with kDeadlineExceeded instead of sorting
+// it late.
+//
+// A SortResponse carries the sorted payload back with a Status and the
+// measured submit-to-completion latency. All validation errors surface as
+// Status values; nothing on this path throws.
+//
+//   auto req = SortRequest::from_values({.channels = 4, .bits = 8},
+//                                       std::array{5u, 2u, 7u, 1u});
+//   SortResponse rsp = service.submit(std::move(*req)).get();
+//   if (rsp.status.ok()) { auto sorted = rsp.values(); ... }
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mcsn/api/status.hpp"
+#include "mcsn/core/word.hpp"
+
+namespace mcsn {
+
+/// The shape of a measurement round: how many channels (words) of how many
+/// bits each. Keys sorter pools, micro-batcher shards and wire frames.
+struct SortShape {
+  int channels = 0;
+  std::size_t bits = 0;
+
+  /// Flat payload length: channels x bits trits.
+  [[nodiscard]] std::size_t trits() const noexcept {
+    return static_cast<std::size_t>(channels) * bits;
+  }
+
+  /// Non-degenerate and small enough that trits() cannot overflow or
+  /// describe an absurd netlist (also the bound wire decoding enforces).
+  [[nodiscard]] Status validate() const;
+
+  bool operator==(const SortShape&) const = default;
+  auto operator<=>(const SortShape&) const = default;
+};
+
+/// Upper bounds validate() enforces; generous for real TDC workloads while
+/// keeping shape arithmetic and wire-frame sizes trivially safe.
+inline constexpr int kMaxChannels = 1 << 16;
+inline constexpr std::size_t kMaxBits = 1 << 16;
+
+struct SortRequest {
+  SortShape shape;
+
+  /// Flat round payload, shape.trits() long. May alias caller memory
+  /// (factory `view`) or point into `storage` (all other factories).
+  std::span<const Trit> payload;
+
+  /// Optional backing buffer; shared so requests stay cheap to copy.
+  std::shared_ptr<const std::vector<Trit>> storage;
+
+  /// Caller-intent flag: true when the round was given as integers and the
+  /// response should read back as integers (SortResponse::values(), wire
+  /// value frames). The engine always works on the Gray-coded trits.
+  bool values_requested = false;
+
+  /// If set, the request is failed with kDeadlineExceeded when its batch
+  /// flushes after this instant (checked at flush time, not admission).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  // --- factories (each validates; non-OK means no request was built) ------
+
+  /// Zero-copy: `flat` must stay alive until the request completes.
+  [[nodiscard]] static StatusOr<SortRequest> view(SortShape shape,
+                                                  std::span<const Trit> flat);
+
+  /// Takes ownership of the flat payload.
+  [[nodiscard]] static StatusOr<SortRequest> own(SortShape shape,
+                                                 std::vector<Trit> flat);
+
+  /// Gray-encodes `values` (one per channel) at shape.bits wide. Rejects
+  /// bits > 64 (values are uint64_t) and out-of-range values.
+  [[nodiscard]] static StatusOr<SortRequest> from_values(
+      SortShape shape, std::span<const std::uint64_t> values);
+
+  /// Bridges the legacy vector-of-Words round (flattens once).
+  [[nodiscard]] static StatusOr<SortRequest> from_words(
+      const std::vector<Word>& round);
+
+  /// Re-checks the invariants the factories establish (payload length,
+  /// shape bounds) — for requests decoded from the wire or hand-built.
+  [[nodiscard]] Status validate() const;
+
+  /// Convenience: deadline = now + budget.
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    deadline = std::chrono::steady_clock::now() + budget;
+  }
+};
+
+struct SortResponse {
+  /// kOk iff `payload` holds the sorted round.
+  Status status;
+  SortShape shape;
+
+  /// Flat sorted payload (shape.trits() trits); empty unless status.ok().
+  std::vector<Trit> payload;
+
+  /// Echoed from the request (drives wire encoding and values()).
+  bool values_requested = false;
+
+  /// Submit-to-completion time as measured by the service; zero for
+  /// synchronous paths that don't time themselves.
+  std::chrono::nanoseconds latency{0};
+
+  /// The sorted round as per-channel Words. Precondition: status.ok().
+  [[nodiscard]] std::vector<Word> words() const;
+
+  /// Gray-decodes the sorted round to integers. Fails with
+  /// kFailedPrecondition if any output trit is metastable (M cannot be
+  /// decoded) and kInvalidArgument if bits > 64.
+  [[nodiscard]] StatusOr<std::vector<std::uint64_t>> values() const;
+
+  [[nodiscard]] static SortResponse failure(Status status, SortShape shape,
+                                            bool values_requested = false) {
+    SortResponse r;
+    r.status = std::move(status);
+    r.shape = shape;
+    r.values_requested = values_requested;
+    return r;
+  }
+};
+
+/// Gray-decodes a flat payload (shape.trits() trits, channel-major) to one
+/// integer per channel — the one decode loop SortResponse::values() and
+/// the wire codec share. Fails with kInvalidArgument on a payload/shape
+/// size mismatch or bits > 64, kFailedPrecondition if any trit is
+/// metastable (M has no integer form).
+[[nodiscard]] StatusOr<std::vector<std::uint64_t>> decode_flat_values(
+    SortShape shape, std::span<const Trit> payload);
+
+}  // namespace mcsn

@@ -1,0 +1,29 @@
+#include "mcsn/api/status.hpp"
+
+namespace mcsn {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s(status_code_name(code_));
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace mcsn

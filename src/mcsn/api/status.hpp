@@ -1,0 +1,128 @@
+#pragma once
+// Status codes for the public sorting API. Every hot-path entry point
+// (flat batch sorts, service submission, wire decoding) reports failure
+// through a Status or StatusOr<T> value instead of throwing — exceptions
+// are reserved for construction and programmer errors (bad McSorter
+// shapes, misuse of a moved-from object). A Status is cheap to pass by
+// value: one enum plus an (almost always empty) message string.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcsn {
+
+/// Canonical error space of the SortRequest/SortResponse API. Values are
+/// fixed — they travel inside wire frames (see serve/wire.hpp), so new
+/// codes must be appended, never renumbered.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< malformed request/flag/shape
+  kDeadlineExceeded = 2,  ///< request expired before its batch flushed
+  kUnavailable = 3,       ///< service stopped / queue closed
+  kResourceExhausted = 4, ///< bound exceeded (inflight, frame size)
+  kFailedPrecondition = 5,///< e.g. decoding metastable output as integers
+  kDataLoss = 6,          ///< wire frame corrupt / truncated
+  kUnimplemented = 7,     ///< unknown wire version or frame type
+  kInternal = 8,          ///< engine failure surfaced as a response
+};
+
+/// Stable lowercase name of a code ("ok", "invalid_argument", ...).
+[[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// OK by default, so `Status s; ... return s;` reads naturally.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  [[nodiscard]] static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  [[nodiscard]] static Status data_loss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  [[nodiscard]] static Status unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  [[nodiscard]] static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// "ok" or "invalid_argument: ragged round".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Status& other) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence. Minimal by design: the
+/// API needs exactly "did it work, and if so hand me the result".
+template <class T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value (the common return path).
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status. An OK status without a value is a
+  /// programmer error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK without a value");
+    if (status_.ok()) {
+      status_ = Status::internal("StatusOr: OK status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace mcsn

@@ -5,15 +5,20 @@
 // Layers:
 //   core     — ternary logic, Gray codes, valid strings, closures, the
 //              comparison FSM and behavioral specifications
+//   api      — the public request/response surface: Status/StatusOr,
+//              SortRequest/SortResponse with flat zero-copy payloads
 //   netlist  — gate-level circuits, ternary/packed evaluation, STA, cell
 //              libraries, event-driven simulation, DOT/VCD export
 //   ckt      — the paper's 2-sort(B) construction, PPC topologies,
 //              baselines (DATE'17-style, naive, serial, Bin-comp)
 //   nets     — comparator networks, catalog, SA synthesis, elaboration
 //   serve    — streaming sort service: micro-batching over the compiled
-//              engine, sorter pooling, futures API, metrics
+//              engine, sorter pooling, futures/callback API, the binary
+//              wire codec, metrics
 //   refdata  — published evaluation numbers (Tables 7/8)
 
+#include "mcsn/api/sort_api.hpp"
+#include "mcsn/api/status.hpp"
 #include "mcsn/core/closure.hpp"
 #include "mcsn/core/fsm.hpp"
 #include "mcsn/core/gray.hpp"
@@ -57,6 +62,7 @@
 #include "mcsn/serve/queue.hpp"
 #include "mcsn/serve/service.hpp"
 #include "mcsn/serve/sorter_pool.hpp"
+#include "mcsn/serve/wire.hpp"
 #include "mcsn/util/cli.hpp"
 #include "mcsn/util/histogram.hpp"
 #include "mcsn/util/rng.hpp"

@@ -175,36 +175,14 @@ ThreadPool* BatchEvaluator::acquire_pool() const {
   return pool_.get();
 }
 
-std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
+template <class Pack, class Unpack>
+void BatchEvaluator::run_grouped(std::size_t n, Pack&& pack,
+                                 Unpack&& unpack) const {
   using Backend = Packed256Backend;
   constexpr std::size_t kLanes = Backend::kLanes;
-
-  const std::size_t n = inputs.size();
   const std::size_t width = prog_.input_count();
-  const std::size_t outs = prog_.output_count();
-  std::vector<Word> results(n);
-  if (n == 0) return results;
+  if (n == 0) return;
   const std::size_t groups = (n + kLanes - 1) / kLanes;
-
-  const auto pack = [&](std::span<Backend::Value> packed, std::size_t base,
-                        int active) {
-    for (std::size_t i = 0; i < width; ++i) {
-      Backend::Value& v = packed[i];
-      for (int lane = 0; lane < active; ++lane) {
-        assert(inputs[base + static_cast<std::size_t>(lane)].size() == width);
-        v.set_lane(lane, inputs[base + static_cast<std::size_t>(lane)][i]);
-      }
-    }
-  };
-  const auto unpack = [&](const auto& exec, std::size_t base, int active) {
-    for (int lane = 0; lane < active; ++lane) {
-      Word w(outs);
-      for (std::size_t o = 0; o < outs; ++o) {
-        w[o] = exec.output_lane(o, lane);
-      }
-      results[base + static_cast<std::size_t>(lane)] = std::move(w);
-    }
-  };
 
   if (opt_.level_parallel) {
     // Intra-vector mode: lane groups run sequentially; each evaluation is
@@ -212,24 +190,24 @@ std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
     LevelParallelExecutor<Backend> exec(
         prog_, parallel_ > 1 ? acquire_pool() : nullptr,
         LevelParallelOptions{parallel_, opt_.level_min_ops});
-    std::vector<Backend::Value> packed(width);
+    std::vector<typename Backend::Value> packed(width);
     for (std::size_t g = 0; g < groups; ++g) {
       const std::size_t base = g * kLanes;
       const int active = static_cast<int>(std::min(kLanes, n - base));
-      pack(packed, base, active);
+      pack(std::span<typename Backend::Value>(packed), base, active);
       exec.run(packed);
       unpack(exec, base, active);
     }
-    return results;
+    return;
   }
 
   const auto shard = [&](std::size_t first_group, std::size_t stride) {
     CompiledExecutor<Backend> exec(prog_);
-    std::vector<Backend::Value> packed(width);
+    std::vector<typename Backend::Value> packed(width);
     for (std::size_t g = first_group; g < groups; g += stride) {
       const std::size_t base = g * kLanes;
       const int active = static_cast<int>(std::min(kLanes, n - base));
-      pack(packed, base, active);
+      pack(std::span<typename Backend::Value>(packed), base, active);
       exec.run(packed);
       unpack(exec, base, active);
     }
@@ -243,7 +221,66 @@ std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
     acquire_pool()->run_and_wait(
         shards, [&](std::size_t t) { shard(t, shards); });
   }
+}
+
+std::vector<Word> BatchEvaluator::run(std::span<const Word> inputs) const {
+  using Backend = Packed256Backend;
+  const std::size_t width = prog_.input_count();
+  const std::size_t outs = prog_.output_count();
+  std::vector<Word> results(inputs.size());
+  run_grouped(
+      inputs.size(),
+      [&](std::span<Backend::Value> packed, std::size_t base, int active) {
+        for (std::size_t i = 0; i < width; ++i) {
+          Backend::Value& v = packed[i];
+          for (int lane = 0; lane < active; ++lane) {
+            assert(inputs[base + static_cast<std::size_t>(lane)].size() ==
+                   width);
+            v.set_lane(lane, inputs[base + static_cast<std::size_t>(lane)][i]);
+          }
+        }
+      },
+      [&](const auto& exec, std::size_t base, int active) {
+        for (int lane = 0; lane < active; ++lane) {
+          Word w(outs);
+          for (std::size_t o = 0; o < outs; ++o) {
+            w[o] = exec.output_lane(o, lane);
+          }
+          results[base + static_cast<std::size_t>(lane)] = std::move(w);
+        }
+      });
   return results;
+}
+
+void BatchEvaluator::run_flat(std::span<const Trit> inputs,
+                              std::span<Trit> outputs) const {
+  using Backend = Packed256Backend;
+  const std::size_t width = prog_.input_count();
+  const std::size_t outs = prog_.output_count();
+  assert(width > 0 && inputs.size() % width == 0);
+  const std::size_t n = width == 0 ? 0 : inputs.size() / width;
+  assert(outputs.size() == n * outs);
+  run_grouped(
+      n,
+      [&](std::span<Backend::Value> packed, std::size_t base, int active) {
+        for (std::size_t i = 0; i < width; ++i) {
+          Backend::Value& v = packed[i];
+          for (int lane = 0; lane < active; ++lane) {
+            v.set_lane(
+                lane,
+                inputs[(base + static_cast<std::size_t>(lane)) * width + i]);
+          }
+        }
+      },
+      [&](const auto& exec, std::size_t base, int active) {
+        for (int lane = 0; lane < active; ++lane) {
+          Trit* const row =
+              outputs.data() + (base + static_cast<std::size_t>(lane)) * outs;
+          for (std::size_t o = 0; o < outs; ++o) {
+            row[o] = exec.output_lane(o, lane);
+          }
+        }
+      });
 }
 
 }  // namespace mcsn

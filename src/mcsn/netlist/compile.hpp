@@ -427,9 +427,28 @@ class BatchEvaluator {
   /// order. A trailing partial lane group is handled transparently.
   [[nodiscard]] std::vector<Word> run(std::span<const Word> inputs) const;
 
+  /// Zero-copy variant: `inputs` holds N input vectors back to back
+  /// (N x input_width() trits, vector-major) and results are written into
+  /// `outputs` (N x output_width() trits) — no Word construction anywhere
+  /// on the path. Packing reads and unpacking writes go straight between
+  /// the flat buffers and the wide lanes. Preconditions (asserted):
+  /// inputs.size() divisible by input_width(), outputs sized to match.
+  /// Thread-safe like run(); parallel sharding and level_parallel mode
+  /// apply identically.
+  void run_flat(std::span<const Trit> inputs, std::span<Trit> outputs) const;
+
  private:
   /// The shared pool, creating the lazily-owned one on first need.
   [[nodiscard]] ThreadPool* acquire_pool() const;
+
+  /// Shared orchestration behind run()/run_flat(): walks `n` input vectors
+  /// in 256-lane groups, calling `pack(packed, base, active)` to fill a
+  /// group and `unpack(executor, base, active)` to read it back — serially,
+  /// sharded across the pool, or per-level in level_parallel mode, per the
+  /// options. pack/unpack may run concurrently from pool threads and must
+  /// write disjoint rows.
+  template <class Pack, class Unpack>
+  void run_grouped(std::size_t n, Pack&& pack, Unpack&& unpack) const;
 
   CompiledProgram prog_;
   BatchOptions opt_;

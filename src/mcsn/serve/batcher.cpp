@@ -6,13 +6,15 @@ BatchGroup MicroBatcher::drain_shard(Shard& shard, FlushCause cause) {
   BatchGroup group;
   group.sorter = shard.sorter;
   group.requests = std::move(shard.requests);
+  group.flat = std::move(shard.flat);
   group.cause = cause;
   shard.requests.clear();  // moved-from: guarantee a valid empty state
+  shard.flat.clear();
   return group;
 }
 
 MicroBatcher::AddResult MicroBatcher::add(
-    std::shared_ptr<const McSorter> sorter, SortRequest request,
+    std::shared_ptr<const McSorter> sorter, PendingSort pending,
     std::chrono::steady_clock::time_point now) {
   const std::pair<int, std::size_t> key{sorter->channels(), sorter->bits()};
   AddResult result;
@@ -22,9 +24,17 @@ MicroBatcher::AddResult MicroBatcher::add(
     shard.sorter = std::move(sorter);
     shard.oldest = now;
     shard.requests.reserve(max_lanes_);
+    shard.flat.reserve(max_lanes_ * pending.request.shape.trits());
     result.window_started = true;
   }
-  shard.requests.push_back(std::move(request));
+  // Stage the payload contiguously; from here on the group owns the trits,
+  // so a view request's backing buffer is released before the caller even
+  // sees its future.
+  shard.flat.insert(shard.flat.end(), pending.request.payload.begin(),
+                    pending.request.payload.end());
+  pending.request.payload = {};
+  pending.request.storage.reset();
+  shard.requests.push_back(std::move(pending));
   if (shard.requests.size() >= max_lanes_) {
     result.full = drain_shard(shard, FlushCause::lane_full);
     result.window_started = false;  // the window closed with the group

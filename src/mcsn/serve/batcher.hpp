@@ -6,12 +6,17 @@
 // caller, zero added latency) or when its oldest request has waited one
 // flush window (collected by take_expired, driven from the worker loop).
 //
+// Payloads are gathered eagerly: add() copies each request's flat trits
+// into the shard's contiguous staging buffer, so a flushed BatchGroup is
+// already in the exact layout McSorter::sort_batch_flat consumes — the
+// executor never repacks rounds. That copy is the only one between the
+// submitter's buffer and the engine lanes.
+//
 // Internally synchronized; time is always passed in, so tests can drive
 // the window deterministically with fake clocks.
 
 #include <chrono>
 #include <cstddef>
-#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,24 +24,31 @@
 #include <utility>
 #include <vector>
 
-#include "mcsn/core/word.hpp"
+#include "mcsn/api/sort_api.hpp"
 #include "mcsn/serve/metrics.hpp"
 #include "mcsn/sorter.hpp"
+#include "mcsn/util/unique_function.hpp"
 
 namespace mcsn {
 
-/// One in-flight sort request: a measurement round plus the promise its
-/// submitter holds the future of.
-struct SortRequest {
-  std::vector<Word> round;
-  std::promise<std::vector<Word>> result;
+/// Invoked exactly once with the finished response — a promise-fulfilling
+/// adapter for the futures API, or the caller's own callback.
+using SortCompletion = UniqueFunction<void(SortResponse)>;
+
+/// One admitted request waiting for lane-mates: the API request (payload
+/// already staged into the shard buffer) plus its completion.
+struct PendingSort {
+  SortRequest request;
+  SortCompletion done;
   std::chrono::steady_clock::time_point enqueued{};
 };
 
-/// A flushed group of same-shape requests, ready for one sort_batch call.
+/// A flushed group of same-shape requests, ready for one sort_batch_flat
+/// call: `flat` holds requests[i]'s round at [i*trits, (i+1)*trits).
 struct BatchGroup {
   std::shared_ptr<const McSorter> sorter;
-  std::vector<SortRequest> requests;
+  std::vector<PendingSort> requests;
+  std::vector<Trit> flat;
   FlushCause cause = FlushCause::lane_full;
 };
 
@@ -53,10 +65,13 @@ class MicroBatcher {
     bool window_started = false;
   };
 
-  /// Adds a request to its shape's shard; `sorter` pins the compiled
-  /// program the eventual group will run on.
+  /// Adds a request to its shape's shard, staging its payload into the
+  /// shard's flat buffer (the request's own payload/storage are released —
+  /// a zero-copy view's backing buffer is no longer referenced after this
+  /// returns). `sorter` pins the compiled program the eventual group runs
+  /// on; its shape must match the request's.
   [[nodiscard]] AddResult add(std::shared_ptr<const McSorter> sorter,
-                              SortRequest request,
+                              PendingSort pending,
                               std::chrono::steady_clock::time_point now);
 
   /// Shards whose oldest request has waited >= window at `now`.
@@ -80,7 +95,8 @@ class MicroBatcher {
  private:
   struct Shard {
     std::shared_ptr<const McSorter> sorter;
-    std::vector<SortRequest> requests;
+    std::vector<PendingSort> requests;
+    std::vector<Trit> flat;
     std::chrono::steady_clock::time_point oldest{};
   };
 

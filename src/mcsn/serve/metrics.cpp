@@ -7,7 +7,7 @@ namespace mcsn {
 
 double MetricsSnapshot::mean_occupancy() const {
   if (batches == 0 || max_lanes == 0) return 0.0;
-  return static_cast<double>(completed + failed) /
+  return static_cast<double>(completed + failed + expired) /
          (static_cast<double>(batches) * static_cast<double>(max_lanes));
 }
 
@@ -18,6 +18,7 @@ std::string MetricsSnapshot::json() const {
   os.imbue(std::locale::classic());
   os << "{\"submitted\": " << submitted << ", \"completed\": " << completed
      << ", \"rejected\": " << rejected << ", \"failed\": " << failed
+     << ", \"expired\": " << expired
      << ", \"batches\": " << batches << ", \"flush\": {\"lane_full\": "
      << flush_full << ", \"window\": " << flush_window
      << ", \"drain\": " << flush_drain << "}"
@@ -30,7 +31,7 @@ std::string MetricsSnapshot::json() const {
 
 void ServiceMetrics::on_batch(std::size_t lanes, FlushCause cause,
                               const Histogram& latencies_ns,
-                              std::uint64_t failed) {
+                              std::uint64_t failed, std::uint64_t expired) {
   std::lock_guard lock(mu_);
   ++snap_.batches;
   switch (cause) {
@@ -40,7 +41,8 @@ void ServiceMetrics::on_batch(std::size_t lanes, FlushCause cause,
   }
   snap_.batch_lanes.record(lanes);
   snap_.failed += failed;
-  snap_.completed += lanes - failed;
+  snap_.expired += expired;
+  snap_.completed += lanes - failed - expired;
   snap_.latency_ns.merge(latencies_ns);
 }
 

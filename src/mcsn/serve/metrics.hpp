@@ -16,9 +16,11 @@ enum class FlushCause { lane_full, window, drain };
 
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;  ///< requests admitted by submit()
-  std::uint64_t completed = 0;  ///< requests whose future was fulfilled
-  std::uint64_t rejected = 0;   ///< submits refused (service stopped)
-  std::uint64_t failed = 0;     ///< requests completed with an exception
+  std::uint64_t completed = 0;  ///< requests completed successfully
+  std::uint64_t rejected = 0;   ///< submits refused at admission (malformed
+                                ///< request, service stopped, queue closed)
+  std::uint64_t failed = 0;     ///< requests completed with an error status
+  std::uint64_t expired = 0;    ///< requests past deadline at flush time
   std::uint64_t batches = 0;    ///< sort_batch executions
   std::uint64_t flush_full = 0;    ///< batches flushed on lane-full
   std::uint64_t flush_window = 0;  ///< batches flushed on window expiry
@@ -48,9 +50,12 @@ class ServiceMetrics {
   }
 
   /// Records one executed batch: `lanes` requests, flushed for `cause`,
-  /// each completed request's latency in `latencies_ns`.
+  /// each completed request's latency in `latencies_ns`; `failed` of them
+  /// carried an error status and `expired` (counted separately, not part
+  /// of `failed`) were past their deadline at flush time.
   void on_batch(std::size_t lanes, FlushCause cause,
-                const Histogram& latencies_ns, std::uint64_t failed);
+                const Histogram& latencies_ns, std::uint64_t failed,
+                std::uint64_t expired = 0);
 
   [[nodiscard]] MetricsSnapshot snapshot() const {
     std::lock_guard lock(mu_);

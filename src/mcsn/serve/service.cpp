@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
-
-#include "mcsn/core/gray.hpp"
+#include <string>
 
 namespace mcsn {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 ServeOptions sanitize(ServeOptions opt) {
   opt.workers = std::max(1, opt.workers);
@@ -38,6 +39,30 @@ ServeOptions sanitize(ServeOptions opt) {
 
 }  // namespace
 
+Status ServeOptions::validate() const {
+  std::string bad;
+  const auto complain = [&bad](const std::string& msg) {
+    if (!bad.empty()) bad += "; ";
+    bad += msg;
+  };
+  if (workers < 1) {
+    complain("workers must be >= 1 (got " + std::to_string(workers) + ")");
+  }
+  if (max_lanes < 1) complain("max_lanes must be >= 1 (got 0)");
+  if (flush_window < std::chrono::microseconds(0)) {
+    complain("flush_window must be >= 0 (got " +
+             std::to_string(flush_window.count()) + "us)");
+  }
+  if (max_inflight < 1) complain("max_inflight must be >= 1 (got 0)");
+  if (ready_capacity < 1) complain("ready_capacity must be >= 1 (got 0)");
+  if (sorter.batch.threads < 0) {
+    complain("sorter.batch.threads must be >= 0 (got " +
+             std::to_string(sorter.batch.threads) + ")");
+  }
+  if (!bad.empty()) return Status::invalid_argument("ServeOptions: " + bad);
+  return Status();
+}
+
 SortService::SortService(ServeOptions opt)
     : opt_(sanitize(std::move(opt))),
       pool_(opt_.sorter),
@@ -52,31 +77,30 @@ SortService::SortService(ServeOptions opt)
 
 SortService::~SortService() { stop(); }
 
-std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
-  if (round.empty()) {
-    throw std::invalid_argument("SortService::submit: empty round");
-  }
-  const std::size_t bits = round.front().size();
-  if (bits == 0) {
-    throw std::invalid_argument("SortService::submit: zero-width words");
-  }
-  for (const Word& w : round) {
-    if (w.size() != bits) {
-      throw std::invalid_argument("SortService::submit: ragged round");
-    }
-  }
-  const int channels = static_cast<int>(round.size());
+Status SortService::try_admit(SortRequest& request, SortCompletion& done) {
+  if (Status s = request.validate(); !s.ok()) return s;
 
   // Early, non-authoritative rejection (the shared-lock check below is the
   // real one): don't compile a novel shape's sorter for a stopped service.
   if (!accepting_.load(std::memory_order_relaxed)) {
-    metrics_.on_rejected();
-    throw std::runtime_error("SortService: stopped");
+    return Status::unavailable("SortService: stopped");
   }
 
   // Compiles the shape's sorter on first sight (milliseconds); later
   // requests hit the pool. Deliberately outside the lifecycle lock.
-  std::shared_ptr<const McSorter> sorter = pool_.acquire(channels, bits);
+  std::shared_ptr<const McSorter> sorter;
+  try {
+    sorter = pool_.acquire(request.shape.channels, request.shape.bits);
+  } catch (const std::bad_alloc&) {
+    // A legal-but-huge shape can exhaust memory during elaboration; that
+    // is a resource condition (possibly transient), not a caller error.
+    return Status::resource_exhausted("sorter build failed: out of memory");
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(std::string("sorter build failed: ") +
+                                    e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("sorter build failed: ") + e.what());
+  }
 
   // Backpressure: wait for an inflight slot (workers free them as batches
   // complete); stop() aborts the wait.
@@ -87,8 +111,7 @@ std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
              !accepting_.load(std::memory_order_relaxed);
     });
     if (!accepting_.load(std::memory_order_relaxed)) {
-      metrics_.on_rejected();
-      throw std::runtime_error("SortService: stopped");
+      return Status::unavailable("SortService: stopped");
     }
     ++inflight_;
   }
@@ -96,28 +119,27 @@ std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
   std::shared_lock lifecycle(lifecycle_mu_);
   if (!accepting_.load(std::memory_order_relaxed)) {
     release_inflight(1);
-    metrics_.on_rejected();
-    throw std::runtime_error("SortService: stopped");
+    return Status::unavailable("SortService: stopped");
   }
 
-  const auto now = std::chrono::steady_clock::now();
-  SortRequest request;
-  request.round = std::move(round);
-  request.enqueued = now;
-  std::future<std::vector<Word>> future = request.result.get_future();
+  const auto now = Clock::now();
+  PendingSort pending;
+  pending.request = std::move(request);
+  pending.done = std::move(done);
+  pending.enqueued = now;
 
   // Counted before the batcher sees the request: once it's in a shard, a
   // concurrent flush may complete it, and completed must never outrun
   // submitted in a snapshot.
   metrics_.on_submitted();
   MicroBatcher::AddResult added =
-      batcher_.add(std::move(sorter), std::move(request), now);
+      batcher_.add(std::move(sorter), std::move(pending), now);
   if (added.full) {
-    // A refused push must not drop the group: its promises (including the
-    // one whose future this call returns) would die unfulfilled and its
-    // inflight slots would leak, wedging every later submitter at the
-    // backpressure gate. publish_ready fails the group explicitly instead;
-    // this caller then sees the failure through its own future.
+    // A refused push must not drop the group: its completions (including
+    // the one this call admitted) would die uninvoked and its inflight
+    // slots would leak, wedging every later submitter at the backpressure
+    // gate. publish_ready fails the group explicitly instead; this caller
+    // then sees the failure through its own completion.
     publish_ready(std::move(*added.full));
   } else if (added.window_started) {
     // Wake a worker so it tracks the fresh shard's flush deadline; an empty
@@ -125,6 +147,58 @@ std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
     // Best-effort: with the queue full the workers are awake anyway.
     ready_.try_push(BatchGroup{});
   }
+  return Status();
+}
+
+void SortService::submit(SortRequest request, SortCompletion done) {
+  Status admitted = try_admit(request, done);
+  if (!admitted.ok()) {
+    // try_admit left both untouched: complete inline with the failure.
+    metrics_.on_rejected();
+    done(SortResponse::failure(std::move(admitted), request.shape,
+                               request.values_requested));
+  }
+}
+
+std::future<SortResponse> SortService::submit(SortRequest request) {
+  std::promise<SortResponse> promise;
+  std::future<SortResponse> future = promise.get_future();
+  submit(std::move(request),
+         [promise = std::move(promise)](SortResponse response) mutable {
+           promise.set_value(std::move(response));
+         });
+  return future;
+}
+
+std::future<std::vector<Word>> SortService::submit(std::vector<Word> round) {
+  // from_words performs the historical validation (empty round, zero-width
+  // words, ragged rounds) and its failures keep surfacing as the
+  // historical synchronous std::invalid_argument.
+  StatusOr<SortRequest> request = SortRequest::from_words(round);
+  if (!request.ok()) {
+    throw std::invalid_argument("SortService::submit: " +
+                                request.status().to_string());
+  }
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    metrics_.on_rejected();
+    throw std::runtime_error("SortService: stopped");
+  }
+  // Historical contract: results arrive as Words and failures as exceptions
+  // on the future, so adapt the response inside the completion.
+  std::promise<std::vector<Word>> promise;
+  std::future<std::vector<Word>> future = promise.get_future();
+  submit(std::move(*request),
+         [promise = std::move(promise)](SortResponse response) mutable {
+           if (response.status.ok()) {
+             promise.set_value(response.words());
+           } else if (response.status.code() == StatusCode::kInvalidArgument) {
+             promise.set_exception(std::make_exception_ptr(
+                 std::invalid_argument(response.status.to_string())));
+           } else {
+             promise.set_exception(std::make_exception_ptr(
+                 std::runtime_error(response.status.to_string())));
+           }
+         });
   return future;
 }
 
@@ -134,14 +208,25 @@ std::vector<Word> SortService::sort(std::vector<Word> round) {
 
 std::vector<std::uint64_t> SortService::sort_values(
     const std::vector<std::uint64_t>& values, std::size_t bits) {
-  std::vector<Word> round;
-  round.reserve(values.size());
-  for (const std::uint64_t v : values) round.push_back(gray_encode(v, bits));
-  const std::vector<Word> sorted = sort(std::move(round));
-  std::vector<std::uint64_t> out;
-  out.reserve(sorted.size());
-  for (const Word& w : sorted) out.push_back(gray_decode(w));
-  return out;
+  StatusOr<SortRequest> request = SortRequest::from_values(
+      SortShape{static_cast<int>(values.size()), bits}, values);
+  if (!request.ok()) {
+    // Covers bits > 64 (uint64_t values cannot fill wider words) and
+    // out-of-range values, with the Status message naming the culprit.
+    throw std::invalid_argument("SortService::sort_values: " +
+                                request.status().to_string());
+  }
+  const SortResponse response = submit(std::move(*request)).get();
+  if (!response.status.ok()) {
+    throw std::runtime_error("SortService::sort_values: " +
+                             response.status.to_string());
+  }
+  StatusOr<std::vector<std::uint64_t>> decoded = response.values();
+  if (!decoded.ok()) {
+    throw std::runtime_error("SortService::sort_values: " +
+                             decoded.status().to_string());
+  }
+  return std::move(*decoded);
 }
 
 void SortService::stop() {
@@ -155,7 +240,7 @@ void SortService::stop() {
   for (BatchGroup& group : batcher_.take_all()) {
     // Blocks while full (workers are still draining). The queue isn't
     // closed yet so the push should succeed, but a refusal must still fail
-    // the group's promises rather than strand every waiter.
+    // the group's completions rather than strand every waiter.
     publish_ready(std::move(group));
   }
   ready_.close();
@@ -196,30 +281,87 @@ void SortService::worker_loop() {
 void SortService::execute(BatchGroup group) {
   if (group.requests.empty()) return;  // wake-up kick, not work
   const std::size_t n = group.requests.size();
-  std::vector<std::vector<Word>> rounds;
-  rounds.reserve(n);
-  for (SortRequest& r : group.requests) rounds.push_back(std::move(r.round));
+  const std::size_t round_trits = group.sorter->shape().trits();
 
-  // Metrics are recorded *before* the promises resolve, so a client that
-  // observed its future complete also observes the batch in the metrics.
-  try {
-    std::vector<std::vector<Word>> sorted = group.sorter->sort_batch(rounds);
-    const auto now = std::chrono::steady_clock::now();
-    Histogram latencies;
-    for (const SortRequest& r : group.requests) {
+  // Deadline policy: expiry is judged once, at flush time. A request whose
+  // deadline passed while it waited for lane-mates is failed with
+  // kDeadlineExceeded instead of being sorted late; the rest of the group
+  // is compacted and still sorted.
+  const auto flushed_at = Clock::now();
+  std::vector<char> expired(n, 0);
+  std::size_t n_expired = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& deadline = group.requests[i].request.deadline;
+    if (deadline && *deadline < flushed_at) {
+      expired[i] = 1;
+      ++n_expired;
+    }
+  }
+  const std::size_t n_live = n - n_expired;
+
+  Status run_status;
+  std::vector<Trit> out(n_live * round_trits);
+  if (n_live > 0) {
+    std::span<const Trit> in(group.flat);
+    std::vector<Trit> compacted;
+    if (n_expired > 0) {
+      compacted.reserve(n_live * round_trits);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (expired[i]) continue;
+        const auto row = group.flat.begin() +
+                         static_cast<std::ptrdiff_t>(i * round_trits);
+        compacted.insert(compacted.end(), row,
+                         row + static_cast<std::ptrdiff_t>(round_trits));
+      }
+      in = compacted;
+    }
+    try {
+      run_status = group.sorter->sort_batch_flat(in, out);
+    } catch (const std::exception& e) {
+      run_status = Status::internal(e.what());
+    } catch (...) {
+      run_status = Status::internal("sort_batch_flat threw");
+    }
+  }
+
+  // Metrics are recorded *before* the completions run, so a client that
+  // observed its response also observes the batch in the metrics.
+  const auto done_at = Clock::now();
+  Histogram latencies;
+  if (run_status.ok()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (expired[i]) continue;
       latencies.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(now -
-                                                               r.enqueued)
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              done_at - group.requests[i].enqueued)
               .count()));
     }
-    metrics_.on_batch(n, group.cause, latencies, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      group.requests[i].result.set_value(std::move(sorted[i]));
+  }
+  metrics_.on_batch(n, group.cause, latencies,
+                    run_status.ok() ? 0 : n_live, n_expired);
+
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingSort& pending = group.requests[i];
+    SortResponse response;
+    response.shape = pending.request.shape;
+    response.values_requested = pending.request.values_requested;
+    response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        done_at - pending.enqueued);
+    if (expired[i]) {
+      response.status = Status::deadline_exceeded(
+          "request expired before its batch flushed");
+    } else {
+      response.status = run_status;
+      if (run_status.ok()) {
+        const auto row =
+            out.begin() + static_cast<std::ptrdiff_t>(live * round_trits);
+        response.payload.assign(
+            row, row + static_cast<std::ptrdiff_t>(round_trits));
+      }
+      ++live;
     }
-  } catch (...) {
-    metrics_.on_batch(n, group.cause, Histogram{}, n);
-    const std::exception_ptr ex = std::current_exception();
-    for (SortRequest& r : group.requests) r.result.set_exception(ex);
+    pending.done(std::move(response));
   }
   release_inflight(n);
 }
@@ -234,11 +376,11 @@ void SortService::publish_ready(BatchGroup group) {
 void SortService::fail_group(BatchGroup group, const char* reason) {
   const std::size_t n = group.requests.size();
   if (n == 0) return;
-  const std::exception_ptr ex =
-      std::make_exception_ptr(std::runtime_error(reason));
-  for (SortRequest& r : group.requests) {
+  for (PendingSort& pending : group.requests) {
     metrics_.on_rejected();
-    r.result.set_exception(ex);
+    pending.done(SortResponse::failure(Status::unavailable(reason),
+                                       pending.request.shape,
+                                       pending.request.values_requested));
   }
   release_inflight(n);
 }

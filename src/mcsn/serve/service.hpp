@@ -3,21 +3,32 @@
 //
 // Many producer threads submit() individual measurement rounds; the service
 // coalesces them into full 256-lane groups per (channels, bits) shape
-// (MicroBatcher + SorterPool), executes groups on worker shards, and
-// fulfills each submitter's future. Small requests ride the wide engine at
-// high occupancy instead of paying a full netlist evaluation each:
+// (MicroBatcher + SorterPool), executes groups on worker shards through the
+// flat zero-copy engine path, and completes each submitter's future or
+// callback. Small requests ride the wide engine at high occupancy instead
+// of paying a full netlist evaluation each:
 //
 //   SortService svc({.workers = 2});
-//   auto f1 = svc.submit(round_a);            // returns immediately
-//   auto f2 = svc.submit(round_b);
-//   std::vector<Word> sorted = f1.get();      // blocks until the batch ran
+//   auto f = svc.submit(*SortRequest::from_values({4, 8}, values));
+//   SortResponse rsp = f.get();              // rsp.status, rsp.payload
+//
+//   svc.submit(std::move(request), [](SortResponse rsp) { ... });
+//
+// The SortRequest path never throws: malformed requests, a stopped
+// service, and deadline-expired work all come back as a SortResponse with
+// the corresponding Status (the callback/future always completes exactly
+// once). A request with a deadline that passed before its batch flushed is
+// failed with kDeadlineExceeded instead of being sorted late. The legacy
+// vector<Word> signatures remain as thin wrappers with their historical
+// exception behavior.
 //
 // Latency/throughput trade-off is one knob: flush_window. A shard flushes
 // the moment it fills max_lanes lanes (no added latency under load); a
 // partial group waits at most ~2x flush_window before a worker sweeps it.
 // Backpressure: at most max_inflight admitted-but-unfinished requests;
 // beyond that submit() blocks. stop() (or the destructor) stops admission,
-// drains every pending request, fulfills all futures, and joins workers.
+// drains every pending request, completes all futures/callbacks, and joins
+// workers.
 
 #include <atomic>
 #include <chrono>
@@ -31,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "mcsn/api/sort_api.hpp"
 #include "mcsn/core/word.hpp"
 #include "mcsn/serve/batcher.hpp"
 #include "mcsn/serve/metrics.hpp"
@@ -68,6 +80,13 @@ struct ServeOptions {
   /// sorter.batch.level_parallel rides the same pool for intra-vector
   /// slicing of huge netlists.
   McSorterOptions sorter;
+
+  /// Checks every knob and reports *all* out-of-range values in one
+  /// kInvalidArgument status instead of silently clamping them. CLI
+  /// front-ends call this so bad flags error out; the SortService
+  /// constructor still sanitizes (documented clamps) for programmatic
+  /// callers that rely on the old forgiving behavior.
+  [[nodiscard]] Status validate() const;
 };
 
 class SortService {
@@ -78,23 +97,43 @@ class SortService {
   SortService(const SortService&) = delete;
   SortService& operator=(const SortService&) = delete;
 
+  // --- primary (SortRequest/SortResponse) API -------------------------------
+
+  /// Submits one request; the future completes with a SortResponse whose
+  /// Status reports validation failures (kInvalidArgument), shutdown
+  /// (kUnavailable), expired deadlines (kDeadlineExceeded) or engine
+  /// failures (kInternal). Never throws; blocks while the service is at
+  /// max_inflight.
+  [[nodiscard]] std::future<SortResponse> submit(SortRequest request);
+
+  /// Callback-completion overload: `done` is invoked exactly once with the
+  /// response — inline (from this thread) on synchronous rejection, from a
+  /// worker thread otherwise. Skips the promise/shared-state allocation of
+  /// the futures path; the completion must not block the worker for long.
+  void submit(SortRequest request, SortCompletion done);
+
+  // --- legacy wrappers ------------------------------------------------------
+
   /// Submits one measurement round (channels = round.size() words of equal
   /// width) and returns the future of its sorted result. Blocks while the
   /// service is at max_inflight. Throws std::invalid_argument on a
-  /// malformed round and std::runtime_error after stop().
+  /// malformed round and std::runtime_error after stop(); async failures
+  /// surface as exceptions on the future.
   [[nodiscard]] std::future<std::vector<Word>> submit(std::vector<Word> round);
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] std::vector<Word> sort(std::vector<Word> round);
 
   /// Synchronous convenience over integers: Gray-encodes `values` at
-  /// `bits` wide, sorts, decodes.
+  /// `bits` wide, sorts, decodes. Throws std::invalid_argument for
+  /// malformed input — including bits > 64, which uint64_t values cannot
+  /// fill.
   [[nodiscard]] std::vector<std::uint64_t> sort_values(
       const std::vector<std::uint64_t>& values, std::size_t bits);
 
-  /// Stops admission, flushes and executes everything pending (every future
-  /// completes), then joins the workers. Idempotent; the destructor calls
-  /// it.
+  /// Stops admission, flushes and executes everything pending (every
+  /// future/callback completes), then joins the workers. Idempotent; the
+  /// destructor calls it.
   void stop();
 
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
@@ -108,12 +147,17 @@ class SortService {
  private:
   friend struct SortServiceTestPeer;  // white-box fault injection in tests
 
+  /// Validates, applies backpressure and enqueues. On a non-OK return the
+  /// request and completion are untouched (the caller invokes `done` with
+  /// the failure); on OK the batcher owns both.
+  [[nodiscard]] Status try_admit(SortRequest& request, SortCompletion& done);
+
   void worker_loop();
   void execute(BatchGroup group);
   /// Hands a flushed group to the workers; if the ready queue refuses it
-  /// (closed), fails every promise in the group instead of dropping it.
+  /// (closed), fails every completion in the group instead of dropping it.
   void publish_ready(BatchGroup group);
-  /// Fails all promises of a group that can no longer execute, counting
+  /// Fails all completions of a group that can no longer execute, counting
   /// each request as rejected and releasing its inflight slot.
   void fail_group(BatchGroup group, const char* reason);
   void release_inflight(std::size_t n);

@@ -1,0 +1,383 @@
+#include "mcsn/serve/wire.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "mcsn/core/gray.hpp"
+
+namespace mcsn::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Explicit little-endian byte shuffling, portable across host endianness.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::size_t packed_trit_bytes(std::size_t trits) { return (trits + 3) / 4; }
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+void pack_trits(std::vector<std::uint8_t>& out, std::span<const Trit> trits) {
+  const std::size_t base = out.size();
+  out.resize(base + packed_trit_bytes(trits.size()), 0);
+  for (std::size_t i = 0; i < trits.size(); ++i) {
+    out[base + i / 4] |= static_cast<std::uint8_t>(
+        static_cast<unsigned>(trits[i]) << (2 * (i % 4)));
+  }
+}
+
+Status unpack_trits(std::span<const std::uint8_t> bytes, std::size_t count,
+                    std::vector<Trit>& out) {
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned v = (bytes[i / 4] >> (2 * (i % 4))) & 3u;
+    if (v > 2u) {
+      return Status::data_loss("invalid packed trit at index " +
+                               std::to_string(i));
+    }
+    out[i] = static_cast<Trit>(v);
+  }
+  // Canonical form: padding bits of the final byte must be zero, so every
+  // payload has exactly one byte representation (and flipped garbage in
+  // the tail is caught, not ignored).
+  const std::size_t used = count % 4;
+  if (used != 0 && (bytes[count / 4] >> (2 * used)) != 0) {
+    return Status::data_loss("nonzero padding in packed trit payload");
+  }
+  return Status();
+}
+
+/// The payload as integers, when the intent flag is set and the trits can
+/// actually be decoded (size matches the shape, bits <= 64, every trit
+/// stable) — the size check doubles as the guard that keeps encoding a
+/// hand-built request with a short payload from reading past its span.
+std::optional<std::vector<std::uint64_t>> values_if_decodable(
+    SortShape shape, std::span<const Trit> payload, bool values_requested) {
+  if (!values_requested) return std::nullopt;
+  StatusOr<std::vector<std::uint64_t>> values =
+      decode_flat_values(shape, payload);
+  if (!values.ok()) return std::nullopt;
+  return std::move(*values);
+}
+
+std::vector<std::uint8_t> finish_frame(FrameType type,
+                                       std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + body.size());
+  frame.push_back(kMagic0);
+  frame.push_back(kMagic1);
+  frame.push_back(kVersion);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+struct Header {
+  FrameType type = FrameType::request;
+  std::size_t body_size = 0;
+};
+
+StatusOr<Header> parse_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::data_loss("truncated frame header (" +
+                             std::to_string(bytes.size()) + " of " +
+                             std::to_string(kHeaderSize) + " bytes)");
+  }
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    return Status::data_loss("bad frame magic");
+  }
+  if (bytes[2] != kVersion) {
+    return Status::unimplemented("unsupported wire version " +
+                                 std::to_string(bytes[2]));
+  }
+  const std::uint8_t type = bytes[3];
+  if (type != static_cast<std::uint8_t>(FrameType::request) &&
+      type != static_cast<std::uint8_t>(FrameType::response)) {
+    return Status::unimplemented("unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t body_size = get_u32(bytes.data() + 4);
+  if (body_size > kMaxBody) {
+    return Status::resource_exhausted(
+        "frame body of " + std::to_string(body_size) +
+        " bytes exceeds the " + std::to_string(kMaxBody) + " byte bound");
+  }
+  return Header{static_cast<FrameType>(type), body_size};
+}
+
+/// Shared shape decoding + bounds checks for both body kinds.
+StatusOr<SortShape> decode_shape(std::uint32_t channels, std::uint32_t bits) {
+  if (channels < 1 || channels > static_cast<std::uint32_t>(kMaxChannels) ||
+      bits < 1 || bits > static_cast<std::uint32_t>(kMaxBits)) {
+    return Status::invalid_argument("wire shape " + std::to_string(channels) +
+                                    "x" + std::to_string(bits) +
+                                    " out of bounds");
+  }
+  return SortShape{static_cast<int>(channels), static_cast<std::size_t>(bits)};
+}
+
+constexpr std::size_t kRequestFixed = 20;   // channels..deadline
+constexpr std::size_t kResponseFixed = 28;  // status..message length
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const SortRequest& request,
+                                         Clock::time_point now) {
+  std::vector<std::uint8_t> body;
+  const std::optional<std::vector<std::uint64_t>> values = values_if_decodable(
+      request.shape, request.payload, request.values_requested);
+  put_u32(body, static_cast<std::uint32_t>(request.shape.channels));
+  put_u32(body, static_cast<std::uint32_t>(request.shape.bits));
+  put_u32(body, values ? kFlagValues : 0u);
+  std::uint64_t deadline_ns = 0;
+  if (request.deadline) {
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        *request.deadline - now);
+    // Floor at 1 ns: zero means "no deadline", and an already-expired
+    // deadline must still arrive as a deadline.
+    deadline_ns = budget.count() > 0
+                      ? static_cast<std::uint64_t>(budget.count())
+                      : 1;
+  }
+  put_u64(body, deadline_ns);
+  if (values) {
+    for (const std::uint64_t v : *values) put_u64(body, v);
+  } else {
+    pack_trits(body, request.payload);
+  }
+  return finish_frame(FrameType::request, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_response(const SortResponse& response) {
+  std::vector<std::uint8_t> body;
+  const bool has_payload = response.status.ok();
+  const std::optional<std::vector<std::uint64_t>> values =
+      has_payload ? values_if_decodable(response.shape, response.payload,
+                                        response.values_requested)
+                  : std::nullopt;
+  put_u32(body, static_cast<std::uint32_t>(response.status.code()));
+  put_u32(body, values ? kFlagValues : 0u);
+  put_u32(body, static_cast<std::uint32_t>(response.shape.channels));
+  put_u32(body, static_cast<std::uint32_t>(response.shape.bits));
+  put_u64(body, static_cast<std::uint64_t>(response.latency.count()));
+  const std::string& message = response.status.message();
+  put_u32(body, static_cast<std::uint32_t>(message.size()));
+  body.insert(body.end(), message.begin(), message.end());
+  if (has_payload) {
+    if (values) {
+      for (const std::uint64_t v : *values) put_u64(body, v);
+    } else {
+      pack_trits(body, response.payload);
+    }
+  }
+  return finish_frame(FrameType::response, std::move(body));
+}
+
+StatusOr<FrameView> parse_frame(std::span<const std::uint8_t> bytes) {
+  StatusOr<Header> header = parse_header(bytes);
+  if (!header.ok()) return header.status();
+  if (bytes.size() < kHeaderSize + header->body_size) {
+    return Status::data_loss(
+        "truncated frame body (" +
+        std::to_string(bytes.size() - kHeaderSize) + " of " +
+        std::to_string(header->body_size) + " bytes)");
+  }
+  FrameView view;
+  view.type = header->type;
+  view.body = bytes.subspan(kHeaderSize, header->body_size);
+  view.frame_size = kHeaderSize + header->body_size;
+  return view;
+}
+
+StatusOr<SortRequest> decode_request(std::span<const std::uint8_t> body,
+                                     Clock::time_point now) {
+  if (body.size() < kRequestFixed) {
+    return Status::data_loss("request body truncated (" +
+                             std::to_string(body.size()) + " bytes)");
+  }
+  StatusOr<SortShape> shape =
+      decode_shape(get_u32(body.data()), get_u32(body.data() + 4));
+  if (!shape.ok()) return shape.status();
+  const std::uint32_t flags = get_u32(body.data() + 8);
+  if ((flags & ~kFlagValues) != 0) {
+    return Status::unimplemented("unknown request flags " + hex32(flags));
+  }
+  const std::uint64_t deadline_ns = get_u64(body.data() + 12);
+  const std::span<const std::uint8_t> payload = body.subspan(kRequestFixed);
+
+  StatusOr<SortRequest> request = Status::internal("unreachable");
+  if (flags & kFlagValues) {
+    if (shape->bits > 64) {
+      return Status::invalid_argument(
+          "value-encoded request at bits > 64");
+    }
+    const std::size_t expect =
+        static_cast<std::size_t>(shape->channels) * 8;
+    if (payload.size() != expect) {
+      return Status::data_loss("value payload of " +
+                               std::to_string(payload.size()) +
+                               " bytes, expected " + std::to_string(expect));
+    }
+    std::vector<std::uint64_t> values;
+    values.reserve(static_cast<std::size_t>(shape->channels));
+    for (int c = 0; c < shape->channels; ++c) {
+      values.push_back(
+          get_u64(payload.data() + static_cast<std::size_t>(c) * 8));
+    }
+    request = SortRequest::from_values(*shape, values);
+  } else {
+    const std::size_t expect = packed_trit_bytes(shape->trits());
+    if (payload.size() != expect) {
+      return Status::data_loss("trit payload of " +
+                               std::to_string(payload.size()) +
+                               " bytes, expected " + std::to_string(expect));
+    }
+    std::vector<Trit> trits;
+    if (Status s = unpack_trits(payload, shape->trits(), trits); !s.ok()) {
+      return s;
+    }
+    request = SortRequest::own(*shape, std::move(trits));
+  }
+  if (request.ok() && deadline_ns != 0) {
+    request->deadline = now + std::chrono::nanoseconds(deadline_ns);
+  }
+  return request;
+}
+
+StatusOr<SortResponse> decode_response(std::span<const std::uint8_t> body) {
+  if (body.size() < kResponseFixed) {
+    return Status::data_loss("response body truncated (" +
+                             std::to_string(body.size()) + " bytes)");
+  }
+  const std::uint32_t code = get_u32(body.data());
+  if (code > static_cast<std::uint32_t>(StatusCode::kInternal)) {
+    return Status::unimplemented("unknown status code " + std::to_string(code));
+  }
+  const std::uint32_t flags = get_u32(body.data() + 4);
+  if ((flags & ~kFlagValues) != 0) {
+    return Status::unimplemented("unknown response flags " + hex32(flags));
+  }
+  StatusOr<SortShape> shape =
+      decode_shape(get_u32(body.data() + 8), get_u32(body.data() + 12));
+  if (!shape.ok()) return shape.status();
+  const std::uint64_t latency_ns = get_u64(body.data() + 16);
+  const std::uint32_t message_len = get_u32(body.data() + 24);
+  if (body.size() < kResponseFixed + message_len) {
+    return Status::data_loss("response message truncated");
+  }
+  std::string message(
+      reinterpret_cast<const char*>(body.data() + kResponseFixed),
+      message_len);
+  const std::span<const std::uint8_t> payload =
+      body.subspan(kResponseFixed + message_len);
+
+  SortResponse response;
+  response.shape = *shape;
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.latency = std::chrono::nanoseconds(latency_ns);
+  response.values_requested = (flags & kFlagValues) != 0;
+  if (!response.status.ok()) {
+    if (!payload.empty()) {
+      return Status::data_loss("error response carries a payload");
+    }
+    return response;
+  }
+  if (flags & kFlagValues) {
+    if (shape->bits > 64) {
+      return Status::invalid_argument("value-encoded response at bits > 64");
+    }
+    const std::size_t expect = static_cast<std::size_t>(shape->channels) * 8;
+    if (payload.size() != expect) {
+      return Status::data_loss("value payload of " +
+                               std::to_string(payload.size()) +
+                               " bytes, expected " + std::to_string(expect));
+    }
+    const std::uint64_t limit =
+        shape->bits == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << shape->bits) - 1;
+    response.payload.reserve(shape->trits());
+    for (int c = 0; c < shape->channels; ++c) {
+      const std::uint64_t v =
+          get_u64(payload.data() + static_cast<std::size_t>(c) * 8);
+      if (v > limit) {
+        return Status::data_loss("response value " + std::to_string(v) +
+                                 " out of range for " +
+                                 std::to_string(shape->bits) + " bits");
+      }
+      const Word w = gray_encode(v, shape->bits);
+      response.payload.insert(response.payload.end(), w.begin(), w.end());
+    }
+  } else {
+    const std::size_t expect = packed_trit_bytes(shape->trits());
+    if (payload.size() != expect) {
+      return Status::data_loss("trit payload of " +
+                               std::to_string(payload.size()) +
+                               " bytes, expected " + std::to_string(expect));
+    }
+    if (Status s = unpack_trits(payload, shape->trits(), response.payload);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return response;
+}
+
+StatusOr<std::optional<Frame>> read_frame(std::istream& in) {
+  std::uint8_t header[kHeaderSize];
+  in.read(reinterpret_cast<char*>(header), kHeaderSize);
+  const std::streamsize got = in.gcount();
+  if (got == 0) return std::optional<Frame>(std::nullopt);  // clean EOF
+  if (got < static_cast<std::streamsize>(kHeaderSize)) {
+    return Status::data_loss("stream ended inside a frame header");
+  }
+  StatusOr<Header> parsed = parse_header(std::span(header, kHeaderSize));
+  if (!parsed.ok()) return parsed.status();
+  Frame frame;
+  frame.type = parsed->type;
+  frame.body.resize(parsed->body_size);
+  if (parsed->body_size > 0) {
+    in.read(reinterpret_cast<char*>(frame.body.data()),
+            static_cast<std::streamsize>(parsed->body_size));
+    if (in.gcount() < static_cast<std::streamsize>(parsed->body_size)) {
+      return Status::data_loss("stream ended inside a frame body");
+    }
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+void write_frame(std::ostream& out, std::span<const std::uint8_t> frame) {
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+}
+
+}  // namespace mcsn::wire

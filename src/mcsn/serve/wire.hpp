@@ -1,0 +1,125 @@
+#pragma once
+// Versioned, length-prefixed binary wire codec for SortRequest/SortResponse
+// frames — the serialization layer every byte-stream front-end (the
+// tool_sortd --framed pipe today, sockets tomorrow) shares.
+//
+// Frame layout (all multi-byte integers little-endian):
+//
+//   offset size  field
+//   0      2     magic "MC" (0x4D 0x43)
+//   2      1     version (currently 1)
+//   3      1     frame type (1 = request, 2 = response)
+//   4      4     body length N
+//   8      N     body
+//
+// Request body:
+//   0      4     channels
+//   4      4     bits
+//   8      4     flags (bit 0: payload is u64 values, not trits)
+//   12     8     deadline budget in ns (0 = no deadline), relative to
+//                receipt — steady-clock instants don't cross processes
+//   20     ...   payload: either ceil(channels*bits/4) bytes of trits
+//                packed 2 bits each (00=0, 01=1, 10=M, 11=invalid, trit i
+//                in byte i/4 at bit 2*(i%4)), or channels x u64 values
+//
+// Response body:
+//   0      4     status code (StatusCode numeric value)
+//   4      4     flags (bit 0: payload is u64 values)
+//   8      4     channels
+//   12     4     bits
+//   16     8     latency in ns
+//   24     4     status message length M
+//   28     M     status message (UTF-8)
+//   28+M   ...   payload (same encodings; empty unless status == ok)
+//
+// Decoding is defensive end to end: bad magic, unsupported versions,
+// unknown frame types/flags, corrupt length prefixes, truncated bodies,
+// invalid packed trits and out-of-bounds shapes all come back as Status
+// values (kDataLoss / kUnimplemented / kResourceExhausted /
+// kInvalidArgument) — never exceptions, never a read past the buffer.
+
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mcsn/api/sort_api.hpp"
+
+namespace mcsn::wire {
+
+inline constexpr std::uint8_t kMagic0 = 0x4D;  // 'M'
+inline constexpr std::uint8_t kMagic1 = 0x43;  // 'C'
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+/// Upper bound on a body a decoder will accept; a corrupt length prefix
+/// must not turn into a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxBody = std::size_t{1} << 24;
+
+enum class FrameType : std::uint8_t { request = 1, response = 2 };
+
+/// Body flag bit 0: the payload carries u64 integer values (bits <= 64)
+/// instead of packed trits. All other bits must be zero in version 1.
+inline constexpr std::uint32_t kFlagValues = 1u << 0;
+
+// --- encoding ---------------------------------------------------------------
+
+/// One self-delimiting request frame. A deadline is carried as the budget
+/// remaining relative to `now` (floored at 1 ns so an already-expired
+/// deadline survives the trip). Requests built by from_values travel as
+/// value payloads; everything else as packed trits.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(
+    const SortRequest& request,
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now());
+
+/// One self-delimiting response frame. The payload is value-encoded only
+/// when the response requested values AND every output trit is stable
+/// (metastable results fall back to packed trits with the flag clear, so
+/// nothing is silently mis-decoded).
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const SortResponse& response);
+
+// --- decoding ---------------------------------------------------------------
+
+/// A validated frame header plus its body, viewing the input buffer.
+struct FrameView {
+  FrameType type = FrameType::request;
+  std::span<const std::uint8_t> body;
+  /// Total frame length (header + body) — the offset of the next frame.
+  std::size_t frame_size = 0;
+};
+
+/// Validates the frame at the start of `bytes` (magic, version, type,
+/// length prefix within bounds and within the buffer).
+[[nodiscard]] StatusOr<FrameView> parse_frame(
+    std::span<const std::uint8_t> bytes);
+
+/// Decodes a request body. Deadline budgets are re-anchored at `now`.
+[[nodiscard]] StatusOr<SortRequest> decode_request(
+    std::span<const std::uint8_t> body,
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now());
+
+/// Decodes a response body.
+[[nodiscard]] StatusOr<SortResponse> decode_response(
+    std::span<const std::uint8_t> body);
+
+// --- stream framing ---------------------------------------------------------
+
+/// One frame read off a byte stream.
+struct Frame {
+  FrameType type = FrameType::request;
+  std::vector<std::uint8_t> body;
+};
+
+/// Reads exactly one frame. Returns nullopt on clean EOF (stream ended
+/// before the first header byte); kDataLoss when the stream ends mid-frame
+/// or the header is corrupt.
+[[nodiscard]] StatusOr<std::optional<Frame>> read_frame(std::istream& in);
+
+/// Writes one encoded frame (as produced by encode_*).
+void write_frame(std::ostream& out, std::span<const std::uint8_t> frame);
+
+}  // namespace mcsn::wire

@@ -84,8 +84,52 @@ std::vector<Word> McSorter::sort(const std::vector<Word>& values) {
   return sorted;
 }
 
+Status McSorter::sort_batch_flat(std::span<const Trit> in,
+                                 std::span<Trit> out) const {
+  const std::size_t round_trits = static_cast<std::size_t>(channels_) * bits_;
+  if (round_trits == 0 || in.size() % round_trits != 0) {
+    return Status::invalid_argument(
+        "flat payload of " + std::to_string(in.size()) +
+        " trits is not a whole number of " + std::to_string(channels_) + "x" +
+        std::to_string(bits_) + " rounds");
+  }
+  if (out.size() != in.size()) {
+    return Status::invalid_argument(
+        "output buffer of " + std::to_string(out.size()) +
+        " trits does not match input of " + std::to_string(in.size()));
+  }
+  batch_.run_flat(in, out);
+  return Status();
+}
+
+SortResponse McSorter::sort_request(const SortRequest& request) const {
+  SortResponse response;
+  response.shape = request.shape;
+  response.values_requested = request.values_requested;
+  if (Status s = request.validate(); !s.ok()) {
+    response.status = std::move(s);
+    return response;
+  }
+  if (request.shape != shape()) {
+    response.status = Status::invalid_argument(
+        "request shape " + std::to_string(request.shape.channels) + "x" +
+        std::to_string(request.shape.bits) + " does not match sorter " +
+        std::to_string(channels_) + "x" + std::to_string(bits_));
+    return response;
+  }
+  response.payload.resize(request.payload.size());
+  response.status = sort_batch_flat(request.payload, response.payload);
+  if (!response.status.ok()) response.payload.clear();
+  return response;
+}
+
 std::vector<std::uint64_t> McSorter::sort_values(
     const std::vector<std::uint64_t>& values) {
+  if (bits_ > 64) {
+    throw std::invalid_argument(
+        "McSorter::sort_values: integer entry points require bits <= 64 "
+        "(values are uint64_t); sort raw trit words instead");
+  }
   std::vector<Word> words;
   words.reserve(values.size());
   for (const std::uint64_t v : values) {
@@ -100,24 +144,26 @@ std::vector<std::uint64_t> McSorter::sort_values(
 
 std::vector<std::vector<Word>> McSorter::sort_batch(
     const std::vector<std::vector<Word>>& rounds) const {
-  std::vector<Word> flat;
-  flat.reserve(rounds.size());
+  const std::size_t round_trits = static_cast<std::size_t>(channels_) * bits_;
+  std::vector<Trit> flat(rounds.size() * round_trits);
+  std::size_t k = 0;
   for (const std::vector<Word>& round : rounds) {
     assert(static_cast<int>(round.size()) == channels_);
-    Word joined(static_cast<std::size_t>(channels_) * bits_);
-    std::size_t k = 0;
     for (const Word& w : round) {
       assert(w.size() == bits_);
-      for (const Trit t : w) joined[k++] = t;
+      for (const Trit t : w) flat[k++] = t;
     }
-    flat.push_back(std::move(joined));
   }
-  const std::vector<Word> outs = batch_.run(flat);
+  std::vector<Trit> outs(flat.size());
+  batch_.run_flat(flat, outs);
   std::vector<std::vector<Word>> sorted(rounds.size());
-  for (std::size_t r = 0; r < outs.size(); ++r) {
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const Trit* const row = outs.data() + r * round_trits;
     sorted[r].reserve(static_cast<std::size_t>(channels_));
     for (std::size_t c = 0; c < static_cast<std::size_t>(channels_); ++c) {
-      sorted[r].push_back(outs[r].sub(c * bits_, (c + 1) * bits_ - 1));
+      Word w(bits_);
+      for (std::size_t b = 0; b < bits_; ++b) w[b] = row[c * bits_ + b];
+      sorted[r].push_back(std::move(w));
     }
   }
   return sorted;
@@ -125,6 +171,11 @@ std::vector<std::vector<Word>> McSorter::sort_batch(
 
 std::vector<std::vector<std::uint64_t>> McSorter::sort_values_batch(
     const std::vector<std::vector<std::uint64_t>>& rounds) const {
+  if (bits_ > 64) {
+    throw std::invalid_argument(
+        "McSorter::sort_values_batch: integer entry points require bits <= "
+        "64 (values are uint64_t); sort raw trit words instead");
+  }
   std::vector<std::vector<Word>> words(rounds.size());
   for (std::size_t r = 0; r < rounds.size(); ++r) {
     words[r].reserve(rounds[r].size());

@@ -8,9 +8,11 @@
 //   McSorter sorter(10, 8);                       // 10 channels, 8 bits
 //   std::vector<Word> sorted = sorter.sort(measurements);
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "mcsn/api/sort_api.hpp"
 #include "mcsn/nets/elaborate.hpp"
 #include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/stats.hpp"
@@ -49,19 +51,46 @@ class McSorter {
   /// Gate-level report under the default (paper-calibrated) library.
   [[nodiscard]] CircuitStats stats() const;
 
+  [[nodiscard]] SortShape shape() const noexcept {
+    return SortShape{channels_, bits_};
+  }
+
+  // --- primary (flat, Status-based) API -------------------------------------
+
+  /// Sorts N rounds given as one flat contiguous buffer: `in` holds
+  /// N x channels() x bits() trits (round-major, channel-major within a
+  /// round) and the sorted rounds are written to `out` in the same layout.
+  /// This is the zero-copy path the compiled engine consumes directly — no
+  /// per-round repacking. Returns kInvalidArgument (and writes nothing) if
+  /// in.size() is not a multiple of the round size or out.size() differs.
+  ///
+  /// Const and safe to call concurrently from multiple threads.
+  [[nodiscard]] Status sort_batch_flat(std::span<const Trit> in,
+                                       std::span<Trit> out) const;
+
+  /// Sorts one SortRequest through the flat path. The response carries
+  /// kInvalidArgument (never throws) when the request is malformed or its
+  /// shape differs from this sorter's.
+  [[nodiscard]] SortResponse sort_request(const SortRequest& request) const;
+
+  // --- legacy wrappers (thin shims over the flat path) ----------------------
+
   /// Sorts `values` (each a B-bit valid string) through the gate-level
   /// netlist with worst-case metastability semantics.
   /// Precondition: values.size() == channels().
   [[nodiscard]] std::vector<Word> sort(const std::vector<Word>& values);
 
-  /// Convenience: encodes integers as Gray codewords and sorts.
+  /// Convenience: encodes integers as Gray codewords and sorts. Throws
+  /// std::invalid_argument when bits() > 64 (values are uint64_t; use the
+  /// trit-based API for wider words).
   [[nodiscard]] std::vector<std::uint64_t> sort_values(
       const std::vector<std::uint64_t>& values);
 
   /// Sorts many measurement rounds in one pass through the compiled batch
   /// engine (256-lane packing, optional thread sharding). Each round is a
   /// vector of channels() B-bit words; results come back round-aligned.
-  /// Far faster than calling sort() per round for large sweeps.
+  /// Wrapper over sort_batch_flat: flattens once into a contiguous buffer,
+  /// then splits the flat results back into Words.
   ///
   /// Const and safe to call concurrently from multiple threads (each call
   /// runs its own executor over the shared program); sort()/sort_values()
@@ -70,7 +99,8 @@ class McSorter {
       const std::vector<std::vector<Word>>& rounds) const;
 
   /// Batch variant of sort_values: each round is a vector of channels()
-  /// integers, Gray-encoded/decoded transparently.
+  /// integers, Gray-encoded/decoded transparently. Throws
+  /// std::invalid_argument when bits() > 64.
   [[nodiscard]] std::vector<std::vector<std::uint64_t>> sort_values_batch(
       const std::vector<std::vector<std::uint64_t>>& rounds) const;
 

@@ -1,0 +1,64 @@
+#pragma once
+// Move-only callable wrapper, the subset of C++23 std::move_only_function
+// the serve layer needs. std::function requires copyable targets, which
+// rules out completions that capture a std::promise; this wrapper accepts
+// any move-constructible callable. One heap allocation per target, invoke
+// through a single virtual call.
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mcsn {
+
+template <class Signature>
+class UniqueFunction;
+
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)
+      : target_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {
+  }
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return target_ != nullptr;
+  }
+
+  /// Precondition: holds a target.
+  R operator()(Args... args) {
+    assert(target_ != nullptr);
+    return target_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <class F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> target_;
+};
+
+}  // namespace mcsn

@@ -1,0 +1,249 @@
+// The unified request/response API: Status/StatusOr semantics, SortRequest
+// construction and validation, SortResponse decoding, and — the load-bearing
+// property — that the flat zero-copy batch entry points are bit-identical to
+// the legacy vector-of-vectors path on every catalog shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mcsn/api/sort_api.hpp"
+#include "mcsn/api/status.hpp"
+#include "mcsn/core/gray.hpp"
+#include "mcsn/sorter.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+// --- Status / StatusOr -------------------------------------------------------
+
+TEST(Status, DefaultIsOkAndFactoriesCarryCodeAndMessage) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.to_string(), "ok");
+
+  const Status bad = Status::invalid_argument("ragged round");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "ragged round");
+  EXPECT_EQ(bad.to_string(), "invalid_argument: ragged round");
+
+  EXPECT_EQ(status_code_name(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(status_code_name(StatusCode::kDataLoss), "data_loss");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> with_value(42);
+  ASSERT_TRUE(with_value.ok());
+  EXPECT_EQ(*with_value, 42);
+  EXPECT_TRUE(with_value.status().ok());
+
+  StatusOr<int> with_error(Status::unavailable("stopped"));
+  ASSERT_FALSE(with_error.ok());
+  EXPECT_EQ(with_error.status().code(), StatusCode::kUnavailable);
+
+  // Move-out works for move-only payloads.
+  StatusOr<std::unique_ptr<int>> moveonly(std::make_unique<int>(7));
+  ASSERT_TRUE(moveonly.ok());
+  std::unique_ptr<int> taken = std::move(moveonly).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+// --- SortShape / SortRequest -------------------------------------------------
+
+TEST(SortShape, ValidatesBounds) {
+  EXPECT_TRUE((SortShape{4, 8}).validate().ok());
+  EXPECT_FALSE((SortShape{0, 8}).validate().ok());
+  EXPECT_FALSE((SortShape{4, 0}).validate().ok());
+  EXPECT_FALSE((SortShape{kMaxChannels + 1, 8}).validate().ok());
+  EXPECT_FALSE((SortShape{4, kMaxBits + 1}).validate().ok());
+  EXPECT_EQ((SortShape{4, 8}).trits(), 32u);
+}
+
+TEST(SortRequest, ViewAliasesCallerMemoryAndOwnCopies) {
+  const std::vector<Trit> flat(8, Trit::one);
+  const StatusOr<SortRequest> view = SortRequest::view(SortShape{2, 4}, flat);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->payload.data(), flat.data());  // zero-copy
+  EXPECT_EQ(view->storage, nullptr);
+  EXPECT_TRUE(view->validate().ok());
+
+  const StatusOr<SortRequest> owned =
+      SortRequest::own(SortShape{2, 4}, std::vector<Trit>(8, Trit::meta));
+  ASSERT_TRUE(owned.ok());
+  ASSERT_NE(owned->storage, nullptr);
+  EXPECT_EQ(owned->payload.data(), owned->storage->data());
+}
+
+TEST(SortRequest, FactoriesRejectMismatchedPayloads) {
+  const std::vector<Trit> flat(7, Trit::zero);  // 7 != 2*4
+  EXPECT_EQ(SortRequest::view(SortShape{2, 4}, flat).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SortRequest::own(SortShape{0, 4}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SortRequest::from_words({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SortRequest::from_words({Word(4), Word(3)}).status().code(),
+            StatusCode::kInvalidArgument);  // ragged
+}
+
+TEST(SortRequest, FromValuesGrayEncodesAndFlagsIntent) {
+  const StatusOr<SortRequest> req = SortRequest::from_values(
+      SortShape{3, 4}, std::vector<std::uint64_t>{5, 0, 15});
+  ASSERT_TRUE(req.ok());
+  EXPECT_TRUE(req->values_requested);
+  ASSERT_EQ(req->payload.size(), 12u);
+  const Word expect5 = gray_encode(5, 4);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(req->payload[b], expect5[b]);
+}
+
+// Satellite regression: every integer-valued entry point rejects bits > 64
+// (values are uint64_t) instead of silently mis-encoding.
+TEST(SortRequest, FromValuesRejectsBitsOver64AndOutOfRangeValues) {
+  const StatusOr<SortRequest> too_wide = SortRequest::from_values(
+      SortShape{2, 65}, std::vector<std::uint64_t>{1, 2});
+  ASSERT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_wide.status().message().find("64"), std::string::npos);
+
+  const StatusOr<SortRequest> too_big = SortRequest::from_values(
+      SortShape{2, 4}, std::vector<std::uint64_t>{3, 16});  // 16 needs 5 bits
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+
+  // 64 bits exactly is fine, including the extreme value.
+  EXPECT_TRUE(SortRequest::from_values(
+                  SortShape{2, 64},
+                  std::vector<std::uint64_t>{0, ~std::uint64_t{0}})
+                  .ok());
+}
+
+// --- SortResponse ------------------------------------------------------------
+
+TEST(SortResponse, WordsAndValuesDecodeThePayload) {
+  SortResponse rsp;
+  rsp.shape = SortShape{2, 3};
+  const Word a = gray_encode(6, 3);
+  const Word b = gray_encode(1, 3);
+  rsp.payload.insert(rsp.payload.end(), a.begin(), a.end());
+  rsp.payload.insert(rsp.payload.end(), b.begin(), b.end());
+
+  const std::vector<Word> words = rsp.words();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], a);
+  EXPECT_EQ(words[1], b);
+
+  const StatusOr<std::vector<std::uint64_t>> values = rsp.values();
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, (std::vector<std::uint64_t>{6, 1}));
+}
+
+TEST(SortResponse, ValuesFailOnMetastableOrErrorResponses) {
+  SortResponse rsp;
+  rsp.shape = SortShape{1, 2};
+  rsp.payload = {Trit::one, Trit::meta};
+  const StatusOr<std::vector<std::uint64_t>> meta = rsp.values();
+  ASSERT_FALSE(meta.ok());
+  EXPECT_EQ(meta.status().code(), StatusCode::kFailedPrecondition);
+
+  const SortResponse failed = SortResponse::failure(
+      Status::unavailable("stopped"), SortShape{1, 2});
+  EXPECT_EQ(failed.values().status().code(), StatusCode::kUnavailable);
+}
+
+// --- flat batch parity -------------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const Trit> trits) {
+  for (const Trit t : trits) {
+    h ^= static_cast<std::uint64_t>(t) + 1;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Differential parity on every catalog shape (plus a Batcher fallback):
+// sort_batch_flat and sort_request are checksum-identical to the legacy
+// sort_batch path on random valid rounds, including partial lane groups.
+TEST(McSorterFlat, FlatBatchMatchesLegacySortBatchOnAllCatalogShapes) {
+  struct Case {
+    int channels;
+    std::size_t bits;
+    std::size_t rounds;
+  };
+  // 4/7/9/10 hit the paper's optimal catalog networks; 6 exercises the
+  // Batcher odd-even fallback. Round counts straddle the 256-lane group.
+  const std::vector<Case> cases = {
+      {4, 4, 300}, {7, 3, 57}, {9, 2, 64}, {10, 4, 10}, {6, 5, 130}};
+  Xoshiro256 rng(77);
+  for (const Case& c : cases) {
+    const McSorter sorter(c.channels, c.bits);
+    const std::size_t round_trits = sorter.shape().trits();
+
+    std::vector<std::vector<Word>> rounds;
+    std::vector<Trit> flat;
+    flat.reserve(c.rounds * round_trits);
+    for (std::size_t r = 0; r < c.rounds; ++r) {
+      rounds.push_back(random_valid_round(rng, c.channels, c.bits));
+      for (const Word& w : rounds.back()) {
+        flat.insert(flat.end(), w.begin(), w.end());
+      }
+    }
+
+    const std::vector<std::vector<Word>> expect = sorter.sort_batch(rounds);
+    std::uint64_t expect_sum = 0xcbf29ce484222325ULL;
+    for (const std::vector<Word>& round : expect) {
+      for (const Word& w : round) {
+        expect_sum = fnv1a(expect_sum, std::vector<Trit>(w.begin(), w.end()));
+      }
+    }
+
+    std::vector<Trit> out(flat.size());
+    ASSERT_TRUE(sorter.sort_batch_flat(flat, out).ok())
+        << c.channels << "x" << c.bits;
+    EXPECT_EQ(fnv1a(0xcbf29ce484222325ULL, out), expect_sum)
+        << c.channels << "x" << c.bits;
+
+    // Single-round request path agrees too.
+    const SortResponse rsp = sorter.sort_request(std::move(
+        SortRequest::view(sorter.shape(),
+                          std::span<const Trit>(flat).first(round_trits))
+            .value()));
+    ASSERT_TRUE(rsp.status.ok());
+    EXPECT_EQ(rsp.words(), expect[0]) << c.channels << "x" << c.bits;
+  }
+}
+
+TEST(McSorterFlat, FlatBatchRejectsMisshapenBuffers) {
+  const McSorter sorter(4, 4);
+  std::vector<Trit> in(17);  // not a multiple of 16
+  std::vector<Trit> out(17);
+  EXPECT_EQ(sorter.sort_batch_flat(in, out).code(),
+            StatusCode::kInvalidArgument);
+  in.resize(32);
+  out.resize(16);  // output size mismatch
+  EXPECT_EQ(sorter.sort_batch_flat(in, out).code(),
+            StatusCode::kInvalidArgument);
+  out.resize(32);
+  EXPECT_TRUE(sorter.sort_batch_flat(in, out).ok());
+}
+
+TEST(McSorterFlat, SortRequestReportsShapeMismatch) {
+  const McSorter sorter(4, 4);
+  const SortResponse rsp = sorter.sort_request(std::move(
+      SortRequest::from_values(SortShape{4, 5},
+                               std::vector<std::uint64_t>{1, 2, 3, 4})
+          .value()));
+  EXPECT_EQ(rsp.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(rsp.payload.empty());
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -42,6 +42,17 @@ std::vector<Word> random_round(Xoshiro256& rng, int channels,
   return random_valid_round(rng, channels, bits);
 }
 
+PendingSort make_pending(Xoshiro256& rng, int channels, std::size_t bits,
+                         Clock::time_point enqueued) {
+  PendingSort pending;
+  pending.request =
+      std::move(SortRequest::from_words(random_round(rng, channels, bits))
+                    .value());
+  pending.done = [](SortResponse) {};
+  pending.enqueued = enqueued;
+  return pending;
+}
+
 // --- BoundedQueue -----------------------------------------------------------
 
 TEST(BoundedQueue, FifoAndDrainAfterClose) {
@@ -176,14 +187,16 @@ TEST(MicroBatcher, FlushesOnLaneFull) {
   Xoshiro256 rng(1);
   const auto t0 = Clock::now();
   for (int i = 0; i < 3; ++i) {
-    auto r = batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
+    auto r = batcher.add(sorter, make_pending(rng, 2, 2, t0), t0);
     EXPECT_FALSE(r.full.has_value());
     EXPECT_EQ(r.window_started, i == 0);
   }
-  auto r = batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
+  auto r = batcher.add(sorter, make_pending(rng, 2, 2, t0), t0);
   ASSERT_TRUE(r.full.has_value());
   EXPECT_FALSE(r.window_started);
   EXPECT_EQ(r.full->requests.size(), 4u);
+  // Payloads were staged contiguously, ready for one sort_batch_flat.
+  EXPECT_EQ(r.full->flat.size(), 4u * (SortShape{2, 2}).trits());
   EXPECT_EQ(r.full->cause, FlushCause::lane_full);
   EXPECT_TRUE(batcher.empty());
 }
@@ -194,8 +207,8 @@ TEST(MicroBatcher, FlushesOnWindowExpiry) {
   MicroBatcher batcher(256, 1ms);
   Xoshiro256 rng(2);
   const auto t0 = Clock::now();
-  (void)batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0);
-  (void)batcher.add(sorter, {random_round(rng, 2, 2), {}, t0}, t0 + 100us);
+  (void)batcher.add(sorter, make_pending(rng, 2, 2, t0), t0);
+  (void)batcher.add(sorter, make_pending(rng, 2, 2, t0), t0 + 100us);
 
   ASSERT_TRUE(batcher.next_deadline().has_value());
   EXPECT_EQ(*batcher.next_deadline(), t0 + 1ms);  // pinned to the oldest
@@ -214,17 +227,18 @@ TEST(MicroBatcher, ShardsByShapeAndDrainsAll) {
   MicroBatcher batcher(256, 1ms);
   Xoshiro256 rng(3);
   const auto t0 = Clock::now();
-  (void)batcher.add(pool.acquire(2, 2), {random_round(rng, 2, 2), {}, t0}, t0);
-  (void)batcher.add(pool.acquire(4, 3), {random_round(rng, 4, 3), {}, t0}, t0);
-  (void)batcher.add(pool.acquire(2, 2), {random_round(rng, 2, 2), {}, t0}, t0);
+  (void)batcher.add(pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
+  (void)batcher.add(pool.acquire(4, 3), make_pending(rng, 4, 3, t0), t0);
+  (void)batcher.add(pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
   EXPECT_EQ(batcher.pending(), 3u);
 
   auto groups = batcher.take_all();
   ASSERT_EQ(groups.size(), 2u);  // one per shape
   for (const auto& g : groups) {
     EXPECT_EQ(g.cause, FlushCause::drain);
-    for (const auto& req : g.requests) {
-      EXPECT_EQ(static_cast<int>(req.round.size()), g.sorter->channels());
+    EXPECT_EQ(g.flat.size(), g.requests.size() * g.sorter->shape().trits());
+    for (const auto& pending : g.requests) {
+      EXPECT_EQ(pending.request.shape.channels, g.sorter->channels());
     }
   }
   EXPECT_TRUE(batcher.empty());
@@ -461,10 +475,11 @@ TEST(SortService, MetricsJsonIsLocaleIndependent) {
 
 TEST(SortService, RejectsMalformedRounds) {
   SortService service;
-  EXPECT_THROW((void)service.submit({}), std::invalid_argument);
-  EXPECT_THROW((void)service.submit({Word(0), Word(0)}),
+  EXPECT_THROW((void)service.submit(std::vector<Word>{}),
                std::invalid_argument);
-  EXPECT_THROW((void)service.submit({Word(4), Word(3)}),
+  EXPECT_THROW((void)service.submit(std::vector<Word>{Word(0), Word(0)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.submit(std::vector<Word>{Word(4), Word(3)}),
                std::invalid_argument);
 }
 
@@ -480,6 +495,170 @@ TEST(SortService, MetricsJsonHasTheAdvertisedFields) {
         "\"p99\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+// --- SortRequest/SortResponse API --------------------------------------------
+
+// Differential parity: SortRequest submission (futures and callbacks,
+// owned and zero-copy-view payloads) is checksum-identical to the legacy
+// sort_batch path on the same rounds.
+TEST(SortService, RequestApiMatchesDirectSortBatch) {
+  constexpr int kChannels = 4;
+  constexpr std::size_t kBits = 4;
+  constexpr std::size_t kRounds = 300;  // full lane group + partial
+  Xoshiro256 rng(41);
+  std::vector<std::vector<Word>> rounds;
+  std::vector<std::vector<Trit>> flats(kRounds);
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    rounds.push_back(random_round(rng, kChannels, kBits));
+    for (const Word& w : rounds.back()) {
+      flats[i].insert(flats[i].end(), w.begin(), w.end());
+    }
+  }
+  const McSorter reference(kChannels, kBits);
+  const std::vector<std::vector<Word>> expect = reference.sort_batch(rounds);
+
+  // Futures path over zero-copy views (flats outlive the completions),
+  // interleaved with the callback path writing into preassigned slots.
+  // Slots are declared before the service: if an assertion bails out of
+  // the test early, ~SortService still drains pending callbacks, which
+  // must find their targets alive.
+  std::vector<std::future<SortResponse>> futures(kRounds);
+  std::vector<SortResponse> callback_slots(kRounds);
+  std::atomic<std::size_t> callbacks_done{0};
+
+  ServeOptions opt;
+  opt.workers = 2;
+  opt.flush_window = 200us;
+  SortService service(opt);
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    SortRequest req = std::move(
+        SortRequest::view(SortShape{kChannels, kBits}, flats[i]).value());
+    if (i % 2 == 0) {
+      futures[i] = service.submit(std::move(req));
+    } else {
+      service.submit(std::move(req), [&, i](SortResponse rsp) {
+        callback_slots[i] = std::move(rsp);
+        callbacks_done.fetch_add(1);
+      });
+    }
+  }
+  for (std::size_t i = 0; i < kRounds; i += 2) {
+    const SortResponse rsp = futures[i].get();
+    ASSERT_TRUE(rsp.status.ok()) << rsp.status.to_string();
+    ASSERT_EQ(rsp.words(), expect[i]) << "request " << i;
+    EXPECT_GT(rsp.latency.count(), 0);
+  }
+  service.stop();  // all callbacks have run once stop() returns
+  EXPECT_EQ(callbacks_done.load(), kRounds / 2);
+  for (std::size_t i = 1; i < kRounds; i += 2) {
+    ASSERT_TRUE(callback_slots[i].status.ok());
+    ASSERT_EQ(callback_slots[i].words(), expect[i]) << "callback " << i;
+  }
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, kRounds);
+  EXPECT_EQ(m.completed, kRounds);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.expired, 0u);
+}
+
+// The request path never throws: malformed requests and post-stop submits
+// complete (inline) with the corresponding Status.
+TEST(SortService, RequestApiFailsViaStatusNotExceptions) {
+  SortService service;
+  SortRequest malformed;  // empty payload, 0x0 shape
+  const SortResponse bad = service.submit(std::move(malformed)).get();
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.metrics().rejected, 1u);
+
+  service.stop();
+  Xoshiro256 rng(5);
+  bool called_inline = false;
+  service.submit(
+      std::move(SortRequest::from_words(random_round(rng, 4, 4)).value()),
+      [&](SortResponse rsp) {
+        called_inline = true;
+        EXPECT_EQ(rsp.status.code(), StatusCode::kUnavailable);
+      });
+  EXPECT_TRUE(called_inline);  // completion ran before submit returned
+  EXPECT_EQ(service.metrics().rejected, 2u);
+}
+
+// Deadline policy: judged at flush time. An expired request is failed with
+// kDeadlineExceeded while its fresh lane-mates in the same group still
+// sort correctly.
+TEST(SortService, DeadlineExpiredRequestsFailAtFlushTime) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.flush_window = std::chrono::microseconds(1h);  // only drain flushes
+  SortService service(opt);
+  Xoshiro256 rng(19);
+
+  const std::vector<Word> round_a = random_round(rng, 4, 4);
+  const std::vector<Word> round_b = random_round(rng, 4, 4);
+  SortRequest expired = std::move(SortRequest::from_words(round_a).value());
+  expired.deadline = Clock::now() - 1ms;  // already past
+  SortRequest fresh = std::move(SortRequest::from_words(round_b).value());
+  fresh.deadline = Clock::now() + 1h;
+
+  std::future<SortResponse> f_expired = service.submit(std::move(expired));
+  std::future<SortResponse> f_fresh = service.submit(std::move(fresh));
+  service.stop();  // drain-flushes the shared partial group
+
+  const SortResponse r_expired = f_expired.get();
+  EXPECT_EQ(r_expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r_expired.payload.empty());
+
+  const SortResponse r_fresh = f_fresh.get();
+  ASSERT_TRUE(r_fresh.status.ok()) << r_fresh.status.to_string();
+  const McSorter reference(4, 4);
+  EXPECT_EQ(r_fresh.words(), reference.sort_batch({round_b})[0]);
+
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, 2u);
+  EXPECT_EQ(m.expired, 1u);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.failed, 0u);
+}
+
+// Satellite regression: integer-valued service entry points must reject
+// bits > 64 loudly — uint64_t values cannot fill wider words.
+TEST(SortService, SortValuesRejectsBitsOver64) {
+  SortService service;
+  EXPECT_THROW((void)service.sort_values({3, 1, 2, 0}, 65),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.sort_values({3, 1, 2, 0}, 0),
+               std::invalid_argument);
+  // bits = 64 stays legal at the validation layer (the values all fit).
+  const StatusOr<SortRequest> wide =
+      SortRequest::from_values(SortShape{2, 64}, std::vector<std::uint64_t>{
+                                                     1, ~std::uint64_t{0}});
+  EXPECT_TRUE(wide.ok()) << wide.status().to_string();
+}
+
+TEST(ServeOptions, ValidateNamesEveryBadKnob) {
+  ServeOptions opt;
+  EXPECT_TRUE(opt.validate().ok());
+
+  opt.workers = 0;
+  opt.max_lanes = 0;
+  opt.flush_window = std::chrono::microseconds(-5);
+  opt.max_inflight = 0;
+  opt.ready_capacity = 0;
+  opt.sorter.batch.threads = -2;
+  const Status s = opt.validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  for (const char* knob : {"workers", "max_lanes", "flush_window",
+                           "max_inflight", "ready_capacity",
+                           "sorter.batch.threads"}) {
+    EXPECT_NE(s.message().find(knob), std::string::npos)
+        << knob << " missing in: " << s.message();
+  }
+  // The constructor still sanitizes for programmatic callers: building a
+  // service from these knobs clamps instead of failing.
+  SortService service(opt);
+  EXPECT_GE(service.options().workers, 1);
 }
 
 TEST(SortService, BackpressureBoundsInflight) {

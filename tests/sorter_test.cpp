@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "mcsn/core/gray.hpp"
 #include "mcsn/core/valid.hpp"
@@ -99,6 +100,25 @@ TEST(McSorter, MovableWithRepinnedExecutor) {
 TEST(McSorter, RejectsDegenerateShapes) {
   EXPECT_THROW(McSorter(0, 4), std::invalid_argument);
   EXPECT_THROW(McSorter(4, 0), std::invalid_argument);
+}
+
+// Satellite regression: the integer entry points used to silently
+// Gray-encode with bits > 64, shifting out of the uint64_t range. Raw
+// trit-word sorting at such widths stays legal; only the value-based
+// convenience wrappers must refuse.
+TEST(McSorter, IntegerEntryPointsRejectBitsOver64) {
+  McSorter sorter(2, 65);
+  EXPECT_THROW((void)sorter.sort_values({1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)sorter.sort_values_batch({{1, 0}}),
+               std::invalid_argument);
+
+  // The trit-level paths still work at 65 bits.
+  const Word lo(65, Trit::zero);
+  Word hi(65, Trit::zero);
+  hi[0] = Trit::one;  // MSB set: hi > lo in Gray order
+  const std::vector<Word> sorted = McSorter(2, 65).sort({hi, lo});
+  EXPECT_EQ(sorted[0], lo);
+  EXPECT_EQ(sorted[1], hi);
 }
 
 TEST(McSorter, AoiOptionPropagates) {

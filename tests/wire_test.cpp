@@ -1,0 +1,349 @@
+// The binary wire codec: byte-exact round-trips for requests and responses
+// across every catalog shape and both payload encodings, plus the
+// robustness suite — truncated frames at every prefix length, corrupt
+// length prefixes, version/magic/type/flag mismatches, invalid packed
+// trits — and stream framing over iostreams.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/serve/wire.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+std::vector<Trit> random_flat(Xoshiro256& rng, SortShape shape) {
+  std::vector<Trit> flat;
+  flat.reserve(shape.trits());
+  for (const Word& w : random_valid_round(rng, shape.channels, shape.bits)) {
+    flat.insert(flat.end(), w.begin(), w.end());
+  }
+  return flat;
+}
+
+SortRequest decode_request_frame(std::span<const std::uint8_t> frame) {
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  EXPECT_TRUE(view.ok()) << view.status().to_string();
+  EXPECT_EQ(view->type, wire::FrameType::request);
+  StatusOr<SortRequest> req = wire::decode_request(view->body);
+  EXPECT_TRUE(req.ok()) << req.status().to_string();
+  return std::move(*req);
+}
+
+// --- round trips -------------------------------------------------------------
+
+// Requests round-trip on every catalog shape (and the Batcher fallback),
+// with re-encoding being byte-exact — the codec has one canonical form.
+TEST(Wire, RequestRoundTripsAllCatalogShapesByteExact) {
+  const std::vector<SortShape> shapes = {
+      {4, 4}, {7, 3}, {9, 2}, {10, 8}, {6, 5}, {2, 16}};
+  Xoshiro256 rng(3);
+  for (const SortShape shape : shapes) {
+    const std::vector<Trit> flat = random_flat(rng, shape);
+    const SortRequest original =
+        std::move(SortRequest::own(shape, flat).value());
+    const auto now = Clock::now();
+    const std::vector<std::uint8_t> frame =
+        wire::encode_request(original, now);
+
+    StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok());
+    ASSERT_EQ(view->frame_size, frame.size());
+    StatusOr<SortRequest> decoded = wire::decode_request(view->body, now);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded->shape, shape);
+    ASSERT_EQ(decoded->payload.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      ASSERT_EQ(decoded->payload[i], flat[i]) << "trit " << i;
+    }
+    EXPECT_FALSE(decoded->values_requested);
+    EXPECT_FALSE(decoded->deadline.has_value());
+
+    // Canonical: re-encoding the decoded request reproduces the bytes.
+    EXPECT_EQ(wire::encode_request(*decoded, now), frame);
+  }
+}
+
+TEST(Wire, ValueEncodedRequestRoundTrips) {
+  const StatusOr<SortRequest> original = SortRequest::from_values(
+      SortShape{4, 10}, std::vector<std::uint64_t>{1023, 0, 512, 7});
+  ASSERT_TRUE(original.ok());
+  const std::vector<std::uint8_t> frame = wire::encode_request(*original);
+  // 8 header + 20 fixed + 4 channels x 8 bytes.
+  EXPECT_EQ(frame.size(), 8u + 20u + 32u);
+
+  const SortRequest decoded = decode_request_frame(frame);
+  EXPECT_TRUE(decoded.values_requested);
+  EXPECT_EQ(decoded.shape, (SortShape{4, 10}));
+  ASSERT_EQ(decoded.payload.size(), original->payload.size());
+  for (std::size_t i = 0; i < decoded.payload.size(); ++i) {
+    ASSERT_EQ(decoded.payload[i], original->payload[i]);
+  }
+}
+
+TEST(Wire, DeadlineTravelsAsRelativeBudget) {
+  Xoshiro256 rng(5);
+  SortRequest req =
+      std::move(SortRequest::own(SortShape{2, 2}, random_flat(rng, {2, 2}))
+                    .value());
+  const auto encode_now = Clock::now();
+  req.deadline = encode_now + 5ms;
+  const std::vector<std::uint8_t> frame = wire::encode_request(req, encode_now);
+
+  const auto decode_now = encode_now + 1h;  // "another process", much later
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortRequest> decoded = wire::decode_request(view->body, decode_now);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->deadline.has_value());
+  // The 5ms budget is re-anchored at decode time, not the original epoch.
+  EXPECT_EQ(*decoded->deadline, decode_now + 5ms);
+
+  // An already-expired deadline still arrives as a (tiny) deadline rather
+  // than silently becoming "none".
+  req.deadline = encode_now - 5ms;
+  const auto expired_frame = wire::encode_request(req, encode_now);
+  view = wire::parse_frame(expired_frame);
+  ASSERT_TRUE(view.ok());
+  decoded = wire::decode_request(view->body, decode_now);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->deadline.has_value());
+  EXPECT_EQ(*decoded->deadline, decode_now + 1ns);
+}
+
+TEST(Wire, ResponseRoundTripsPayloadStatusAndLatency) {
+  Xoshiro256 rng(7);
+  SortResponse rsp;
+  rsp.shape = SortShape{7, 3};
+  rsp.payload = random_flat(rng, rsp.shape);
+  rsp.latency = 12345ns;
+  const std::vector<std::uint8_t> frame = wire::encode_response(rsp);
+
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, wire::FrameType::response);
+  StatusOr<SortResponse> decoded = wire::decode_response(view->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->shape, rsp.shape);
+  EXPECT_EQ(decoded->latency, 12345ns);
+  ASSERT_EQ(decoded->payload.size(), rsp.payload.size());
+  for (std::size_t i = 0; i < rsp.payload.size(); ++i) {
+    ASSERT_EQ(decoded->payload[i], rsp.payload[i]);
+  }
+  EXPECT_EQ(wire::encode_response(*decoded), frame);  // byte-exact
+}
+
+TEST(Wire, ErrorResponseCarriesStatusAndMessage) {
+  const SortResponse failed = SortResponse::failure(
+      Status::deadline_exceeded("expired before flush"), SortShape{4, 4});
+  const std::vector<std::uint8_t> frame = wire::encode_response(failed);
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortResponse> decoded = wire::decode_response(view->body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->status.message(), "expired before flush");
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Wire, ValueEncodedResponseFallsBackToTritsOnMetastableOutput) {
+  SortResponse rsp;
+  rsp.shape = SortShape{1, 2};
+  rsp.values_requested = true;
+  rsp.payload = {Trit::one, Trit::meta};  // integers cannot express M
+  const std::vector<std::uint8_t> frame = wire::encode_response(rsp);
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortResponse> decoded = wire::decode_response(view->body);
+  ASSERT_TRUE(decoded.ok());
+  // Flag is clear (trit payload) and the M survived intact.
+  EXPECT_FALSE(decoded->values_requested);
+  ASSERT_EQ(decoded->payload.size(), 2u);
+  EXPECT_EQ(decoded->payload[1], Trit::meta);
+}
+
+// --- robustness --------------------------------------------------------------
+
+TEST(Wire, TruncatedFramesAreDataLossAtEveryPrefixLength) {
+  Xoshiro256 rng(11);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  const std::vector<std::uint8_t> frame = wire::encode_request(req);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const StatusOr<wire::FrameView> view =
+        wire::parse_frame(std::span(frame.data(), len));
+    ASSERT_FALSE(view.ok()) << "prefix " << len;
+    EXPECT_EQ(view.status().code(), StatusCode::kDataLoss) << "prefix " << len;
+  }
+  EXPECT_TRUE(wire::parse_frame(frame).ok());
+}
+
+TEST(Wire, CorruptLengthPrefixIsRejectedNotAllocated) {
+  Xoshiro256 rng(13);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{2, 2}, random_flat(rng, {2, 2}))
+                    .value());
+  std::vector<std::uint8_t> frame = wire::encode_request(req);
+  // Length prefix lives at bytes [4, 8): claim a multi-gigabyte body.
+  frame[4] = frame[5] = frame[6] = frame[7] = 0xff;
+  const StatusOr<wire::FrameView> huge = wire::parse_frame(frame);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kResourceExhausted);
+
+  // A plausible-but-wrong length (one byte short) is data loss.
+  frame = wire::encode_request(req);
+  frame[4] = static_cast<std::uint8_t>(frame[4] + 1);
+  const StatusOr<wire::FrameView> short_body = wire::parse_frame(frame);
+  ASSERT_FALSE(short_body.ok());
+  EXPECT_EQ(short_body.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Wire, VersionAndMagicAndTypeMismatchesAreRejected) {
+  Xoshiro256 rng(17);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{2, 2}, random_flat(rng, {2, 2}))
+                    .value());
+  const std::vector<std::uint8_t> good = wire::encode_request(req);
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(wire::parse_frame(bad_magic).status().code(),
+            StatusCode::kDataLoss);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[2] = wire::kVersion + 1;
+  EXPECT_EQ(wire::parse_frame(bad_version).status().code(),
+            StatusCode::kUnimplemented);
+
+  std::vector<std::uint8_t> bad_type = good;
+  bad_type[3] = 99;
+  EXPECT_EQ(wire::parse_frame(bad_type).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Wire, UnknownBodyFlagsAndInvalidTritsAreRejected) {
+  Xoshiro256 rng(19);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{2, 2}, random_flat(rng, {2, 2}))
+                    .value());
+  const std::vector<std::uint8_t> frame = wire::encode_request(req);
+  const std::size_t body_off = wire::kHeaderSize;
+
+  std::vector<std::uint8_t> unknown_flag = frame;
+  unknown_flag[body_off + 8] |= 0x80;  // undefined flag bit
+  {
+    const auto view = wire::parse_frame(unknown_flag);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(wire::decode_request(view->body).status().code(),
+              StatusCode::kUnimplemented);
+  }
+
+  std::vector<std::uint8_t> bad_trit = frame;
+  bad_trit[body_off + 20] |= 0x03;  // first packed pair -> 11 (invalid)
+  {
+    const auto view = wire::parse_frame(bad_trit);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(wire::decode_request(view->body).status().code(),
+              StatusCode::kDataLoss);
+  }
+
+  // Nonzero padding bits after the last trit break canonical form.
+  std::vector<std::uint8_t> bad_padding = frame;
+  // 2x2 = 4 trits fill byte 0 exactly; use a 2x3 request for padding room.
+  const SortRequest odd =
+      std::move(SortRequest::own(SortShape{2, 3}, random_flat(rng, {2, 3}))
+                    .value());
+  bad_padding = wire::encode_request(odd);
+  bad_padding[wire::kHeaderSize + 20 + 1] |= 0xC0;  // trits 4..5 used, 6..7 pad
+  {
+    const auto view = wire::parse_frame(bad_padding);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(wire::decode_request(view->body).status().code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(Wire, RequestBodyShapeAndSizeMismatchesAreRejected) {
+  // Hand-build a request body claiming a 0-channel shape.
+  std::vector<std::uint8_t> body(20, 0);
+  body[4] = 4;  // bits = 4, channels = 0
+  EXPECT_EQ(wire::decode_request(body).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Valid shape but payload shorter than the shape demands.
+  Xoshiro256 rng(23);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  const std::vector<std::uint8_t> frame = wire::encode_request(req);
+  const auto view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(wire::decode_request(view->body.first(view->body.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+// --- stream framing ----------------------------------------------------------
+
+TEST(Wire, ReadFrameStreamsFramesAndSignalsCleanEof) {
+  Xoshiro256 rng(29);
+  const SortRequest a =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  const SortRequest b =
+      std::move(SortRequest::own(SortShape{7, 3}, random_flat(rng, {7, 3}))
+                    .value());
+  std::stringstream stream;
+  wire::write_frame(stream, wire::encode_request(a));
+  wire::write_frame(stream, wire::encode_request(b));
+
+  StatusOr<std::optional<wire::Frame>> first = wire::read_frame(stream);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ(wire::decode_request((*first)->body)->shape, (SortShape{4, 4}));
+
+  StatusOr<std::optional<wire::Frame>> second = wire::read_frame(stream);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ(wire::decode_request((*second)->body)->shape, (SortShape{7, 3}));
+
+  StatusOr<std::optional<wire::Frame>> eof = wire::read_frame(stream);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());  // clean EOF, not an error
+}
+
+TEST(Wire, ReadFrameReportsMidFrameEofAsDataLoss) {
+  Xoshiro256 rng(31);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  const std::vector<std::uint8_t> frame = wire::encode_request(req);
+
+  {  // ends inside the header
+    std::stringstream stream;
+    wire::write_frame(stream, std::span(frame.data(), 5));
+    EXPECT_EQ(wire::read_frame(stream).status().code(), StatusCode::kDataLoss);
+  }
+  {  // ends inside the body
+    std::stringstream stream;
+    wire::write_frame(stream, std::span(frame.data(), frame.size() - 3));
+    EXPECT_EQ(wire::read_frame(stream).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+}  // namespace
+}  // namespace mcsn

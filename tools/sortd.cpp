@@ -1,17 +1,31 @@
 // sortd — load-serving driver for the streaming sort service.
 //
-// Two modes:
+// Modes:
 //
 //   tool_sortd --rate 50000 --duration-s 2        synthetic Poisson load:
 //     submits random valid measurement rounds at the given arrival rate for
 //     the given duration, then prints the service metrics JSON (request and
 //     batch counters, lane occupancy, p50/p99 latency).
 //
-//   tool_sortd --stdin                            pipe mode:
+//   tool_sortd --stdin                            text pipe mode:
 //     each input line is one round of whitespace-separated integers; every
 //     line is submitted asynchronously (the service coalesces them into
 //     lane groups) and the sorted lines are printed in input order. Metrics
 //     JSON goes to stderr.
+//
+//   tool_sortd --framed                           binary pipe mode:
+//     stdin carries length-prefixed SortRequest frames (serve/wire.hpp);
+//     each decoded request is submitted and its SortResponse frame is
+//     written to stdout strictly in request order (heterogeneous shapes
+//     welcome — every frame names its own). A malformed-but-framed request
+//     gets an error-status response in its slot; a corrupt stream (bad
+//     magic/version/length) aborts, since framing is unrecoverable.
+//     Metrics JSON goes to stderr.
+//
+//   tool_sortd --encode-frames --bits B           codec helpers: turn text
+//   tool_sortd --decode-frames                    rounds into request
+//     frames and response frames back into text — the two ends of a
+//     --framed pipeline, also used by CI to round-trip the binary path.
 //
 // Shared knobs: --channels C --bits B --workers W --window-us U
 //               --max-lanes L --max-inflight N --seed S
@@ -29,6 +43,7 @@
 
 #include "mcsn/core/gray.hpp"
 #include "mcsn/serve/service.hpp"
+#include "mcsn/serve/wire.hpp"
 #include "mcsn/util/cli.hpp"
 #include "mcsn/util/loadgen.hpp"
 #include "mcsn/util/rng.hpp"
@@ -74,6 +89,130 @@ int run_stdin(SortService& service, std::size_t bits) {
   return 0;
 }
 
+int run_framed(SortService& service) {
+  std::deque<std::future<SortResponse>> pending;
+  // Responses leave in request order: only the front of the queue is ever
+  // written, opportunistically while reading (so a long-lived pipe streams
+  // results instead of buffering until EOF) and exhaustively at the end.
+  const auto drain = [&pending](bool wait_all) {
+    while (!pending.empty()) {
+      if (!wait_all && pending.front().wait_for(std::chrono::seconds(0)) !=
+                           std::future_status::ready) {
+        break;
+      }
+      const SortResponse response = pending.front().get();
+      pending.pop_front();
+      wire::write_frame(std::cout, wire::encode_response(response));
+    }
+  };
+
+  for (;;) {
+    StatusOr<std::optional<wire::Frame>> frame = wire::read_frame(std::cin);
+    if (!frame.ok()) {
+      std::cerr << "sortd: framed stream: " << frame.status().to_string()
+                << "\n";
+      return 2;
+    }
+    if (!frame->has_value()) break;  // clean EOF between frames
+    if ((*frame)->type != wire::FrameType::request) {
+      std::cerr << "sortd: framed stream: expected a request frame\n";
+      return 2;
+    }
+    StatusOr<SortRequest> request = wire::decode_request((*frame)->body);
+    if (!request.ok()) {
+      // The frame itself was well-delimited, so framing is intact: answer
+      // this slot with the decode failure and keep serving.
+      std::promise<SortResponse> failed;
+      failed.set_value(
+          SortResponse::failure(request.status(), SortShape{1, 1}));
+      pending.push_back(failed.get_future());
+    } else {
+      pending.push_back(service.submit(std::move(*request)));
+    }
+    drain(false);
+  }
+  drain(true);
+  std::cout.flush();
+  std::cerr << service.metrics_json() << "\n";
+  return 0;
+}
+
+int run_encode_frames(std::size_t bits) {
+  const std::uint64_t limit = std::uint64_t{1} << bits;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::vector<std::uint64_t> values;
+    std::uint64_t v = 0;
+    while (ss >> v) {
+      if (v >= limit) {
+        std::cerr << "sortd: line " << lineno << ": value " << v
+                  << " needs more than " << bits << " bits\n";
+        return 2;
+      }
+      values.push_back(v);
+    }
+    if (!ss.eof()) {
+      std::cerr << "sortd: line " << lineno << ": not an integer round\n";
+      return 2;
+    }
+    if (values.empty()) continue;
+    StatusOr<SortRequest> request = SortRequest::from_values(
+        SortShape{static_cast<int>(values.size()), bits}, values);
+    if (!request.ok()) {
+      std::cerr << "sortd: line " << lineno << ": "
+                << request.status().to_string() << "\n";
+      return 2;
+    }
+    wire::write_frame(std::cout, wire::encode_request(*request));
+  }
+  std::cout.flush();
+  return 0;
+}
+
+int run_decode_frames() {
+  for (;;) {
+    StatusOr<std::optional<wire::Frame>> frame = wire::read_frame(std::cin);
+    if (!frame.ok()) {
+      std::cerr << "sortd: framed stream: " << frame.status().to_string()
+                << "\n";
+      return 2;
+    }
+    if (!frame->has_value()) break;
+    if ((*frame)->type != wire::FrameType::response) {
+      std::cerr << "sortd: framed stream: expected a response frame\n";
+      return 2;
+    }
+    StatusOr<SortResponse> response = wire::decode_response((*frame)->body);
+    if (!response.ok()) {
+      std::cerr << "sortd: framed stream: " << response.status().to_string()
+                << "\n";
+      return 2;
+    }
+    if (!response->status.ok()) {
+      std::cerr << "sortd: request failed: " << response->status.to_string()
+                << "\n";
+      return 3;
+    }
+    const StatusOr<std::vector<std::uint64_t>> values = response->values();
+    if (values.ok()) {
+      for (std::size_t i = 0; i < values->size(); ++i) {
+        std::cout << (i ? " " : "") << (*values)[i];
+      }
+    } else {
+      // Metastable or >64-bit outputs have no integer form; print words.
+      const std::vector<Word> words = response->words();
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        std::cout << (i ? " " : "") << words[i].str();
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int run_load(SortService& service, int channels, std::size_t bits,
              double rate, double duration_s, std::uint64_t seed) {
   // Oldest futures are drained once the window tops this size, bounding
@@ -112,6 +251,15 @@ int run_load(SortService& service, int channels, std::size_t bits,
   return 0;
 }
 
+int usage() {
+  std::cerr << "usage: tool_sortd [--channels C>=2] [--bits 1..16]"
+               " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
+               " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
+               " [--seed S] [--stdin | --framed | --encode-frames |"
+               " --decode-frames]\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,26 +284,35 @@ int main(int argc, char** argv) {
   } catch (const std::exception&) {
     rate = duration_s = 0.0;  // falls through to usage
   }
-  // Reject (rather than clamp) every value that would wedge the open loop:
-  // a non-finite or non-positive rate feeds PoissonClock inf/NaN deadlines,
-  // and negative pool/queue bounds would wrap through the size_t casts.
+  // Workload-shape knobs keep their domain checks here; a non-finite or
+  // non-positive rate feeds PoissonClock inf/NaN deadlines.
   if (channels < 2 || bits < 1 || bits > 16 || !std::isfinite(rate) ||
-      rate <= 0.0 || !std::isfinite(duration_s) || duration_s <= 0.0 ||
-      workers < 1 || window_us < 0 || max_lanes < 1 || max_inflight < 1) {
-    std::cerr << "usage: tool_sortd [--channels C>=2] [--bits 1..16]"
-                 " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
-                 " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
-                 " [--seed S] [--stdin]\n";
-    return 2;
+      rate <= 0.0 || !std::isfinite(duration_s) || duration_s <= 0.0) {
+    return usage();
   }
+
+  if (args.has("encode-frames")) return run_encode_frames(bits);
+  if (args.has("decode-frames")) return run_decode_frames();
 
   ServeOptions opt;
   opt.workers = static_cast<int>(workers);
   opt.flush_window = std::chrono::microseconds(window_us);
-  opt.max_lanes = static_cast<std::size_t>(max_lanes);
-  opt.max_inflight = static_cast<std::size_t>(max_inflight);
+  // Negative values must reach validate() as out-of-range, not wrap
+  // through the size_t casts into huge "valid" bounds.
+  opt.max_lanes =
+      max_lanes < 0 ? 0 : static_cast<std::size_t>(max_lanes);
+  opt.max_inflight =
+      max_inflight < 0 ? 0 : static_cast<std::size_t>(max_inflight);
+  // Reject (rather than clamp) bad service knobs: validate() names every
+  // out-of-range value so a typo'd flag errors instead of being silently
+  // rewritten by the constructor's sanitize step.
+  if (Status s = opt.validate(); !s.ok()) {
+    std::cerr << "sortd: " << s.to_string() << "\n";
+    return usage();
+  }
   SortService service(opt);
 
+  if (args.has("framed")) return run_framed(service);
   if (args.has("stdin")) return run_stdin(service, bits);
   return run_load(service, channels, bits, rate, duration_s,
                   static_cast<std::uint64_t>(args.get_long_or("seed", 42)));
