@@ -9,12 +9,16 @@
 //
 // The capacity phase is closed-loop (submit as fast as backpressure allows)
 // and doubles as a differential check: every series — naive per-request,
-// futures serve path, callback-completion serve path (submit_callback) and
-// the direct zero-copy engine path (flat_batch) — is hashed against direct
-// sort_batch outputs and the process fails on mismatch. The sweep phase is
-// open-loop: arrivals are scheduled by an exponential clock independent of
-// completions, so queueing delay shows up in p99 instead of being absorbed
-// by a slow producer.
+// futures serve path, callback-completion serve path (submit_callback),
+// the direct zero-copy engine path (flat_batch) and the TCP front-end
+// (socket: one pipelined loopback connection through SocketServer, so the
+// wire codec + event loop overhead vs --framed pipes is tracked) — is
+// hashed against direct sort_batch outputs and the process fails on
+// mismatch. The sweep phase is open-loop: arrivals are scheduled by an
+// exponential clock independent of completions, so queueing delay shows up
+// in p99 instead of being absorbed by a slow producer.
+
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "mcsn/serve/net/client.hpp"
+#include "mcsn/serve/net/socket_server.hpp"
 #include "mcsn/serve/service.hpp"
 #include "mcsn/sorter.hpp"
 #include "mcsn/util/cli.hpp"
@@ -208,6 +214,71 @@ double serve_callback_vps(int workers, std::chrono::microseconds window,
   return static_cast<double>(n) / secs;
 }
 
+/// Serve capacity through the TCP front-end: one pipelined loopback
+/// connection into a SocketServer (writer thread streams request frames,
+/// the main thread receives responses in order), measuring what the wire
+/// codec, kernel socket hops and the event loop cost on top of the
+/// in-process callback path. `checksum` chains the responses in
+/// submission order, comparable to the serve-path chain.
+double socket_vps(int workers, std::chrono::microseconds window,
+                  const std::vector<std::vector<Word>>& rounds,
+                  std::uint64_t& checksum, MetricsSnapshot& metrics) {
+  const auto fail = [&checksum](const std::string& what) {
+    std::cerr << "socket: " << what << "\n";
+    checksum = 0;
+    return 0.0;
+  };
+  ServeOptions opt;
+  opt.workers = workers;
+  opt.flush_window = window;
+  SortService service(opt);
+  net::SocketOptions sopt;
+  sopt.max_inflight = 1024;  // deep pipeline; still < service max_inflight
+  net::SocketServer server(service, sopt);
+  if (Status s = server.start(); !s.ok()) return fail(s.to_string());
+  StatusOr<net::SortClient> client =
+      net::SortClient::connect("127.0.0.1", server.port());
+  if (!client.ok()) return fail(client.status().to_string());
+
+  const auto t0 = Clock::now();
+  std::atomic<bool> send_failed{false};
+  std::thread writer([&] {
+    for (const std::vector<Word>& r : rounds) {
+      StatusOr<SortRequest> request = SortRequest::from_words(r);
+      if (!request.ok() || !client->send(*request).ok()) {
+        send_failed.store(true);
+        return;
+      }
+    }
+  });
+  checksum = 0xcbf29ce484222325ULL;
+  std::string error;
+  for (std::size_t i = 0; i < rounds.size() && error.empty(); ++i) {
+    StatusOr<SortResponse> response = client->receive();
+    if (!response.ok()) {
+      error = response.status().to_string();
+    } else if (!response->status.ok()) {
+      error = response->status.to_string();
+    } else {
+      checksum = fnv1a_flat(checksum, response->payload);
+    }
+  }
+  if (!error.empty() && client->connected()) {
+    // The writer may be blocked in send() against a server paused at its
+    // per-connection cap; without the receive side draining, that block
+    // would outlast any kernel buffer. Shooting the socket unblocks it so
+    // the failure gets reported instead of hanging the bench.
+    ::shutdown(client->native_handle(), SHUT_RDWR);
+  }
+  writer.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  metrics = service.metrics();
+  server.stop();
+  if (!error.empty()) return fail(error);
+  if (send_failed.load()) return fail("send failed");
+  return static_cast<double>(rounds.size()) / secs;
+}
+
 /// Serve capacity: closed-loop submission into the micro-batching service
 /// with `workers` executor threads.
 double serve_vps(int workers, std::chrono::microseconds window,
@@ -336,8 +407,13 @@ int main(int argc, char** argv) {
   std::uint64_t flat_sum = 0;
   const double flat = flat_batch_vps(workers, channels, bits, rounds,
                                      flat_sum);
+  std::uint64_t socket_sum = 0;
+  MetricsSnapshot socket_metrics;
+  const double socket = socket_vps(workers, std::chrono::microseconds(200),
+                                   rounds, socket_sum, socket_metrics);
   const bool agree = serve_sum == expect_chain && naive_sum == expect_digest &&
-                     callback_sum == expect_chain && flat_sum == expect_chain;
+                     callback_sum == expect_chain &&
+                     flat_sum == expect_chain && socket_sum == expect_chain;
 
   std::cout << "{\n  \"workload\": {\"channels\": " << channels
             << ", \"bits\": " << bits << ", \"workers\": " << workers
@@ -346,10 +422,13 @@ int main(int argc, char** argv) {
             << ", \"serve_vps\": " << serve
             << ", \"submit_callback_vps\": " << callback
             << ", \"flat_batch_vps\": " << flat
+            << ", \"socket_vps\": " << socket
             << ", \"speedup\": " << (naive > 0.0 ? serve / naive : 0.0)
             << ", \"serve_mean_occupancy\": " << cap_metrics.mean_occupancy()
             << ", \"callback_mean_occupancy\": "
             << callback_metrics.mean_occupancy()
+            << ", \"socket_mean_occupancy\": "
+            << socket_metrics.mean_occupancy()
             << ", \"results_match_sort_batch\": " << (agree ? "true" : "false")
             << "},\n  \"sweep\": [\n";
   bool first = true;

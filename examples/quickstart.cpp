@@ -73,5 +73,9 @@ int main() {
             << " ten-channel rounds; round 0:";
   for (const std::uint64_t v : sorted[0]) std::cout << " " << v;
   std::cout << "\n";
+
+  // 7. For streaming traffic there is SortService (micro-batching over
+  //    this same engine), and for network clients a TCP front-end — see
+  //    examples/net_client.cpp against `tool_sortd --listen`.
   return 0;
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans README.md, docs/*.md and the other top-level *.md files for
+[text](target) links, skips absolute URLs and mailto:, strips #fragments,
+and verifies each remaining target exists relative to the file that links
+it. Exits non-zero listing every dangling link, so docs cross-references
+cannot rot silently.
+
+Usage: scripts/check_doc_links.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target must not start with a scheme. Nested parens and
+# images are rare enough in this repo that the simple pattern is right.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: pathlib.Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md in doc_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md.relative_to(root)}:{line}: {target}")
+    for b in broken:
+        print(f"dangling link: {b}", file=sys.stderr)
+    print(f"checked {checked} relative links, {len(broken)} dangling")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,14 @@
 // measured submit-to-completion latency. All validation errors surface as
 // Status values; nothing on this path throws.
 //
+// Requests and responses are plain values with no internal locking:
+// confine each instance to one thread at a time (copies are independent —
+// a copied SortRequest shares only the immutable payload storage, which
+// is safe to read concurrently). Ownership contract: a request built with
+// `view` aliases caller memory and the caller must keep that buffer alive
+// until the request completes; every other factory makes the request
+// self-contained.
+//
 //   auto req = SortRequest::from_values({.channels = 4, .bits = 8},
 //                                       std::array{5u, 2u, 7u, 1u});
 //   SortResponse rsp = service.submit(std::move(*req)).get();
@@ -127,6 +135,8 @@ struct SortResponse {
   /// decoded) and kInvalidArgument if bits > 64.
   [[nodiscard]] StatusOr<std::vector<std::uint64_t>> values() const;
 
+  /// A payload-less response reporting `status` (which must not be OK) —
+  /// the uniform way every layer answers a request it could not sort.
   [[nodiscard]] static SortResponse failure(Status status, SortShape shape,
                                             bool values_requested = false) {
     SortResponse r;

@@ -32,11 +32,18 @@ enum class StatusCode : std::uint8_t {
 /// Stable lowercase name of a code ("ok", "invalid_argument", ...).
 [[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
 
+/// One result code plus an (almost always empty) human-readable message.
+/// A Status is a plain value: cheap to copy, safe to read concurrently
+/// through const access, moved/assigned freely. Thread confinement is per
+/// instance — two threads may not mutate the same Status, but each can
+/// own its own.
 class [[nodiscard]] Status {
  public:
   /// OK by default, so `Status s; ... return s;` reads naturally.
   Status() noexcept = default;
 
+  /// An explicit code + message; prefer the named factories below (they
+  /// read better at call sites and can't transpose arguments).
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
@@ -65,8 +72,11 @@ class [[nodiscard]] Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// True iff the code is kOk. Check this before trusting any result the
+  /// Status guards.
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  /// The diagnostic text (empty for kOk). Valid while this Status lives.
   [[nodiscard]] const std::string& message() const noexcept {
     return message_;
   }
@@ -115,6 +125,8 @@ class [[nodiscard]] StatusOr {
     return *std::move(value_);
   }
 
+  /// Pointer-style access to the value. Precondition: ok() — same
+  /// contract as value(), asserted in debug builds.
   [[nodiscard]] const T& operator*() const& { return value(); }
   [[nodiscard]] T& operator*() & { return value(); }
   [[nodiscard]] const T* operator->() const { return &value(); }

@@ -1,0 +1,137 @@
+#include "mcsn/serve/net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "mcsn/serve/net/detail.hpp"
+#include "mcsn/serve/wire.hpp"
+
+namespace mcsn::net {
+
+using detail::errno_text;
+using detail::kReadChunk;
+
+SortClient::~SortClient() { close(); }
+
+SortClient::SortClient(SortClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rbuf_(std::move(other.rbuf_)),
+      scratch_(std::move(other.scratch_)) {}
+
+SortClient& SortClient::operator=(SortClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+    scratch_ = std::move(other.scratch_);
+  }
+  return *this;
+}
+
+StatusOr<SortClient> SortClient::connect(const std::string& host,
+                                         std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string port_str = std::to_string(port);
+  addrinfo* found = nullptr;
+  if (const int rc =
+          ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &found);
+      rc != 0) {
+    return Status::unavailable("getaddrinfo(" + host +
+                               "): " + ::gai_strerror(rc));
+  }
+  Status last = Status::unavailable("no usable address for " + host);
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::unavailable(errno_text("socket"));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      ::freeaddrinfo(found);
+      return SortClient(fd);
+    }
+    last = Status::unavailable(errno_text("connect"));
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  return last;
+}
+
+Status SortClient::send(const SortRequest& request) {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  const std::vector<std::uint8_t> frame = wire::encode_request(request);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errno_text("send"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+StatusOr<SortResponse> SortClient::receive() {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  for (;;) {
+    StatusOr<std::optional<wire::FrameView>> parsed =
+        wire::try_parse_frame(rbuf_);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->has_value()) {
+      const wire::FrameView view = **parsed;
+      if (view.type != wire::FrameType::response) {
+        return Status::unimplemented("expected a response frame");
+      }
+      StatusOr<SortResponse> response = wire::decode_response(view.body);
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(view.frame_size));
+      return response;
+    }
+    if (scratch_.empty()) scratch_.resize(kReadChunk);
+    const ssize_t n = ::recv(fd_, scratch_.data(), scratch_.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errno_text("recv"));
+    }
+    if (n == 0) {
+      if (rbuf_.empty()) {
+        return Status::unavailable("connection closed");
+      }
+      return Status::data_loss("connection closed mid-frame");
+    }
+    rbuf_.insert(rbuf_.end(), scratch_.begin(), scratch_.begin() + n);
+  }
+}
+
+StatusOr<SortResponse> SortClient::sort(const SortRequest& request) {
+  if (Status s = send(request); !s.ok()) return s;
+  return receive();
+}
+
+void SortClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mcsn::net

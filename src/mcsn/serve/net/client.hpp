@@ -1,0 +1,86 @@
+#pragma once
+// SortClient — a minimal blocking TCP client for the wire codec, the
+// counterpart of SocketServer. Used by tests, benches and the example
+// client; it is deliberately simple (blocking sockets, one connection):
+// production callers with their own event loops should speak the frames of
+// serve/wire.hpp directly.
+//
+//   auto client = net::SortClient::connect("127.0.0.1", port);
+//   if (!client.ok()) ...;
+//   StatusOr<SortResponse> rsp = client->sort(request);      // send + recv
+//
+// send()/receive() are also exposed separately so callers can pipeline:
+// many sends first, then the matching receives — responses arrive in send
+// order (the server guarantees per-connection ordering). A SortClient is
+// move-only and NOT thread-safe as a whole, but one thread may send()
+// while another receive()s (the two directions touch disjoint state) —
+// exactly the writer/reader split a closed-loop pipelined driver needs.
+//
+// Nothing here throws: connection failures, short writes, malformed or
+// truncated response frames all surface as Status values. A server that
+// closed the connection cleanly between frames reports kUnavailable
+// ("connection closed") from receive().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsn/api/sort_api.hpp"
+
+namespace mcsn::net {
+
+class SortClient {
+ public:
+  /// Not yet connected; receive()/send() on a default-constructed client
+  /// return kFailedPrecondition.
+  SortClient() = default;
+
+  ~SortClient();
+
+  SortClient(SortClient&& other) noexcept;
+  SortClient& operator=(SortClient&& other) noexcept;
+  SortClient(const SortClient&) = delete;
+  SortClient& operator=(const SortClient&) = delete;
+
+  /// Resolves `host`, connects (blocking) and disables Nagle. Returns
+  /// kUnavailable with errno/getaddrinfo text on failure.
+  [[nodiscard]] static StatusOr<SortClient> connect(const std::string& host,
+                                                    std::uint16_t port);
+
+  /// Encodes `request` as one wire frame and writes it fully. A deadline
+  /// on the request travels as a relative budget and is re-anchored at
+  /// server receipt.
+  [[nodiscard]] Status send(const SortRequest& request);
+
+  /// Blocks for the next response frame. Responses arrive in send order.
+  /// kUnavailable on clean server close between frames; kDataLoss on a
+  /// close mid-frame or corrupt framing. A response whose own status is
+  /// non-OK (e.g. the server answering a malformed request) decodes
+  /// successfully — inspect SortResponse::status.
+  [[nodiscard]] StatusOr<SortResponse> receive();
+
+  /// send() + receive(): the one-liner for unpipelined callers.
+  [[nodiscard]] StatusOr<SortResponse> sort(const SortRequest& request);
+
+  /// Closes the connection (idempotent; the destructor calls it).
+  void close() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// The raw socket, for tests that need byte-level control (split writes,
+  /// deliberate garbage). -1 when closed.
+  [[nodiscard]] int native_handle() const noexcept { return fd_; }
+
+ private:
+  explicit SortClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  /// Bytes received but not yet consumed as frames (reads can straddle
+  /// frame boundaries in both directions).
+  std::vector<std::uint8_t> rbuf_;
+  /// recv staging buffer (only the bytes actually read move to rbuf_);
+  /// touched by receive() only, so the send/receive thread split holds.
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace mcsn::net

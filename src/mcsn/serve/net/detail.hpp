@@ -1,0 +1,23 @@
+#pragma once
+// Internals shared by the net layer's translation units (server and
+// client). Not part of the public surface.
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace mcsn::net::detail {
+
+/// read/recv chunk size for both sides' buffers; on the server it doubles
+/// as the "probably drained the socket buffer" heuristic (a short read
+/// means no more data is waiting).
+inline constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// "what: strerror(errno)" — evaluate immediately after the failing call,
+/// before anything else can clobber errno.
+inline std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace mcsn::net::detail

@@ -1,0 +1,873 @@
+#include "mcsn/serve/net/socket_server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include "mcsn/serve/net/detail.hpp"
+#include "mcsn/serve/wire.hpp"
+
+namespace mcsn::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using detail::errno_text;
+using detail::kReadChunk;
+
+/// Default poller timeout when no deadline is nearer: bounds how stale the
+/// idle sweep can get without costing measurable wakeup load.
+constexpr int kSweepMs = 100;
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::unavailable(errno_text("fcntl(O_NONBLOCK)"));
+  }
+  return Status();
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+void set_nodelay(int fd) {
+  // Request/response frames are latency-sensitive and tiny; Nagle would
+  // serialize pipelined clients onto RTT boundaries.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// --- poller abstraction -----------------------------------------------------
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup: handled through the read path (read() observes the
+  /// failure or EOF), so it is folded into `readable`.
+  bool error = false;
+};
+
+/// Readiness-notification backend: epoll where available, poll(2) as the
+/// portable fallback. Level-triggered semantics in both (the loop re-reads
+/// until EAGAIN anyway, and level-triggered EPOLLOUT is disarmed the moment
+/// the write queue empties).
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  [[nodiscard]] virtual Status add(int fd, bool rd, bool wr) = 0;
+  virtual void set(int fd, bool rd, bool wr) = 0;
+  virtual void remove(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever), appends ready fds to `out`.
+  [[nodiscard]] virtual Status wait(int timeout_ms,
+                                    std::vector<PollEvent>& out) = 0;
+};
+
+#if defined(__linux__)
+class EpollPoller final : public Poller {
+ public:
+  [[nodiscard]] Status init() {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) return Status::unavailable(errno_text("epoll_create1"));
+    return Status();
+  }
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  Status add(int fd, bool rd, bool wr) override {
+    epoll_event ev = make_event(fd, rd, wr);
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status::unavailable(errno_text("epoll_ctl(ADD)"));
+    }
+    return Status();
+  }
+
+  void set(int fd, bool rd, bool wr) override {
+    epoll_event ev = make_event(fd, rd, wr);
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void remove(int fd) override {
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  Status wait(int timeout_ms, std::vector<PollEvent>& out) override {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status();
+      return Status::unavailable(errno_text("epoll_wait"));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvent e;
+      e.fd = events[i].data.fd;
+      e.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      e.readable = (events[i].events & EPOLLIN) != 0 || e.error;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      out.push_back(e);
+    }
+    return Status();
+  }
+
+ private:
+  static epoll_event make_event(int fd, bool rd, bool wr) {
+    epoll_event ev{};
+    ev.events = (rd ? EPOLLIN : 0u) | (wr ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ev;
+  }
+
+  int epfd_ = -1;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  [[nodiscard]] Status init() { return Status(); }
+
+  Status add(int fd, bool rd, bool wr) override {
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, interest(rd, wr), 0});
+    return Status();
+  }
+
+  void set(int fd, bool rd, bool wr) override {
+    const auto it = index_.find(fd);
+    if (it != index_.end()) fds_[it->second].events = interest(rd, wr);
+  }
+
+  void remove(int fd) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  Status wait(int timeout_ms, std::vector<PollEvent>& out) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status();
+      return Status::unavailable(errno_text("poll"));
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent e;
+      e.fd = p.fd;
+      e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      e.readable = (p.revents & POLLIN) != 0 || e.error;
+      e.writable = (p.revents & POLLOUT) != 0;
+      out.push_back(e);
+    }
+    return Status();
+  }
+
+ private:
+  static short interest(bool rd, bool wr) {
+    return static_cast<short>((rd ? POLLIN : 0) | (wr ? POLLOUT : 0));
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+std::unique_ptr<Poller> make_poller(bool force_poll, Status& status) {
+#if defined(__linux__)
+  if (!force_poll) {
+    auto epoll = std::make_unique<EpollPoller>();
+    status = epoll->init();
+    return epoll;
+  }
+#else
+  (void)force_poll;
+#endif
+  auto poll = std::make_unique<PollPoller>();
+  status = poll->init();
+  return poll;
+}
+
+// --- connection state -------------------------------------------------------
+
+struct Connection : std::enable_shared_from_this<Connection> {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  int fd = -1;
+
+  // Loop-thread-only state.
+  std::vector<std::uint8_t> rbuf;  ///< accumulated, not-yet-parsed bytes
+  std::deque<std::vector<std::uint8_t>> wqueue;  ///< encoded frames owed
+  std::size_t woff = 0;        ///< bytes of wqueue.front() already written
+  std::uint64_t next_seq = 0;  ///< sequence of the next decoded request
+  std::uint64_t next_flush = 0;  ///< next sequence owed to the write queue
+  std::uint64_t written = 0;     ///< response frames fully written
+  bool peer_eof = false;  ///< client half-closed; flush owed, then close
+  bool teardown = false;  ///< protocol error; close once wqueue drains
+  bool want_read = true;  ///< current poller read interest
+  bool want_write = false;
+  Clock::time_point last_activity = Clock::now();
+
+  /// Responses completed but not yet released in sequence order. The only
+  /// cross-thread state: service completions insert, the loop drains.
+  std::mutex mu;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> done;
+
+  /// Requests decoded but not yet *fully written back* — the flow-control
+  /// quantity. Counting only until release-to-write-queue would let a
+  /// client that sends but never reads grow wqueue without bound; this
+  /// way the backlog per connection is capped at max_inflight encoded
+  /// frames (wqueue.size() == next_flush - written <= pending()).
+  [[nodiscard]] std::size_t pending() const { return next_seq - written; }
+  [[nodiscard]] bool drained() const { return pending() == 0; }
+};
+
+/// Completion-side shared state, kept alive by every in-flight callback so
+/// a completion that outraces stop() still has somewhere safe to land.
+struct CompletionSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::shared_ptr<Connection>> dirty;
+  std::size_t outstanding = 0;
+  int wake_fd = -1;  ///< write end of the loop's self-pipe; -1 once closed
+};
+
+void wake_locked(CompletionSink& sink) {
+  if (sink.wake_fd < 0) return;
+  const char byte = 1;
+  // EAGAIN just means wakeups are already queued; either way the loop runs.
+  [[maybe_unused]] ssize_t n = ::write(sink.wake_fd, &byte, 1);
+}
+
+}  // namespace
+
+// --- server impl ------------------------------------------------------------
+
+struct SocketServer::Impl {
+  SortService& service;
+  const SocketOptions opt;
+
+  std::unique_ptr<Poller> poller;
+  int listen_fd = -1;
+  int wake_rd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread loop;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::vector<int> pending_close;  ///< defer close to end of event batch
+  /// Listener re-arm time after an fd/memory-exhausted accept (see
+  /// accept_ready); unset while the listener is armed normally.
+  std::optional<Clock::time_point> listener_muted_until;
+  /// Loop-thread recv staging: recv lands here and only the bytes
+  /// actually read are appended to a connection's rbuf (resizing rbuf by
+  /// kReadChunk up front would zero-fill 64 KiB per recv call).
+  std::vector<std::uint8_t> read_scratch = std::vector<std::uint8_t>(kReadChunk);
+  std::shared_ptr<CompletionSink> sink = std::make_shared<CompletionSink>();
+
+  std::atomic<std::uint64_t> accepted{0}, rejected{0}, closed{0}, requests{0},
+      responses{0}, protocol_errors{0}, idle_closed{0};
+  std::atomic<std::size_t> open_conns{0};
+
+  Impl(SortService& svc, SocketOptions options)
+      : service(svc), opt(std::move(options)) {}
+
+  // --- lifecycle ------------------------------------------------------------
+
+  Status start() {
+    if (started.exchange(true)) {
+      return Status::invalid_argument("SocketServer: start() called twice");
+    }
+    if (Status s = opt.validate(); !s.ok()) return s;
+
+    Status poller_status;
+    poller = make_poller(opt.force_poll, poller_status);
+    if (!poller_status.ok()) return poller_status;
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) < 0) return Status::unavailable(errno_text("pipe"));
+    wake_rd = pipe_fds[0];
+    sink->wake_fd = pipe_fds[1];
+    for (const int fd : pipe_fds) {
+      if (Status s = set_nonblocking(fd); !s.ok()) return s;
+      set_cloexec(fd);
+    }
+
+    if (Status s = open_listener(); !s.ok()) return s;
+    if (Status s = poller->add(listen_fd, true, false); !s.ok()) return s;
+    if (Status s = poller->add(wake_rd, true, false); !s.ok()) return s;
+
+    loop = std::thread([this] { run(); });
+    return Status();
+  }
+
+  Status open_listener() {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV;
+    const std::string port_str = std::to_string(opt.port);
+    addrinfo* found = nullptr;
+    if (const int rc =
+            ::getaddrinfo(opt.host.c_str(), port_str.c_str(), &hints, &found);
+        rc != 0) {
+      return Status::unavailable("getaddrinfo(" + opt.host +
+                                 "): " + ::gai_strerror(rc));
+    }
+    Status last = Status::unavailable("no usable address for " + opt.host);
+    for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last = Status::unavailable(errno_text("socket"));
+        continue;
+      }
+      int one = 1;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      set_cloexec(fd);
+      Status s = set_nonblocking(fd);
+      if (s.ok() && ::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0) {
+        s = Status::unavailable(errno_text("bind"));
+      }
+      if (s.ok() && ::listen(fd, opt.backlog) < 0) {
+        s = Status::unavailable(errno_text("listen"));
+      }
+      if (s.ok()) {
+        sockaddr_storage bound{};
+        socklen_t len = sizeof bound;
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+          s = Status::unavailable(errno_text("getsockname"));
+        } else if (bound.ss_family == AF_INET) {
+          bound_port = ntohs(reinterpret_cast<sockaddr_in&>(bound).sin_port);
+        } else if (bound.ss_family == AF_INET6) {
+          bound_port = ntohs(reinterpret_cast<sockaddr_in6&>(bound).sin6_port);
+        }
+      }
+      if (s.ok()) {
+        listen_fd = fd;
+        ::freeaddrinfo(found);
+        return Status();
+      }
+      ::close(fd);
+      last = std::move(s);
+    }
+    ::freeaddrinfo(found);
+    return last;
+  }
+
+  void stop() {
+    if (!started.load() || stopped.exchange(true)) return;
+    stopping.store(true);
+    {
+      std::lock_guard lock(sink->mu);
+      wake_locked(*sink);
+    }
+    if (loop.joinable()) loop.join();
+    // The loop is gone; wait out completions still running on service
+    // worker threads before tearing down the state they touch. Admitted
+    // requests always complete (the service's flush window sweeps partial
+    // batches), so this terminates.
+    {
+      std::unique_lock lock(sink->mu);
+      const int wake_fd = sink->wake_fd;
+      sink->wake_fd = -1;
+      if (wake_fd >= 0) ::close(wake_fd);
+      sink->cv.wait(lock, [this] { return sink->outstanding == 0; });
+    }
+    if (wake_rd >= 0) ::close(wake_rd);
+    wake_rd = -1;
+    // If start() failed before the loop thread spawned, the listener (when
+    // it got as far as existing) is still ours to close.
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+
+  // --- event loop -----------------------------------------------------------
+
+  void run() {
+    std::vector<PollEvent> events;
+    std::optional<Clock::time_point> drain_deadline;
+    bool accepting = true;
+    for (;;) {
+      events.clear();
+      (void)poller->wait(poll_timeout_ms(), events);
+      const Clock::time_point now = Clock::now();
+
+      if (listener_muted_until && now >= *listener_muted_until) {
+        listener_muted_until.reset();
+        if (accepting && listen_fd >= 0) poller->set(listen_fd, true, false);
+      }
+
+      for (const PollEvent& ev : events) {
+        if (ev.fd == wake_rd) {
+          drain_wake_pipe();
+        } else if (ev.fd == listen_fd) {
+          if (accepting) accept_ready(now);
+        } else if (const auto it = conns.find(ev.fd); it != conns.end()) {
+          const std::shared_ptr<Connection>& conn = it->second;
+          if (ev.error) {
+            // EPOLLHUP/POLLERR: the peer is gone in both directions, so
+            // owed responses have no reader. (A half-close arrives as a
+            // plain readable event with read() == 0 instead.)
+            schedule_close(*conn);
+            continue;
+          }
+          // Writable events go through the full pump, not bare
+          // handle_write: the pump re-parses frames that buffered while
+          // writes had the connection paused, and ends in
+          // update_interest so a fully flushed queue disarms
+          // level-triggered EPOLLOUT (a bare flush would leave it armed
+          // on an always-writable socket and spin the loop).
+          if (ev.writable) pump_completions(*conn, now);
+          if (ev.readable && conn->fd >= 0) handle_read(*conn, now);
+        }
+      }
+
+      drain_dirty(now);
+      flush_pending_close();
+
+      if (opt.idle_timeout.count() > 0) sweep_idle(now);
+      flush_pending_close();
+
+      if (stopping.load(std::memory_order_relaxed)) {
+        if (accepting) {
+          accepting = false;
+          poller->remove(listen_fd);
+          ::close(listen_fd);
+          listen_fd = -1;
+          drain_deadline = now + opt.drain_timeout;
+          // No new requests: stop reading everywhere, keep flushing.
+          for (auto& [fd, conn] : conns) {
+            conn->peer_eof = true;
+            update_interest(*conn);
+          }
+        }
+        for (auto& [fd, conn] : conns) {
+          if (conn->drained() || now >= *drain_deadline) {
+            schedule_close(*conn);
+          }
+        }
+        flush_pending_close();
+        // The only way out: stopping, listener closed, every connection
+        // torn down — nothing is left to clean up after the loop.
+        if (conns.empty()) break;
+      }
+    }
+  }
+
+  int poll_timeout_ms() const {
+    if (stopping.load(std::memory_order_relaxed)) return 10;
+    return kSweepMs;
+  }
+
+  void drain_wake_pipe() {
+    char buf[256];
+    while (::read(wake_rd, buf, sizeof buf) > 0) {
+    }
+  }
+
+  // --- accept path ----------------------------------------------------------
+
+  void accept_ready(Clock::time_point now) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Out of fds/memory: the pending connection stays in the
+          // backlog, so the level-triggered listener would re-fire every
+          // wait() and spin the loop hot. Mute it for a sweep interval
+          // and retry once resources may have freed.
+          poller->set(listen_fd, false, false);
+          listener_muted_until = now + std::chrono::milliseconds(kSweepMs);
+        }
+        return;  // EAGAIN, or a transient accept failure: wait for the next
+                 // readiness notification either way
+      }
+      if (conns.size() >= opt.max_connections) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      if (Status s = set_nonblocking(fd); !s.ok()) {
+        ::close(fd);
+        continue;
+      }
+      set_cloexec(fd);
+      set_nodelay(fd);
+      if (opt.sndbuf > 0) {
+        (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt.sndbuf,
+                           sizeof opt.sndbuf);
+      }
+      auto conn = std::make_shared<Connection>(fd);
+      conn->last_activity = now;
+      if (!poller->add(fd, true, false).ok()) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::move(conn));
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      open_conns.store(conns.size(), std::memory_order_relaxed);
+    }
+  }
+
+  // --- read path ------------------------------------------------------------
+
+  void handle_read(Connection& conn, Clock::time_point now) {
+    if (conn.fd < 0 || !conn.want_read) {
+      // Paused (inflight cap) or tearing down, but an event raced the
+      // interest update — leave the bytes in the socket buffer.
+      return;
+    }
+    for (;;) {
+      const ssize_t n =
+          ::recv(conn.fd, read_scratch.data(), read_scratch.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        schedule_close(conn);
+        return;
+      }
+      if (n == 0) {
+        conn.peer_eof = true;
+        parse_frames(conn, now);
+        pump_completions(conn, now);  // flush what's ready; close if drained
+        return;
+      }
+      conn.rbuf.insert(conn.rbuf.end(), read_scratch.begin(),
+                       read_scratch.begin() + n);
+      conn.last_activity = now;
+      parse_frames(conn, now);
+      if (conn.fd < 0) return;
+      if (conn.teardown) {
+        pump_completions(conn, now);  // release the error frame if nothing
+        return;                       // else is owed ahead of it
+      }
+      if (conn.pending() >= opt.max_inflight) break;  // paused
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+    }
+    update_interest(conn);
+  }
+
+  /// Consumes every complete frame in the read buffer, stopping early at
+  /// the per-connection inflight cap (remaining bytes stay buffered and
+  /// are re-parsed when responses drain) or at a protocol error.
+  void parse_frames(Connection& conn, Clock::time_point now) {
+    std::size_t pos = 0;
+    while (!conn.teardown && conn.pending() < opt.max_inflight) {
+      const auto bytes = std::span<const std::uint8_t>(conn.rbuf).subspan(pos);
+      StatusOr<std::optional<wire::FrameView>> parsed =
+          wire::try_parse_frame(bytes);
+      if (!parsed.ok()) {
+        protocol_error(conn, parsed.status());
+        break;
+      }
+      if (!parsed->has_value()) {
+        if (conn.peer_eof && !bytes.empty()) {
+          // The stream ended inside a frame: report the truncation before
+          // closing. (Unreachable while paused — the loop condition keeps
+          // buffered bytes for the post-drain re-parse instead.)
+          protocol_error(conn,
+                         Status::data_loss("connection closed mid-frame"));
+        }
+        break;
+      }
+      const wire::FrameView view = **parsed;
+      if (view.type != wire::FrameType::request) {
+        protocol_error(conn, Status::unimplemented(
+                                 "expected a request frame on the server"));
+        break;
+      }
+      StatusOr<SortRequest> request = wire::decode_request(view.body, now);
+      if (!request.ok()) {
+        protocol_error(conn, request.status());
+        break;
+      }
+      pos += view.frame_size;
+      submit_request(conn, std::move(*request));
+    }
+    if (conn.teardown) {
+      conn.rbuf.clear();
+    } else if (pos > 0) {
+      conn.rbuf.erase(conn.rbuf.begin(),
+                      conn.rbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+
+  void submit_request(Connection& conn, SortRequest request) {
+    const std::uint64_t seq = conn.next_seq++;
+    requests.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(sink->mu);
+      ++sink->outstanding;
+    }
+    std::shared_ptr<Connection> self = conn.shared_from_this();
+    std::shared_ptr<CompletionSink> sink_ref = sink;
+    // May block under service-wide backpressure (see the header note); the
+    // per-connection cap keeps that rare. Completions run on service
+    // workers, or inline right here on synchronous rejection — both only
+    // touch the done-map and the sink.
+    service.submit(std::move(request),
+                   [self = std::move(self), sink_ref = std::move(sink_ref),
+                    seq](SortResponse response) {
+                     std::vector<std::uint8_t> frame =
+                         wire::encode_response(response);
+                     {
+                       std::lock_guard lock(self->mu);
+                       self->done.emplace(seq, std::move(frame));
+                     }
+                     std::lock_guard lock(sink_ref->mu);
+                     sink_ref->dirty.push_back(self);
+                     wake_locked(*sink_ref);
+                     --sink_ref->outstanding;
+                     if (sink_ref->outstanding == 0) {
+                       sink_ref->cv.notify_all();
+                     }
+                   });
+  }
+
+  /// Malformed traffic: answer with a Status error frame queued behind the
+  /// responses already owed (so ordering still identifies the bad
+  /// request), then tear the connection down once everything flushes.
+  /// Framing past the bad bytes is unrecoverable, so reading stops here.
+  void protocol_error(Connection& conn, Status status) {
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    const SortResponse error =
+        SortResponse::failure(std::move(status), SortShape{1, 1});
+    const std::uint64_t seq = conn.next_seq++;
+    {
+      std::lock_guard lock(conn.mu);
+      conn.done.emplace(seq, wire::encode_response(error));
+    }
+    conn.teardown = true;
+    conn.rbuf.clear();
+  }
+
+  // --- completion / write path ----------------------------------------------
+
+  void drain_dirty(Clock::time_point now) {
+    std::vector<std::shared_ptr<Connection>> ready;
+    {
+      std::lock_guard lock(sink->mu);
+      ready.swap(sink->dirty);
+    }
+    for (const std::shared_ptr<Connection>& conn : ready) {
+      if (conn->fd < 0) continue;  // completed after teardown: drop
+      pump_completions(*conn, now);
+    }
+  }
+
+  /// Moves the in-order prefix of completed responses into the write queue.
+  void release_ready(Connection& conn) {
+    std::lock_guard lock(conn.mu);
+    for (auto it = conn.done.find(conn.next_flush); it != conn.done.end();
+         it = conn.done.find(conn.next_flush)) {
+      conn.wqueue.push_back(std::move(it->second));
+      conn.done.erase(it);
+      ++conn.next_flush;
+    }
+  }
+
+  /// Releases the in-order prefix of completed responses into the write
+  /// queue, flushes opportunistically, and resumes parsing frames that
+  /// were buffered while paused at the inflight cap (even after a
+  /// half-close, when no more reads will come). Runs to a fixpoint: a
+  /// completion can land *while* the re-parse submits (fast workers outrun
+  /// the loop thread), dropping inflight below the cap again with frames
+  /// still buffered — keying the re-parse off the state at entry would
+  /// strand those frames until the idle reaper, so keep alternating
+  /// release/parse until neither makes progress.
+  void pump_completions(Connection& conn, Clock::time_point now) {
+    while (conn.fd >= 0) {
+      release_ready(conn);
+      handle_write(conn, now);
+      if (conn.fd < 0) return;
+      if (conn.teardown || conn.rbuf.empty() ||
+          conn.pending() >= opt.max_inflight) {
+        break;
+      }
+      const std::uint64_t before = conn.next_seq;
+      parse_frames(conn, now);
+      if (conn.next_seq == before && !conn.teardown) {
+        break;  // only a partial frame left: wait for more bytes
+      }
+    }
+    update_interest(conn);
+  }
+
+  void handle_write(Connection& conn, Clock::time_point now) {
+    if (conn.fd < 0) return;
+    while (!conn.wqueue.empty()) {
+      const std::vector<std::uint8_t>& front = conn.wqueue.front();
+      const ssize_t n = ::send(conn.fd, front.data() + conn.woff,
+                               front.size() - conn.woff, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        schedule_close(conn);  // peer reset; owed responses are moot
+        return;
+      }
+      conn.woff += static_cast<std::size_t>(n);
+      conn.last_activity = now;
+      if (conn.woff == front.size()) {
+        conn.wqueue.pop_front();
+        conn.woff = 0;
+        ++conn.written;
+        responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    finish_if_drained(conn);
+  }
+
+  void finish_if_drained(Connection& conn) {
+    if (conn.fd < 0) return;
+    // After a half-close the read buffer may still hold complete frames
+    // that were beyond the pending cap — they are owed answers, so the
+    // connection is not finished until a pump consumes them (a partial
+    // tail turns into a teardown at its next parse instead).
+    if ((conn.teardown || (conn.peer_eof && conn.rbuf.empty())) &&
+        conn.drained()) {
+      schedule_close(conn);
+    }
+  }
+
+  void update_interest(Connection& conn) {
+    if (conn.fd < 0) return;
+    const bool rd = !conn.teardown && !conn.peer_eof &&
+                    conn.pending() < opt.max_inflight;
+    const bool wr = !conn.wqueue.empty();
+    if (rd != conn.want_read || wr != conn.want_write) {
+      conn.want_read = rd;
+      conn.want_write = wr;
+      poller->set(conn.fd, rd, wr);
+    }
+  }
+
+  // --- teardown -------------------------------------------------------------
+
+  /// Closes are deferred to the end of the event batch so a recycled fd
+  /// from accept() can't collide with a stale event in the same batch.
+  void schedule_close(Connection& conn) {
+    if (conn.fd < 0) return;
+    pending_close.push_back(conn.fd);
+    poller->remove(conn.fd);
+    conn.fd = -1;
+  }
+
+  void flush_pending_close() {
+    for (const int fd : pending_close) {
+      ::close(fd);
+      conns.erase(fd);
+      closed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!pending_close.empty()) {
+      pending_close.clear();
+      open_conns.store(conns.size(), std::memory_order_relaxed);
+    }
+  }
+
+  /// Reaps connections with no socket progress for idle_timeout —
+  /// including ones with responses owed: last_activity advances on every
+  /// read and write, so a stalled-but-owed connection means the client
+  /// stopped reading (the flow-control pause already stopped us reading
+  /// it); holding its encoded backlog forever would be the leak.
+  void sweep_idle(Clock::time_point now) {
+    for (auto& [fd, conn] : conns) {
+      if (conn->fd < 0) continue;
+      if (now - conn->last_activity >= opt.idle_timeout) {
+        idle_closed.fetch_add(1, std::memory_order_relaxed);
+        schedule_close(*conn);
+      }
+    }
+  }
+};
+
+// --- public surface ---------------------------------------------------------
+
+Status SocketOptions::validate() const {
+  std::string bad;
+  const auto complain = [&bad](const std::string& msg) {
+    if (!bad.empty()) bad += "; ";
+    bad += msg;
+  };
+  if (host.empty()) complain("host must be non-empty");
+  if (backlog < 1) {
+    complain("backlog must be >= 1 (got " + std::to_string(backlog) + ")");
+  }
+  if (max_connections < 1) complain("max_connections must be >= 1 (got 0)");
+  if (max_inflight < 1) complain("max_inflight must be >= 1 (got 0)");
+  if (idle_timeout.count() < 0) {
+    complain("idle_timeout must be >= 0 (got " +
+             std::to_string(idle_timeout.count()) + "ms)");
+  }
+  if (drain_timeout.count() < 0) {
+    complain("drain_timeout must be >= 0 (got " +
+             std::to_string(drain_timeout.count()) + "ms)");
+  }
+  if (sndbuf < 0) {
+    complain("sndbuf must be >= 0 (got " + std::to_string(sndbuf) + ")");
+  }
+  if (!bad.empty()) return Status::invalid_argument("SocketOptions: " + bad);
+  return Status();
+}
+
+SocketServer::SocketServer(SortService& service, SocketOptions opt)
+    : impl_(std::make_unique<Impl>(service, std::move(opt))) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+Status SocketServer::start() { return impl_->start(); }
+
+void SocketServer::stop() { impl_->stop(); }
+
+std::uint16_t SocketServer::port() const noexcept { return impl_->bound_port; }
+
+SocketServer::Stats SocketServer::stats() const {
+  Stats s;
+  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  s.rejected = impl_->rejected.load(std::memory_order_relaxed);
+  s.closed = impl_->closed.load(std::memory_order_relaxed);
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.responses = impl_->responses.load(std::memory_order_relaxed);
+  s.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
+  s.idle_closed = impl_->idle_closed.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SocketServer::connections() const {
+  return impl_->open_conns.load(std::memory_order_relaxed);
+}
+
+}  // namespace mcsn::net

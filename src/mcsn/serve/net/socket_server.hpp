@@ -1,0 +1,149 @@
+#pragma once
+// SocketServer — the TCP front door to the streaming sort service.
+//
+// Accepts connections on a non-blocking listening socket and runs them on a
+// single-threaded event loop (epoll on Linux, poll(2) everywhere — the
+// fallback is also selectable at runtime for testing). Each connection
+// carries the length-prefixed wire frames of serve/wire.hpp:
+//
+//   client                         server
+//   ------ request frame  ------>  incremental decode (try_parse_frame on a
+//                                  per-connection read buffer; frames may
+//                                  arrive split or coalesced arbitrarily)
+//                                  -> SortService::submit(request, callback)
+//   <----- response frame ------   responses return strictly in per-
+//                                  connection request order, via an ordered
+//                                  completion queue + EPOLLOUT-driven
+//                                  write flushes
+//
+// Threading/ownership: the caller owns the SortService and must keep it
+// alive from start() until stop() returns. The loop thread owns every
+// socket and all connection state; service completions (which run on
+// service worker threads, or inline on the loop thread for synchronous
+// rejections) only encode the response, file it under the request's
+// sequence number and wake the loop through a self-pipe — they never touch
+// a file descriptor. start()/stop()/port()/stats() are safe to call from
+// any thread; stop() is idempotent and the destructor calls it.
+//
+// Flow control and defense:
+//   * at most max_inflight requests per connection that are decoded but
+//     not yet fully written back; at the cap the loop stops reading (and
+//     parsing) that connection until responses flush, so one firehose
+//     client cannot monopolize the engine — and a client that sends but
+//     never reads holds at most max_inflight encoded responses, not an
+//     unbounded write queue;
+//   * at most max_connections concurrent connections (excess accepts are
+//     closed immediately);
+//   * a connection with no socket progress for idle_timeout is closed —
+//     responses still owed included (no read/write progress that long
+//     means the peer stopped reading; its backlog is reclaimed);
+//   * a malformed frame (bad magic/version/type/length, or a well-framed
+//     but undecodable request body) is answered with a Status error frame
+//     — queued behind the responses already owed, so the client can match
+//     it to the first bad request — and the connection is closed once that
+//     frame flushes. Corrupt framing is unrecoverable, so nothing after
+//     the bad bytes is parsed.
+//
+// stop() stops accepting, lets every admitted request complete and flushes
+// every owed response (bounded by drain_timeout), then closes all sockets
+// and joins the loop thread.
+//
+// The server provisions nothing on the service: callers should size
+// ServeOptions::max_inflight >= max_connections * max_inflight, or accept
+// that the loop thread briefly blocks in submit() under service-wide
+// backpressure (correct, but it stalls all connections).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mcsn/api/status.hpp"
+#include "mcsn/serve/service.hpp"
+
+namespace mcsn::net {
+
+struct SocketOptions {
+  /// Bind address. Loopback by default: exposing a sorter to a network is
+  /// an explicit decision ("0.0.0.0"), not a default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Concurrent-connection cap; excess accepts are closed immediately.
+  std::size_t max_connections = 256;
+  /// Per-connection cap on requests decoded but not yet fully written
+  /// back (covers both in-flight sorts and encoded frames queued for a
+  /// slow reader). At the cap the loop stops reading from the connection
+  /// until responses flush.
+  std::size_t max_inflight = 64;
+  /// Close a connection with no read/write progress for this long — even
+  /// with responses owed (a peer that stopped reading would otherwise
+  /// pin its encoded backlog forever). Zero disables idle teardown.
+  std::chrono::milliseconds idle_timeout{30000};
+  /// Bound on how long stop() waits for pending responses to flush before
+  /// force-closing the remaining connections.
+  std::chrono::milliseconds drain_timeout{5000};
+  /// SO_SNDBUF for accepted connections, in bytes; 0 keeps the kernel
+  /// default. Pinning it disables send-side autotuning — bounds kernel
+  /// memory per slow-reading connection, and makes write backpressure
+  /// deterministic in tests.
+  int sndbuf = 0;
+  /// Use the portable poll(2) loop even where epoll is available (the
+  /// fallback path is exercised in tests on every platform this way).
+  bool force_poll = false;
+
+  /// Reports every out-of-range knob in one kInvalidArgument status;
+  /// start() calls it, CLI front-ends can call it earlier for better
+  /// error placement.
+  [[nodiscard]] Status validate() const;
+};
+
+class SocketServer {
+ public:
+  /// Binds nothing yet; `service` must outlive this object's start()..
+  /// stop() window.
+  explicit SocketServer(SortService& service, SocketOptions opt = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Validates options, binds + listens, and starts the event-loop thread.
+  /// Returns kInvalidArgument for bad options and kUnavailable for
+  /// socket/bind/listen failures (with errno text). Call at most once.
+  [[nodiscard]] Status start();
+
+  /// Stops accepting, drains owed responses (bounded by drain_timeout),
+  /// closes every socket and joins the loop thread. Idempotent; called by
+  /// the destructor. Safe from any thread, but not from a service
+  /// completion.
+  void stop();
+
+  /// The bound port (useful with SocketOptions::port == 0). Valid after a
+  /// successful start().
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Cumulative counters, updated by the loop thread, readable anytime.
+  struct Stats {
+    std::uint64_t accepted = 0;         ///< connections accepted
+    std::uint64_t rejected = 0;         ///< accepts over max_connections
+    std::uint64_t closed = 0;           ///< connections fully torn down
+    std::uint64_t requests = 0;         ///< request frames submitted
+    std::uint64_t responses = 0;        ///< response frames fully written
+    std::uint64_t protocol_errors = 0;  ///< malformed frames answered
+    std::uint64_t idle_closed = 0;      ///< idle-timeout teardowns
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Connections currently open (loop-thread view; approximate from other
+  /// threads).
+  [[nodiscard]] std::size_t connections() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mcsn::net

@@ -91,6 +91,13 @@ struct ServeOptions {
 
 class SortService {
  public:
+  /// Sanitizes `opt` (documented clamps; call opt.validate() first to
+  /// reject instead) and starts the worker threads. The service is ready
+  /// for submit() when the constructor returns.
+  ///
+  /// Thread-safety: every public member is safe to call from any number
+  /// of threads concurrently; submissions racing stop() complete with
+  /// kUnavailable rather than being dropped.
   explicit SortService(ServeOptions opt = {});
   ~SortService();
 
@@ -136,12 +143,18 @@ class SortService {
   /// destructor calls it.
   void stop();
 
+  /// Consistent point-in-time counters/histograms; safe to call from any
+  /// thread, concurrently with traffic and with stop().
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// metrics() rendered as locale-independent JSON.
   [[nodiscard]] std::string metrics_json() const {
     return metrics_.snapshot().json();
   }
+  /// The sanitized options this service actually runs with (clamps
+  /// applied); const and safe from any thread.
   [[nodiscard]] const ServeOptions& options() const noexcept { return opt_; }
-  /// Distinct request shapes seen (compiled sorters in the pool).
+  /// Distinct request shapes seen (compiled sorters in the pool); safe
+  /// from any thread.
   [[nodiscard]] std::size_t shapes() const { return pool_.size(); }
 
  private:

@@ -219,6 +219,21 @@ StatusOr<FrameView> parse_frame(std::span<const std::uint8_t> bytes) {
   return view;
 }
 
+StatusOr<std::optional<FrameView>> try_parse_frame(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return std::optional<FrameView>(std::nullopt);
+  StatusOr<Header> header = parse_header(bytes);
+  if (!header.ok()) return header.status();
+  if (bytes.size() < kHeaderSize + header->body_size) {
+    return std::optional<FrameView>(std::nullopt);
+  }
+  FrameView view;
+  view.type = header->type;
+  view.body = bytes.subspan(kHeaderSize, header->body_size);
+  view.frame_size = kHeaderSize + header->body_size;
+  return std::optional<FrameView>(view);
+}
+
 StatusOr<SortRequest> decode_request(std::span<const std::uint8_t> body,
                                      Clock::time_point now) {
   if (body.size() < kRequestFixed) {

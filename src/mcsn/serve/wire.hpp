@@ -49,14 +49,21 @@
 
 namespace mcsn::wire {
 
+// The full byte-level contract (normative field tables, canonical-form
+// rules, versioning policy, a worked hex example) lives in
+// docs/WIRE_PROTOCOL.md; this header is the implementation's summary.
+
 inline constexpr std::uint8_t kMagic0 = 0x4D;  // 'M'
 inline constexpr std::uint8_t kMagic1 = 0x43;  // 'C'
+/// Wire version this build speaks; decoders reject all others.
 inline constexpr std::uint8_t kVersion = 1;
+/// Fixed frame header: magic(2) + version(1) + type(1) + body length(4).
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a body a decoder will accept; a corrupt length prefix
 /// must not turn into a multi-gigabyte allocation.
 inline constexpr std::size_t kMaxBody = std::size_t{1} << 24;
 
+/// Header byte 3. Values are wire-stable: append, never renumber.
 enum class FrameType : std::uint8_t { request = 1, response = 2 };
 
 /// Body flag bit 0: the payload carries u64 integer values (bits <= 64)
@@ -94,6 +101,20 @@ struct FrameView {
 /// Validates the frame at the start of `bytes` (magic, version, type,
 /// length prefix within bounds and within the buffer).
 [[nodiscard]] StatusOr<FrameView> parse_frame(
+    std::span<const std::uint8_t> bytes);
+
+/// Incremental variant for non-blocking byte streams, where "not enough
+/// bytes yet" is normal progress, not corruption:
+///   * a complete frame at the start of `bytes` -> FrameView (consume
+///     view.frame_size bytes and call again);
+///   * a valid-so-far prefix (short header, or short body under an intact
+///     header) -> nullopt (keep the bytes, read more);
+///   * anything provably corrupt (bad magic, unsupported version, unknown
+///     type, length prefix beyond kMaxBody) -> the same Status values
+///     parse_frame reports. The stream is unrecoverable past this point.
+/// The returned view aliases `bytes`; it is invalidated by any mutation of
+/// the underlying buffer.
+[[nodiscard]] StatusOr<std::optional<FrameView>> try_parse_frame(
     std::span<const std::uint8_t> bytes);
 
 /// Decodes a request body. Deadline budgets are re-anchored at `now`.

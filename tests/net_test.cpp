@@ -1,0 +1,608 @@
+// The TCP front-end: loopback round-trip parity against the direct flat
+// batch engine, concurrent pipelined clients with interleaved responses,
+// byte-split and coalesced frame delivery, malformed-frame teardown (error
+// frame then close), graceful drain on stop, the poll(2) fallback loop and
+// idle-timeout reaping.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsn/core/gray.hpp"
+#include "mcsn/serve/net/client.hpp"
+#include "mcsn/serve/net/socket_server.hpp"
+#include "mcsn/serve/wire.hpp"
+#include "mcsn/sorter.hpp"
+#include "mcsn/util/loadgen.hpp"
+#include "mcsn/util/rng.hpp"
+
+namespace mcsn {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<Trit> random_flat(Xoshiro256& rng, SortShape shape) {
+  std::vector<Trit> flat;
+  flat.reserve(shape.trits());
+  for (const Word& w : random_valid_round(rng, shape.channels, shape.bits)) {
+    flat.insert(flat.end(), w.begin(), w.end());
+  }
+  return flat;
+}
+
+/// Sorted flat payloads for `rounds`, computed by the direct engine path
+/// the serve/net stack must agree with bit-for-bit.
+std::vector<std::vector<Trit>> expected_sorted(
+    SortShape shape, const std::vector<std::vector<Trit>>& rounds) {
+  const McSorter sorter(shape.channels, shape.bits);
+  std::vector<Trit> in;
+  in.reserve(rounds.size() * shape.trits());
+  for (const std::vector<Trit>& r : rounds) {
+    in.insert(in.end(), r.begin(), r.end());
+  }
+  std::vector<Trit> out(in.size());
+  EXPECT_TRUE(sorter.sort_batch_flat(in, out).ok());
+  std::vector<std::vector<Trit>> result;
+  result.reserve(rounds.size());
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const auto begin = out.begin() + static_cast<std::ptrdiff_t>(
+                                         i * shape.trits());
+    result.emplace_back(begin,
+                        begin + static_cast<std::ptrdiff_t>(shape.trits()));
+  }
+  return result;
+}
+
+bool eventually(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+/// A service + started server on an ephemeral loopback port.
+struct Loopback {
+  explicit Loopback(net::SocketOptions sopt = {}, ServeOptions vopt = {}) {
+    service.emplace(vopt);
+    sopt.port = 0;
+    server.emplace(*service, sopt);
+    const Status s = server->start();
+    EXPECT_TRUE(s.ok()) << s.to_string();
+  }
+
+  net::SortClient client() {
+    StatusOr<net::SortClient> c =
+        net::SortClient::connect("127.0.0.1", server->port());
+    EXPECT_TRUE(c.ok()) << c.status().to_string();
+    return std::move(*c);
+  }
+
+  std::optional<SortService> service;
+  std::optional<net::SocketServer> server;
+};
+
+ServeOptions fast_flush() {
+  ServeOptions opt;
+  opt.flush_window = std::chrono::microseconds(100);
+  return opt;
+}
+
+// --- correctness ------------------------------------------------------------
+
+TEST(SocketServer, RoundTripParityVsFlatBatch) {
+  const SortShape shape{6, 6};
+  Xoshiro256 rng(7);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 64; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, rounds[i]);
+    ASSERT_TRUE(request.ok());
+    StatusOr<SortResponse> response = client.sort(*request);
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok()) << response->status.to_string();
+    EXPECT_EQ(response->payload, expect[i]) << "round " << i;
+  }
+  const net::SocketServer::Stats stats = loop.server->stats();
+  EXPECT_EQ(stats.requests, rounds.size());
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(SocketServer, ValueRequestsDecodeAsIntegers) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  const std::vector<std::uint64_t> values{13, 2, 250, 9};
+  StatusOr<SortRequest> request =
+      SortRequest::from_values(SortShape{4, 8}, values);
+  ASSERT_TRUE(request.ok());
+  StatusOr<SortResponse> response = client.sort(*request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  ASSERT_TRUE(response->status.ok());
+  const StatusOr<std::vector<std::uint64_t>> sorted = response->values();
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(*sorted, (std::vector<std::uint64_t>{2, 9, 13, 250}));
+}
+
+TEST(SocketServer, MetastableTritSurvivesTheWire) {
+  // The paper's whole point: a marginal measurement must cross the network
+  // uncertain and come back still exactly one uncertain bit.
+  const SortShape shape{2, 8};
+  std::vector<Trit> flat;
+  const Word g = gray_encode(100, shape.bits);
+  Word h = gray_encode(100, shape.bits);
+  h[gray_flip_index(100, shape.bits)] = Trit::meta;
+  flat.insert(flat.end(), h.begin(), h.end());
+  flat.insert(flat.end(), g.begin(), g.end());
+  const std::vector<std::vector<Trit>> expect =
+      expected_sorted(shape, {flat});
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  StatusOr<SortRequest> request = SortRequest::view(shape, flat);
+  ASSERT_TRUE(request.ok());
+  StatusOr<SortResponse> response = client.sort(*request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_EQ(response->payload, expect[0]);
+  EXPECT_EQ(std::count(response->payload.begin(), response->payload.end(),
+                       Trit::meta),
+            1);
+}
+
+TEST(SocketServer, ConcurrentPipelinedClientsInterleave) {
+  const SortShape shape{4, 5};
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 48;
+  Loopback loop({}, fast_flush());
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(c));
+      std::vector<std::vector<Trit>> rounds;
+      for (int i = 0; i < kPerClient; ++i) {
+        rounds.push_back(random_flat(rng, shape));
+      }
+      const std::vector<std::vector<Trit>> expect =
+          expected_sorted(shape, rounds);
+      net::SortClient client = loop.client();
+      // Pipeline: all sends first, then the matching receives — responses
+      // must come back in send order even while five other clients
+      // interleave through the same service.
+      for (const std::vector<Trit>& r : rounds) {
+        StatusOr<SortRequest> request = SortRequest::view(shape, r);
+        if (!request.ok() || !client.send(*request).ok()) {
+          failures[static_cast<std::size_t>(c)] = "send failed";
+          return;
+        }
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        StatusOr<SortResponse> response = client.receive();
+        if (!response.ok() || !response->status.ok()) {
+          failures[static_cast<std::size_t>(c)] = "receive failed";
+          return;
+        }
+        if (response->payload != expect[static_cast<std::size_t>(i)]) {
+          failures[static_cast<std::size_t>(c)] =
+              "order/parity mismatch at " + std::to_string(i);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  EXPECT_EQ(loop.server->stats().requests,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+TEST(SocketServer, InflightCapPausesAndResumes) {
+  net::SocketOptions sopt;
+  sopt.max_inflight = 4;  // far below the burst: pause/resume must engage
+  Loopback loop(sopt, fast_flush());
+
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(11);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 96; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(client.send(*request).ok());
+  }
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[i]) << "round " << i;
+  }
+}
+
+TEST(SocketServer, HalfCloseAfterBurstStillAnswersEverything) {
+  // shutdown(SHUT_WR) right after pipelining far past the pending cap:
+  // the EOF lands while most frames are still buffered unparsed, so the
+  // server must keep re-parsing from the buffer (no more reads will ever
+  // come) and only close once every buffered request was answered.
+  const SortShape shape{4, 4};
+  constexpr int kRounds = 64;
+  Xoshiro256 rng(19);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < kRounds; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.max_inflight = 4;
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(client.send(*request).ok());
+  }
+  ASSERT_EQ(::shutdown(client.native_handle(), SHUT_WR), 0);
+  for (int i = 0; i < kRounds; ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok()) << "round " << i << ": "
+                               << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[static_cast<std::size_t>(i)]);
+  }
+  StatusOr<SortResponse> eof = client.receive();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);  // clean close
+  EXPECT_EQ(loop.server->stats().protocol_errors, 0u);
+}
+
+TEST(SocketServer, LateReaderDrainsBackpressuredWrites) {
+  // A client that pipelines a large burst and only starts reading later:
+  // the tiny pinned SO_SNDBUF guarantees the server's writes hit EAGAIN,
+  // so EPOLLOUT arming, flush-on-writable, disarm-after-drain and the
+  // re-parse of frames buffered during the write stall all run — and
+  // every response must still arrive, in order, bit-exact.
+  const SortShape shape{4, 16};
+  constexpr int kRounds = 2048;
+  Xoshiro256 rng(29);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < kRounds; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.max_inflight = 8;
+  sopt.sndbuf = 4096;
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+  std::thread writer([&] {
+    for (const std::vector<Trit>& r : rounds) {
+      StatusOr<SortRequest> request = SortRequest::view(shape, r);
+      if (!request.ok() || !client.send(*request).ok()) return;
+    }
+  });
+  std::this_thread::sleep_for(150ms);  // let the write side back up
+  for (int i = 0; i < kRounds; ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok()) << "round " << i << ": "
+                               << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[static_cast<std::size_t>(i)])
+        << "round " << i;
+  }
+  writer.join();
+}
+
+TEST(SocketServer, NeverReadingClientIsReaped) {
+  // A client that pipelines requests and never reads responses must not
+  // pin server memory: the pending cap stops the server reading it, and
+  // the idle sweep reclaims the connection — owed responses included —
+  // once the socket makes no progress for idle_timeout. The client's
+  // SO_RCVBUF is pinned tiny *before* connecting (a raw socket, since
+  // autotuned buffers on loopback would quietly absorb everything and the
+  // stall this test is about would never happen).
+  const SortShape shape{4, 16};
+  Xoshiro256 rng(31);
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 1024; ++i) {
+    StatusOr<SortRequest> request =
+        SortRequest::own(shape, random_flat(rng, shape));
+    ASSERT_TRUE(request.ok());
+    const std::vector<std::uint8_t> frame = wire::encode_request(*request);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+
+  net::SocketOptions sopt;
+  sopt.max_inflight = 8;
+  sopt.sndbuf = 4096;
+  sopt.idle_timeout = std::chrono::milliseconds(200);
+  Loopback loop(sopt, fast_flush());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(loop.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  std::thread writer([&] {
+    std::size_t off = 0;
+    while (off < burst.size()) {
+      const ssize_t n = ::send(fd, burst.data() + off, burst.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;  // reap resets the connection under us: done
+      off += static_cast<std::size_t>(n);
+    }
+  });
+  EXPECT_TRUE(eventually(
+      [&] { return loop.server->stats().idle_closed >= 1; }, 10000ms));
+  EXPECT_TRUE(eventually([&] { return loop.server->connections() == 0; }));
+  writer.join();
+  ::close(fd);
+}
+
+// --- framing robustness -----------------------------------------------------
+
+TEST(SocketServer, SplitFrameReadsReassemble) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(3);
+  const std::vector<Trit> round = random_flat(rng, shape);
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, {round});
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  StatusOr<SortRequest> request = SortRequest::view(shape, round);
+  ASSERT_TRUE(request.ok());
+  const std::vector<std::uint8_t> frame = wire::encode_request(*request);
+  // One byte at a time, with pauses inside the header and inside the body:
+  // the per-connection buffer must reassemble across arbitrarily many
+  // event-loop wakeups.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_EQ(::send(client.native_handle(), frame.data() + i, 1, 0), 1);
+    if (i % 5 == 0) std::this_thread::sleep_for(1ms);
+  }
+  StatusOr<SortResponse> response = client.receive();
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_EQ(response->payload, expect[0]);
+}
+
+TEST(SocketServer, CoalescedFramesAllAnswered) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(5);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 8; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  std::vector<std::uint8_t> burst;  // 8 frames in one send(2)
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    const std::vector<std::uint8_t> frame = wire::encode_request(*request);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_EQ(::send(client.native_handle(), burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[i]);
+  }
+}
+
+TEST(SocketServer, BadMagicGetsErrorFrameThenClose) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  const std::uint8_t garbage[16] = {'X', 'X', 1, 1, 4, 0, 0, 0,
+                                    0,   0,   0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(client.native_handle(), garbage, sizeof garbage, 0),
+            static_cast<ssize_t>(sizeof garbage));
+  StatusOr<SortResponse> response = client.receive();
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status.code(), StatusCode::kDataLoss);
+  // Defensive teardown: after the error frame, the server closes.
+  StatusOr<SortResponse> eof = client.receive();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(loop.server->stats().protocol_errors, 1u);
+}
+
+TEST(SocketServer, UndecodableRequestBodyGetsStatusThenClose) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  // Intact framing, nonsense body: shape 0x0 with an empty payload.
+  std::vector<std::uint8_t> frame = {'M', 'C', 1, 1, 20, 0, 0, 0};
+  frame.resize(8 + 20, 0);
+  ASSERT_EQ(::send(client.native_handle(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  StatusOr<SortResponse> response = client.receive();
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+  StatusOr<SortResponse> eof = client.receive();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(SocketServer, ErrorFrameWaitsBehindOwedResponses) {
+  // Good request then garbage in one burst: the good round's response must
+  // arrive first, the error frame second — ordering is what lets a client
+  // attribute the failure to the right request.
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(13);
+  const std::vector<Trit> round = random_flat(rng, shape);
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, {round});
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  StatusOr<SortRequest> request = SortRequest::view(shape, round);
+  ASSERT_TRUE(request.ok());
+  std::vector<std::uint8_t> burst = wire::encode_request(*request);
+  const char* garbage = "not a frame";
+  burst.insert(burst.end(), garbage, garbage + std::strlen(garbage));
+  ASSERT_EQ(::send(client.native_handle(), burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+
+  StatusOr<SortResponse> first = client.receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->status.ok());
+  EXPECT_EQ(first->payload, expect[0]);
+  StatusOr<SortResponse> second = client.receive();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status.code(), StatusCode::kDataLoss);
+  StatusOr<SortResponse> eof = client.receive();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(SocketServer, ResponseFrameToServerIsAProtocolError) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  const std::vector<std::uint8_t> frame = wire::encode_response(
+      SortResponse::failure(Status::internal("nope"), SortShape{1, 1}));
+  ASSERT_EQ(::send(client.native_handle(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  StatusOr<SortResponse> response = client.receive();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kUnimplemented);
+}
+
+TEST(SocketServer, CloseMidFrameCountsAsProtocolError) {
+  Loopback loop({}, fast_flush());
+  {
+    net::SortClient client = loop.client();
+    const std::uint8_t partial[4] = {'M', 'C', 1, 1};  // header cut short
+    ASSERT_EQ(::send(client.native_handle(), partial, sizeof partial, 0), 4);
+    ASSERT_TRUE(eventually(
+        [&] { return loop.server->stats().accepted == 1; }));
+  }  // close with the frame unfinished
+  EXPECT_TRUE(eventually(
+      [&] { return loop.server->stats().protocol_errors == 1; }));
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+TEST(SocketServer, StopDrainsPendingResponses) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(17);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 16; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  // A wide flush window keeps the batch pending in the service when stop()
+  // lands, so the drain actually has something to wait for.
+  ServeOptions vopt;
+  vopt.flush_window = std::chrono::milliseconds(20);
+  Loopback loop({}, vopt);
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(client.send(*request).ok());
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return loop.server->stats().requests == rounds.size(); }));
+  loop.server->stop();
+  // Every admitted request's response was flushed before the close.
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok()) << "round " << i << ": "
+                               << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[i]);
+  }
+  StatusOr<SortResponse> eof = client.receive();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(SocketServer, PollFallbackRoundTrips) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(23);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 32; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.force_poll = true;
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(client.send(*request).ok());
+  }
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[i]);
+  }
+}
+
+TEST(SocketServer, IdleConnectionsAreReaped) {
+  net::SocketOptions sopt;
+  sopt.idle_timeout = std::chrono::milliseconds(50);
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+  StatusOr<SortResponse> response = client.receive();  // blocks until reap
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(eventually(
+      [&] { return loop.server->stats().idle_closed == 1; }));
+}
+
+TEST(SocketServer, StartValidatesOptionsAndRejectsReuse) {
+  ServeOptions vopt;
+  SortService service(vopt);
+  net::SocketOptions bad;
+  bad.max_connections = 0;
+  bad.backlog = 0;
+  net::SocketServer broken(service, bad);
+  const Status invalid = broken.start();
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(invalid.message().find("max_connections"), std::string::npos);
+  EXPECT_NE(invalid.message().find("backlog"), std::string::npos);
+
+  net::SocketServer server(service, {});
+  ASSERT_TRUE(server.start().ok());
+  const Status twice = server.start();
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketServer, StopIsIdempotentAndClosesClients) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  ASSERT_TRUE(eventually([&] { return loop.server->connections() == 1; }));
+  loop.server->stop();
+  loop.server->stop();
+  StatusOr<SortResponse> eof = client.receive();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(loop.server->connections(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsn

@@ -297,6 +297,50 @@ TEST(Wire, RequestBodyShapeAndSizeMismatchesAreRejected) {
             StatusCode::kDataLoss);
 }
 
+// --- incremental framing ------------------------------------------------------
+
+TEST(Wire, TryParseFrameDistinguishesIncompleteFromCorrupt) {
+  Xoshiro256 rng(41);
+  const SortRequest request =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  const std::vector<std::uint8_t> frame = wire::encode_request(request);
+
+  // Every strict prefix is "incomplete" (keep reading), never an error —
+  // the property a non-blocking front-end's decode loop leans on.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    StatusOr<std::optional<wire::FrameView>> partial =
+        wire::try_parse_frame(std::span(frame).first(len));
+    ASSERT_TRUE(partial.ok()) << "prefix " << len << ": "
+                              << partial.status().to_string();
+    EXPECT_FALSE(partial->has_value()) << "prefix " << len;
+  }
+  // The complete frame parses, and trailing bytes of the next frame don't
+  // confuse it: frame_size points at the boundary.
+  std::vector<std::uint8_t> two = frame;
+  two.insert(two.end(), frame.begin(), frame.end());
+  StatusOr<std::optional<wire::FrameView>> whole = wire::try_parse_frame(two);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(whole->has_value());
+  EXPECT_EQ((*whole)->frame_size, frame.size());
+  EXPECT_EQ((*whole)->type, wire::FrameType::request);
+  EXPECT_TRUE(wire::decode_request((*whole)->body).ok());
+
+  // Corruption is still an immediate error, not "wait for more bytes".
+  std::vector<std::uint8_t> bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(wire::try_parse_frame(bad_magic).status().code(),
+            StatusCode::kDataLoss);
+  std::vector<std::uint8_t> bad_version = frame;
+  bad_version[2] = 9;
+  EXPECT_EQ(wire::try_parse_frame(bad_version).status().code(),
+            StatusCode::kUnimplemented);
+  std::vector<std::uint8_t> huge_len = frame;
+  huge_len[4] = huge_len[5] = huge_len[6] = huge_len[7] = 0xFF;
+  EXPECT_EQ(wire::try_parse_frame(huge_len).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
 // --- stream framing ----------------------------------------------------------
 
 TEST(Wire, ReadFrameStreamsFramesAndSignalsCleanEof) {

@@ -27,11 +27,26 @@
 //     frames and response frames back into text — the two ends of a
 //     --framed pipeline, also used by CI to round-trip the binary path.
 //
+//   tool_sortd --listen PORT                      TCP server mode:
+//     serves the same wire frames over a non-blocking socket front-end
+//     (serve/net/socket_server.hpp — epoll on Linux, --poll forces the
+//     portable poll(2) loop). PORT 0 binds an ephemeral port; the bound
+//     address is printed as "listening on HOST:PORT" on stdout so scripts
+//     can scrape it. Serves until SIGINT/SIGTERM, then drains and prints
+//     socket stats + service metrics JSON to stderr. Socket knobs:
+//     --host H (default 127.0.0.1) --max-conns N --conn-inflight N
+//     --idle-timeout-ms T. Unless --max-inflight is given explicitly, the
+//     service backpressure bound is raised to max-conns x conn-inflight so
+//     the event loop never blocks in submit().
+//
 // Shared knobs: --channels C --bits B --workers W --window-us U
 //               --max-lanes L --max-inflight N --seed S
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <deque>
 #include <future>
 #include <iostream>
@@ -42,6 +57,7 @@
 #include <vector>
 
 #include "mcsn/core/gray.hpp"
+#include "mcsn/serve/net/socket_server.hpp"
 #include "mcsn/serve/service.hpp"
 #include "mcsn/serve/wire.hpp"
 #include "mcsn/util/cli.hpp"
@@ -213,6 +229,38 @@ int run_decode_frames() {
   return 0;
 }
 
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+int run_listen(SortService& service, const net::SocketOptions& sopt) {
+  net::SocketServer server(service, sopt);
+  if (Status s = server.start(); !s.ok()) {
+    std::cerr << "sortd: " << s.to_string() << "\n";
+    return 2;
+  }
+  // Scrapable by scripts (and the CI smoke): the one stdout line.
+  std::cout << "listening on " << sopt.host << ":" << server.port() << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  const net::SocketServer::Stats stats = server.stats();
+  std::cerr << "{\"socket\": {\"accepted\": " << stats.accepted
+            << ", \"rejected\": " << stats.rejected
+            << ", \"closed\": " << stats.closed
+            << ", \"requests\": " << stats.requests
+            << ", \"responses\": " << stats.responses
+            << ", \"protocol_errors\": " << stats.protocol_errors
+            << ", \"idle_closed\": " << stats.idle_closed
+            << "},\n \"service\": " << service.metrics_json() << "}\n";
+  return 0;
+}
+
 int run_load(SortService& service, int channels, std::size_t bits,
              double rate, double duration_s, std::uint64_t seed) {
   // Oldest futures are drained once the window tops this size, bounding
@@ -256,7 +304,9 @@ int usage() {
                " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
                " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
                " [--seed S] [--stdin | --framed | --encode-frames |"
-               " --decode-frames]\n";
+               " --decode-frames | --listen PORT]\n"
+               "       --listen knobs: [--host H] [--max-conns N>=1]"
+               " [--conn-inflight N>=1] [--idle-timeout-ms T>=0] [--poll]\n";
   return 2;
 }
 
@@ -303,6 +353,37 @@ int main(int argc, char** argv) {
       max_lanes < 0 ? 0 : static_cast<std::size_t>(max_lanes);
   opt.max_inflight =
       max_inflight < 0 ? 0 : static_cast<std::size_t>(max_inflight);
+
+  net::SocketOptions sopt;
+  if (args.has("listen")) {
+    const long port = args.get_long_or("listen", -1);
+    const long max_conns = args.get_long_or("max-conns", 256);
+    const long conn_inflight = args.get_long_or("conn-inflight", 64);
+    const long idle_ms = args.get_long_or("idle-timeout-ms", 30000);
+    if (port < 0 || port > 65535) {
+      std::cerr << "sortd: --listen needs a port in 0..65535\n";
+      return usage();
+    }
+    sopt.host = args.get_or("host", "127.0.0.1");
+    sopt.port = static_cast<std::uint16_t>(port);
+    sopt.max_connections =
+        max_conns < 0 ? 0 : static_cast<std::size_t>(max_conns);
+    sopt.max_inflight =
+        conn_inflight < 0 ? 0 : static_cast<std::size_t>(conn_inflight);
+    sopt.idle_timeout = std::chrono::milliseconds(idle_ms < 0 ? -1 : idle_ms);
+    sopt.force_poll = args.has("poll");
+    if (Status s = sopt.validate(); !s.ok()) {
+      std::cerr << "sortd: " << s.to_string() << "\n";
+      return usage();
+    }
+    // Provision the service so the event loop never blocks in submit():
+    // worst case every connection is at its per-connection cap.
+    if (!args.has("max-inflight")) {
+      opt.max_inflight =
+          std::max(opt.max_inflight, sopt.max_connections * sopt.max_inflight);
+    }
+  }
+
   // Reject (rather than clamp) bad service knobs: validate() names every
   // out-of-range value so a typo'd flag errors instead of being silently
   // rewritten by the constructor's sanitize step.
@@ -312,6 +393,7 @@ int main(int argc, char** argv) {
   }
   SortService service(opt);
 
+  if (args.has("listen")) return run_listen(service, sopt);
   if (args.has("framed")) return run_framed(service);
   if (args.has("stdin")) return run_stdin(service, bits);
   return run_load(service, channels, bits, rate, duration_s,
