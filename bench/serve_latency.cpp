@@ -10,15 +10,17 @@
 // The capacity phase is closed-loop (submit as fast as backpressure allows)
 // and doubles as a differential check: every series — naive per-request,
 // futures serve path, callback-completion serve path (submit_callback),
-// the direct zero-copy engine path (flat_batch) and the TCP front-end
-// (socket: one pipelined loopback connection through SocketServer, so the
-// wire codec + event loop overhead vs --framed pipes is tracked) — is
-// hashed against direct sort_batch outputs and the process fails on
-// mismatch. The sweep phase is open-loop: arrivals are scheduled by an
+// the direct zero-copy engine path (flat_batch) and the socket front-end
+// in three flavors (socket: one pipelined loopback TCP connection of
+// one-round frames through SocketServer; socket_batch: the same connection
+// carrying 256-round BATCH frames, amortizing header/syscall/completion
+// cost; uds: one-round frames over a UNIX-domain socket) — is hashed
+// against direct sort_batch outputs and the process fails on mismatch. The sweep phase is open-loop: arrivals are scheduled by an
 // exponential clock independent of completions, so queueing delay shows up
 // in p99 instead of being absorbed by a slow producer.
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -214,46 +216,103 @@ double serve_callback_vps(int workers, std::chrono::microseconds window,
   return static_cast<double>(n) / secs;
 }
 
-/// Serve capacity through the TCP front-end: one pipelined loopback
-/// connection into a SocketServer (writer thread streams request frames,
-/// the main thread receives responses in order), measuring what the wire
-/// codec, kernel socket hops and the event loop cost on top of the
-/// in-process callback path. `checksum` chains the responses in
-/// submission order, comparable to the serve-path chain.
+/// Transport/framing knobs for the socket-front-end series.
+struct SocketBenchConfig {
+  const char* name = "socket";
+  bool uds = false;  ///< UNIX-domain instead of loopback TCP
+  /// Rounds per BATCH frame; 0 sends classic one-round request frames.
+  std::size_t batch_rounds = 0;
+};
+
+/// Serve capacity through the socket front-end: one pipelined connection
+/// into a SocketServer (writer thread streams request frames, the main
+/// thread receives responses in order), measuring what the wire codec,
+/// kernel socket hops and the event loop cost on top of the in-process
+/// callback path. Three variants: loopback TCP with one-round frames
+/// (socket), TCP with BATCH frames carrying cfg.batch_rounds rounds each
+/// (socket_batch — amortizing header/syscall/completion cost), and
+/// UNIX-domain with one-round frames (uds — no TCP/IP stack in the path).
+/// `checksum` chains the responses in submission order, comparable to the
+/// serve-path chain (a batch response carries its rounds contiguously in
+/// order, so the chain is identical).
 double socket_vps(int workers, std::chrono::microseconds window,
                   const std::vector<std::vector<Word>>& rounds,
-                  std::uint64_t& checksum, MetricsSnapshot& metrics) {
-  const auto fail = [&checksum](const std::string& what) {
-    std::cerr << "socket: " << what << "\n";
+                  std::uint64_t& checksum, MetricsSnapshot& metrics,
+                  const SocketBenchConfig& cfg = {}) {
+  const auto fail = [&checksum, &cfg](const std::string& what) {
+    std::cerr << cfg.name << ": " << what << "\n";
     checksum = 0;
     return 0.0;
   };
+  const SortShape shape{static_cast<int>(rounds.front().size()),
+                        rounds.front().front().size()};
+  // Pre-flatten batch payloads (untimed, like make_rounds itself): a real
+  // batching producer accumulates flat buffers to begin with.
+  std::vector<std::vector<Trit>> group_flats;
+  if (cfg.batch_rounds > 0) {
+    for (std::size_t i = 0; i < rounds.size(); i += cfg.batch_rounds) {
+      const std::size_t count = std::min(cfg.batch_rounds, rounds.size() - i);
+      std::vector<Trit> flat;
+      flat.reserve(count * shape.trits());
+      for (std::size_t r = i; r < i + count; ++r) {
+        for (const Word& w : rounds[r]) {
+          flat.insert(flat.end(), w.begin(), w.end());
+        }
+      }
+      group_flats.push_back(std::move(flat));
+    }
+  }
+
   ServeOptions opt;
   opt.workers = workers;
   opt.flush_window = window;
+  opt.max_inflight = 16384;  // stays above the connection cap below
   SortService service(opt);
   net::SocketOptions sopt;
-  sopt.max_inflight = 1024;  // deep pipeline; still < service max_inflight
+  // Deep pipeline; the cap counts rounds, so batch frames need headroom
+  // for several frames' worth.
+  sopt.max_inflight = std::max<std::size_t>(1024, cfg.batch_rounds * 32);
+  const std::string uds_path =
+      "/tmp/mcsn_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  if (cfg.uds) {
+    sopt.listen_tcp = false;
+    sopt.unix_path = uds_path;
+  }
   net::SocketServer server(service, sopt);
   if (Status s = server.start(); !s.ok()) return fail(s.to_string());
   StatusOr<net::SortClient> client =
-      net::SortClient::connect("127.0.0.1", server.port());
+      cfg.uds ? net::SortClient::connect_unix(uds_path)
+              : net::SortClient::connect("127.0.0.1", server.port());
   if (!client.ok()) return fail(client.status().to_string());
 
   const auto t0 = Clock::now();
   std::atomic<bool> send_failed{false};
   std::thread writer([&] {
-    for (const std::vector<Word>& r : rounds) {
-      StatusOr<SortRequest> request = SortRequest::from_words(r);
-      if (!request.ok() || !client->send(*request).ok()) {
-        send_failed.store(true);
-        return;
+    if (cfg.batch_rounds > 0) {
+      for (const std::vector<Trit>& flat : group_flats) {
+        StatusOr<SortRequest> request = SortRequest::view_batch(
+            shape, flat.size() / shape.trits(), flat);
+        if (!request.ok() || !client->send_batch(*request).ok()) {
+          send_failed.store(true);
+          return;
+        }
+      }
+    } else {
+      for (const std::vector<Word>& r : rounds) {
+        StatusOr<SortRequest> request = SortRequest::from_words(r);
+        if (!request.ok() || !client->send(*request).ok()) {
+          send_failed.store(true);
+          return;
+        }
       }
     }
   });
+  const std::size_t frames =
+      cfg.batch_rounds > 0 ? group_flats.size() : rounds.size();
   checksum = 0xcbf29ce484222325ULL;
+  std::size_t rounds_back = 0;
   std::string error;
-  for (std::size_t i = 0; i < rounds.size() && error.empty(); ++i) {
+  for (std::size_t i = 0; i < frames && error.empty(); ++i) {
     StatusOr<SortResponse> response = client->receive();
     if (!response.ok()) {
       error = response.status().to_string();
@@ -261,6 +320,7 @@ double socket_vps(int workers, std::chrono::microseconds window,
       error = response->status.to_string();
     } else {
       checksum = fnv1a_flat(checksum, response->payload);
+      rounds_back += response->rounds;
     }
   }
   if (!error.empty() && client->connected()) {
@@ -276,6 +336,10 @@ double socket_vps(int workers, std::chrono::microseconds window,
   server.stop();
   if (!error.empty()) return fail(error);
   if (send_failed.load()) return fail("send failed");
+  if (rounds_back != rounds.size()) {
+    return fail("round count mismatch: " + std::to_string(rounds_back) +
+                " of " + std::to_string(rounds.size()) + " came back");
+  }
   return static_cast<double>(rounds.size()) / secs;
 }
 
@@ -411,9 +475,26 @@ int main(int argc, char** argv) {
   MetricsSnapshot socket_metrics;
   const double socket = socket_vps(workers, std::chrono::microseconds(200),
                                    rounds, socket_sum, socket_metrics);
+  std::uint64_t socket_batch_sum = 0;
+  MetricsSnapshot socket_batch_metrics;
+  SocketBenchConfig batch_cfg;
+  batch_cfg.name = "socket_batch";
+  batch_cfg.batch_rounds = 256;
+  const double socket_batch =
+      socket_vps(workers, std::chrono::microseconds(200), rounds,
+                 socket_batch_sum, socket_batch_metrics, batch_cfg);
+  std::uint64_t uds_sum = 0;
+  MetricsSnapshot uds_metrics;
+  SocketBenchConfig uds_cfg;
+  uds_cfg.name = "uds";
+  uds_cfg.uds = true;
+  const double uds = socket_vps(workers, std::chrono::microseconds(200),
+                                rounds, uds_sum, uds_metrics, uds_cfg);
   const bool agree = serve_sum == expect_chain && naive_sum == expect_digest &&
                      callback_sum == expect_chain &&
-                     flat_sum == expect_chain && socket_sum == expect_chain;
+                     flat_sum == expect_chain && socket_sum == expect_chain &&
+                     socket_batch_sum == expect_chain &&
+                     uds_sum == expect_chain;
 
   std::cout << "{\n  \"workload\": {\"channels\": " << channels
             << ", \"bits\": " << bits << ", \"workers\": " << workers
@@ -423,12 +504,17 @@ int main(int argc, char** argv) {
             << ", \"submit_callback_vps\": " << callback
             << ", \"flat_batch_vps\": " << flat
             << ", \"socket_vps\": " << socket
+            << ", \"socket_batch_vps\": " << socket_batch
+            << ", \"uds_vps\": " << uds
             << ", \"speedup\": " << (naive > 0.0 ? serve / naive : 0.0)
             << ", \"serve_mean_occupancy\": " << cap_metrics.mean_occupancy()
             << ", \"callback_mean_occupancy\": "
             << callback_metrics.mean_occupancy()
             << ", \"socket_mean_occupancy\": "
             << socket_metrics.mean_occupancy()
+            << ", \"socket_batch_mean_occupancy\": "
+            << socket_batch_metrics.mean_occupancy()
+            << ", \"uds_mean_occupancy\": " << uds_metrics.mean_occupancy()
             << ", \"results_match_sort_batch\": " << (agree ? "true" : "false")
             << "},\n  \"sweep\": [\n";
   bool first = true;

@@ -1,11 +1,15 @@
-// Network quickstart: the SortRequest API end-to-end over TCP, against a
-// running `tool_sortd --listen` server. Demonstrates the three request
-// flavors a real TDC client uses — integer values, zero-copy trit views,
-// and a marginal (metastable) measurement that must cross the wire without
-// being amplified — plus deadline budgets and error handling.
+// Network quickstart: the SortRequest API end-to-end over a socket,
+// against a running `tool_sortd --listen` (TCP) or `--listen-unix`
+// (AF_UNIX) server. Demonstrates the request flavors a real TDC client
+// uses — integer values, zero-copy trit views, a marginal (metastable)
+// measurement that must cross the wire without being amplified, and a
+// multi-round batch frame (wire v2) that amortizes framing over a whole
+// group — plus deadline budgets and error handling.
 //
 //   $ ./tool_sortd --listen 0 &          # prints "listening on 127.0.0.1:P"
 //   $ ./example_net_client --port P
+//   $ ./tool_sortd --listen-unix /tmp/mcsn.sock &
+//   $ ./example_net_client --unix /tmp/mcsn.sock
 //
 // Exits non-zero on any mismatch, so CI can use it as the socket smoke.
 
@@ -23,16 +27,22 @@ int main(int argc, char** argv) {
 
   const CliArgs args(argc, argv);
   const std::string host = args.get_or("host", "127.0.0.1");
+  const std::string unix_path = args.get_or("unix", "");
   const long port = args.get_long_or("port", 0);
-  if (port < 1 || port > 65535) {
-    std::cerr << "usage: example_net_client --port P [--host H]\n";
+  if (unix_path.empty() && (port < 1 || port > 65535)) {
+    std::cerr << "usage: example_net_client --port P [--host H]\n"
+                 "       example_net_client --unix PATH\n";
     return 2;
   }
 
-  // 1. Connect. A SortClient is one blocking TCP connection speaking the
-  //    length-prefixed frames of serve/wire.hpp.
+  // 1. Connect. A SortClient is one blocking connection (TCP or AF_UNIX,
+  //    same protocol) speaking the length-prefixed frames of
+  //    serve/wire.hpp. The timeout bounds the connect, not the requests.
   StatusOr<net::SortClient> client =
-      net::SortClient::connect(host, static_cast<std::uint16_t>(port));
+      unix_path.empty()
+          ? net::SortClient::connect(host, static_cast<std::uint16_t>(port),
+                                     std::chrono::seconds(5))
+          : net::SortClient::connect_unix(unix_path, std::chrono::seconds(5));
   if (!client.ok()) {
     std::cerr << "connect: " << client.status().to_string() << "\n";
     return 1;
@@ -66,7 +76,7 @@ int main(int argc, char** argv) {
   }
   std::vector<std::uint64_t> expect = values;
   std::sort(expect.begin(), expect.end());
-  std::cout << "sorted over TCP:";
+  std::cout << (unix_path.empty() ? "sorted over TCP:" : "sorted over UDS:");
   for (const std::uint64_t v : *sorted) std::cout << " " << v;
   std::cout << "  (latency "
             << std::chrono::duration_cast<std::chrono::microseconds>(
@@ -110,7 +120,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 4. Errors come back as Status values on the response, never as broken
+  // 4. Batch frames (wire v2): many independent rounds ride one
+  //    request/response pair, amortizing the header, the syscalls and the
+  //    dispatch — this is the high-throughput socket path. Rounds are
+  //    concatenated into one flat buffer and each is sorted on its own.
+  const SortShape bshape{2, 4};
+  const std::vector<std::uint64_t> batch_values{9, 4, 15, 0, 3, 12};
+  const std::size_t batch_rounds = batch_values.size() / 2;
+  std::vector<Trit> batch_flat;
+  std::vector<Trit> batch_expect;
+  for (std::size_t r = 0; r < batch_rounds; ++r) {
+    const std::uint64_t a = batch_values[2 * r];
+    const std::uint64_t b = batch_values[2 * r + 1];
+    for (const std::uint64_t v : {a, b}) {
+      const Word w = gray_encode(v, bshape.bits);
+      batch_flat.insert(batch_flat.end(), w.begin(), w.end());
+    }
+    for (const std::uint64_t v : {std::min(a, b), std::max(a, b)}) {
+      const Word w = gray_encode(v, bshape.bits);
+      batch_expect.insert(batch_expect.end(), w.begin(), w.end());
+    }
+  }
+  StatusOr<SortRequest> batch =
+      SortRequest::view_batch(bshape, batch_rounds, batch_flat);
+  if (!batch.ok()) {
+    std::cerr << "view_batch: " << batch.status().to_string() << "\n";
+    return 1;
+  }
+  StatusOr<SortResponse> batch_rsp = client->sort_batch(*batch);
+  if (!batch_rsp.ok() || !batch_rsp->status.ok()) {
+    std::cerr << "batch sort failed\n";
+    return 1;
+  }
+  if (batch_rsp->rounds != batch_rounds || batch_rsp->payload != batch_expect) {
+    std::cerr << "batch MISMATCH\n";
+    return 1;
+  }
+  std::cout << "batch frame: " << batch_rounds
+            << " rounds sorted in one round-trip\n";
+
+  // 5. Errors come back as Status values on the response, never as broken
   //    connections — here, integers that don't fit the declared width.
   StatusOr<SortRequest> bad =
       SortRequest::from_values(SortShape{2, 4}, std::vector<std::uint64_t>{

@@ -28,22 +28,47 @@ Status SortShape::validate() const {
 
 StatusOr<SortRequest> SortRequest::view(SortShape shape,
                                         std::span<const Trit> flat) {
-  if (Status s = shape.validate(); !s.ok()) return s;
-  if (flat.size() != shape.trits()) {
-    return Status::invalid_argument(
-        "payload of " + std::to_string(flat.size()) + " trits does not match " +
-        shape_str(shape) + " (" + std::to_string(shape.trits()) + ")");
-  }
-  SortRequest req;
-  req.shape = shape;
-  req.payload = flat;
-  return req;
+  return view_batch(shape, 1, flat);
 }
 
 StatusOr<SortRequest> SortRequest::own(SortShape shape,
                                        std::vector<Trit> flat) {
+  return own_batch(shape, 1, std::move(flat));
+}
+
+StatusOr<SortRequest> SortRequest::view_batch(SortShape shape,
+                                              std::size_t rounds,
+                                              std::span<const Trit> flat) {
+  if (Status s = shape.validate(); !s.ok()) return s;
+  if (rounds < 1) {
+    return Status::invalid_argument("batch of zero rounds");
+  }
+  // A single round is bounded by the shape limits alone (legacy wide
+  // shapes may exceed kMaxBatchTrits); only true batches take the bound.
+  if (rounds > 1 &&
+      (rounds > kMaxBatchRounds || rounds * shape.trits() > kMaxBatchTrits)) {
+    return Status::invalid_argument(
+        "batch of " + std::to_string(rounds) + " rounds at " +
+        shape_str(shape) + " exceeds the batch bounds");
+  }
+  if (flat.size() != rounds * shape.trits()) {
+    return Status::invalid_argument(
+        "payload of " + std::to_string(flat.size()) + " trits does not match " +
+        std::to_string(rounds) + " x " + shape_str(shape) + " (" +
+        std::to_string(rounds * shape.trits()) + ")");
+  }
+  SortRequest req;
+  req.shape = shape;
+  req.rounds = rounds;
+  req.payload = flat;
+  return req;
+}
+
+StatusOr<SortRequest> SortRequest::own_batch(SortShape shape,
+                                             std::size_t rounds,
+                                             std::vector<Trit> flat) {
   auto storage = std::make_shared<const std::vector<Trit>>(std::move(flat));
-  StatusOr<SortRequest> req = view(shape, *storage);
+  StatusOr<SortRequest> req = view_batch(shape, rounds, *storage);
   if (req.ok()) req->storage = std::move(storage);
   return req;
 }
@@ -104,21 +129,33 @@ StatusOr<SortRequest> SortRequest::from_words(const std::vector<Word>& round) {
 
 Status SortRequest::validate() const {
   if (Status s = shape.validate(); !s.ok()) return s;
-  if (payload.size() != shape.trits()) {
+  if (rounds < 1) {
+    return Status::invalid_argument("batch of zero rounds");
+  }
+  if (rounds > 1 &&
+      (rounds > kMaxBatchRounds || rounds * shape.trits() > kMaxBatchTrits)) {
+    return Status::invalid_argument(
+        "batch of " + std::to_string(rounds) + " rounds at " +
+        shape_str(shape) + " exceeds the batch bounds");
+  }
+  if (payload.size() != rounds * shape.trits()) {
     return Status::invalid_argument(
         "payload of " + std::to_string(payload.size()) +
-        " trits does not match " + shape_str(shape));
+        " trits does not match " + std::to_string(rounds) + " x " +
+        shape_str(shape));
   }
   return Status();
 }
 
 std::vector<Word> SortResponse::words() const {
+  const std::size_t n =
+      rounds * static_cast<std::size_t>(shape.channels);
   std::vector<Word> out;
-  out.reserve(static_cast<std::size_t>(shape.channels));
-  for (int c = 0; c < shape.channels; ++c) {
+  out.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
     Word w(shape.bits);
     for (std::size_t b = 0; b < shape.bits; ++b) {
-      w[b] = payload[static_cast<std::size_t>(c) * shape.bits + b];
+      w[b] = payload[c * shape.bits + b];
     }
     out.push_back(std::move(w));
   }
@@ -132,24 +169,27 @@ StatusOr<std::vector<std::uint64_t>> SortResponse::values() const {
 
 StatusOr<std::vector<std::uint64_t>> decode_flat_values(
     SortShape shape, std::span<const Trit> payload) {
-  if (payload.size() != shape.trits()) {
+  if (payload.empty() || shape.trits() == 0 ||
+      payload.size() % shape.trits() != 0) {
     return Status::invalid_argument(
         "payload of " + std::to_string(payload.size()) +
-        " trits does not match " + shape_str(shape));
+        " trits is not a whole number of " + shape_str(shape) + " rounds");
   }
   if (shape.bits > 64) {
     return Status::invalid_argument(
         "cannot decode integers at bits > 64; read the trit payload");
   }
+  const std::size_t words = payload.size() / shape.bits;
   std::vector<std::uint64_t> out;
-  out.reserve(static_cast<std::size_t>(shape.channels));
-  for (int c = 0; c < shape.channels; ++c) {
+  out.reserve(words);
+  for (std::size_t c = 0; c < words; ++c) {
     Word w(shape.bits);
     for (std::size_t b = 0; b < shape.bits; ++b) {
-      const Trit t = payload[static_cast<std::size_t>(c) * shape.bits + b];
+      const Trit t = payload[c * shape.bits + b];
       if (is_meta(t)) {
         return Status::failed_precondition(
-            "channel " + std::to_string(c) +
+            "channel " + std::to_string(c % static_cast<std::size_t>(
+                                                shape.channels)) +
             " is metastable; integers cannot represent M");
       }
       w[b] = t;

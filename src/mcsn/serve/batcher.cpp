@@ -29,13 +29,15 @@ MicroBatcher::AddResult MicroBatcher::add(
   }
   // Stage the payload contiguously; from here on the group owns the trits,
   // so a view request's backing buffer is released before the caller even
-  // sees its future.
+  // sees its future. A batched request stages all of its rounds at once
+  // and counts as that many lanes toward the flush threshold.
+  const std::size_t round_trits = pending.request.shape.trits();
   shard.flat.insert(shard.flat.end(), pending.request.payload.begin(),
                     pending.request.payload.end());
   pending.request.payload = {};
   pending.request.storage.reset();
   shard.requests.push_back(std::move(pending));
-  if (shard.requests.size() >= max_lanes_) {
+  if (round_trits == 0 || shard.flat.size() / round_trits >= max_lanes_) {
     result.full = drain_shard(shard, FlushCause::lane_full);
     result.window_started = false;  // the window closed with the group
   }

@@ -44,7 +44,10 @@ struct PendingSort {
 };
 
 /// A flushed group of same-shape requests, ready for one sort_batch_flat
-/// call: `flat` holds requests[i]'s round at [i*trits, (i+1)*trits).
+/// call: `flat` holds each request's rounds contiguously in request order
+/// (request i starts at sum of rounds of requests [0, i) times trits and
+/// spans requests[i].request.rounds rounds — i*trits for all-single-round
+/// groups).
 struct BatchGroup {
   std::shared_ptr<const McSorter> sorter;
   std::vector<PendingSort> requests;

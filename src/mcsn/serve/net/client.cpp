@@ -4,11 +4,14 @@
 #include <cstring>
 #include <utility>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "mcsn/serve/net/detail.hpp"
@@ -18,6 +21,74 @@ namespace mcsn::net {
 
 using detail::errno_text;
 using detail::kReadChunk;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Connects `fd` to `addr`, bounded by `timeout` when set. Always runs the
+/// attempt non-blocking + poll(2): that is the only portable way to both
+/// bound the wait and survive EINTR correctly (retrying a blocking
+/// ::connect after a signal yields EALREADY/EISCONN races; poll simply
+/// resumes with the recomputed remaining budget). Restores blocking mode
+/// on success. Closes nothing — the caller owns the fd either way.
+Status connect_bounded(int fd, const sockaddr* addr, socklen_t addr_len,
+                       std::optional<std::chrono::milliseconds> timeout) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::unavailable(errno_text("fcntl(O_NONBLOCK)"));
+  }
+  const Clock::time_point deadline =
+      timeout ? Clock::now() + *timeout : Clock::time_point::max();
+
+  int rc;
+  do {
+    rc = ::connect(fd, addr, addr_len);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Status::unavailable(errno_text("connect"));
+  }
+  if (rc < 0) {
+    // In progress: wait for writability, recomputing the remaining budget
+    // after every EINTR so interrupted waits neither shorten nor extend it.
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      int wait_ms = -1;
+      if (timeout) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        if (remaining.count() <= 0) {
+          return Status::deadline_exceeded("connect timed out");
+        }
+        wait_ms = static_cast<int>(remaining.count());
+      }
+      const int n = ::poll(&pfd, 1, wait_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::unavailable(errno_text("poll(connect)"));
+      }
+      if (n == 0) {
+        return Status::deadline_exceeded("connect timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return Status::unavailable(errno_text("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return Status::unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::unavailable(errno_text("fcntl(restore blocking)"));
+  }
+  return Status();
+}
+
+}  // namespace
 
 SortClient::~SortClient() { close(); }
 
@@ -36,8 +107,9 @@ SortClient& SortClient::operator=(SortClient&& other) noexcept {
   return *this;
 }
 
-StatusOr<SortClient> SortClient::connect(const std::string& host,
-                                         std::uint16_t port) {
+StatusOr<SortClient> SortClient::connect(
+    const std::string& host, std::uint16_t port,
+    std::optional<std::chrono::milliseconds> timeout) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -57,24 +129,44 @@ StatusOr<SortClient> SortClient::connect(const std::string& host,
       last = Status::unavailable(errno_text("socket"));
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    last = connect_bounded(fd, ai->ai_addr, ai->ai_addrlen, timeout);
+    if (last.ok()) {
       int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       ::freeaddrinfo(found);
       return SortClient(fd);
     }
-    last = Status::unavailable(errno_text("connect"));
     ::close(fd);
+    if (last.code() == StatusCode::kDeadlineExceeded) break;  // budget spent
   }
   ::freeaddrinfo(found);
   return last;
 }
 
-Status SortClient::send(const SortRequest& request) {
+StatusOr<SortClient> SortClient::connect_unix(
+    const std::string& path,
+    std::optional<std::chrono::milliseconds> timeout) {
+  sockaddr_un sa{};
+  if (path.empty() || path.size() >= sizeof sa.sun_path) {
+    return Status::invalid_argument("bad unix socket path: \"" + path + "\"");
+  }
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, path.c_str(), path.size());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::unavailable(errno_text("socket(AF_UNIX)"));
+  if (Status s = connect_bounded(fd, reinterpret_cast<const sockaddr*>(&sa),
+                                 sizeof sa, timeout);
+      !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return SortClient(fd);
+}
+
+Status SortClient::write_frame(const std::vector<std::uint8_t>& frame) {
   if (fd_ < 0) {
     return Status::failed_precondition("SortClient: not connected");
   }
-  const std::vector<std::uint8_t> frame = wire::encode_request(request);
   std::size_t off = 0;
   while (off < frame.size()) {
     const ssize_t n =
@@ -88,6 +180,20 @@ Status SortClient::send(const SortRequest& request) {
   return Status();
 }
 
+Status SortClient::send(const SortRequest& request) {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  return write_frame(wire::encode_request(request));
+}
+
+Status SortClient::send_batch(const SortRequest& request) {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  return write_frame(wire::encode_batch_request(request));
+}
+
 StatusOr<SortResponse> SortClient::receive() {
   if (fd_ < 0) {
     return Status::failed_precondition("SortClient: not connected");
@@ -98,10 +204,14 @@ StatusOr<SortResponse> SortClient::receive() {
     if (!parsed.ok()) return parsed.status();
     if (parsed->has_value()) {
       const wire::FrameView view = **parsed;
-      if (view.type != wire::FrameType::response) {
+      if (view.type != wire::FrameType::response &&
+          view.type != wire::FrameType::batch_response) {
         return Status::unimplemented("expected a response frame");
       }
-      StatusOr<SortResponse> response = wire::decode_response(view.body);
+      StatusOr<SortResponse> response =
+          view.type == wire::FrameType::response
+              ? wire::decode_response(view.body)
+              : wire::decode_batch_response(view.body);
       rbuf_.erase(rbuf_.begin(),
                   rbuf_.begin() + static_cast<std::ptrdiff_t>(view.frame_size));
       return response;
@@ -124,6 +234,11 @@ StatusOr<SortResponse> SortClient::receive() {
 
 StatusOr<SortResponse> SortClient::sort(const SortRequest& request) {
   if (Status s = send(request); !s.ok()) return s;
+  return receive();
+}
+
+StatusOr<SortResponse> SortClient::sort_batch(const SortRequest& request) {
+  if (Status s = send_batch(request); !s.ok()) return s;
   return receive();
 }
 

@@ -1,5 +1,6 @@
 #include "mcsn/serve/net/socket_server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -20,7 +21,9 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #if defined(__linux__)
@@ -57,7 +60,8 @@ void set_cloexec(int fd) {
 
 void set_nodelay(int fd) {
   // Request/response frames are latency-sensitive and tiny; Nagle would
-  // serialize pipelined clients onto RTT boundaries.
+  // serialize pipelined clients onto RTT boundaries. (A no-op failure on
+  // AF_UNIX sockets, which have no Nagle to disable.)
   int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
@@ -218,6 +222,14 @@ std::unique_ptr<Poller> make_poller(bool force_poll, Status& status) {
 
 // --- connection state -------------------------------------------------------
 
+/// One encoded response frame owed to the peer, weighted by the rounds it
+/// answers (1 for single-round frames) — the unit the per-connection
+/// flow-control cap counts.
+struct OwedFrame {
+  std::vector<std::uint8_t> bytes;
+  std::size_t rounds = 1;
+};
+
 struct Connection : std::enable_shared_from_this<Connection> {
   explicit Connection(int fd_in) : fd(fd_in) {}
 
@@ -225,11 +237,15 @@ struct Connection : std::enable_shared_from_this<Connection> {
 
   // Loop-thread-only state.
   std::vector<std::uint8_t> rbuf;  ///< accumulated, not-yet-parsed bytes
-  std::deque<std::vector<std::uint8_t>> wqueue;  ///< encoded frames owed
+  std::deque<OwedFrame> wqueue;    ///< encoded frames owed, in order
   std::size_t woff = 0;        ///< bytes of wqueue.front() already written
   std::uint64_t next_seq = 0;  ///< sequence of the next decoded request
   std::uint64_t next_flush = 0;  ///< next sequence owed to the write queue
   std::uint64_t written = 0;     ///< response frames fully written
+  /// Rounds decoded but not yet fully written back — the flow-control
+  /// quantity (see pending()). Incremented at submit time, decremented as
+  /// each owed frame finishes writing.
+  std::size_t pending_rounds = 0;
   bool peer_eof = false;  ///< client half-closed; flush owed, then close
   bool teardown = false;  ///< protocol error; close once wqueue drains
   bool want_read = true;  ///< current poller read interest
@@ -239,23 +255,26 @@ struct Connection : std::enable_shared_from_this<Connection> {
   /// Responses completed but not yet released in sequence order. The only
   /// cross-thread state: service completions insert, the loop drains.
   std::mutex mu;
-  std::map<std::uint64_t, std::vector<std::uint8_t>> done;
+  std::map<std::uint64_t, OwedFrame> done;
 
-  /// Requests decoded but not yet *fully written back* — the flow-control
+  /// Rounds decoded but not yet *fully written back* — the flow-control
   /// quantity. Counting only until release-to-write-queue would let a
   /// client that sends but never reads grow wqueue without bound; this
-  /// way the backlog per connection is capped at max_inflight encoded
-  /// frames (wqueue.size() == next_flush - written <= pending()).
-  [[nodiscard]] std::size_t pending() const { return next_seq - written; }
+  /// way the backlog per connection is capped at max_inflight rounds'
+  /// worth of encoded frames.
+  [[nodiscard]] std::size_t pending() const { return pending_rounds; }
   [[nodiscard]] bool drained() const { return pending() == 0; }
 };
 
-/// Completion-side shared state, kept alive by every in-flight callback so
-/// a completion that outraces stop() still has somewhere safe to land.
+/// Completion-side shared state, one per loop, kept alive by every
+/// in-flight callback so a completion that outraces stop() still has
+/// somewhere safe to land. Also the inbox for connection handoff: the
+/// accepting loop parks dispatched fds in `adopted` and wakes the owner.
 struct CompletionSink {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<std::shared_ptr<Connection>> dirty;
+  std::vector<int> adopted;  ///< accepted fds awaiting adoption by this loop
   std::size_t outstanding = 0;
   int wake_fd = -1;  ///< write end of the loop's self-pipe; -1 once closed
 };
@@ -275,32 +294,555 @@ struct SocketServer::Impl {
   SortService& service;
   const SocketOptions opt;
 
-  std::unique_ptr<Poller> poller;
-  int listen_fd = -1;
-  int wake_rd = -1;
-  std::uint16_t bound_port = 0;
-  std::thread loop;
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
   std::atomic<bool> stopped{false};
+  std::uint16_t bound_port = 0;
+  std::string uds_bound_path;  ///< unlinked on stop()
 
-  std::unordered_map<int, std::shared_ptr<Connection>> conns;
-  std::vector<int> pending_close;  ///< defer close to end of event batch
-  /// Listener re-arm time after an fd/memory-exhausted accept (see
-  /// accept_ready); unset while the listener is armed normally.
-  std::optional<Clock::time_point> listener_muted_until;
-  /// Loop-thread recv staging: recv lands here and only the bytes
-  /// actually read are appended to a connection's rbuf (resizing rbuf by
-  /// kReadChunk up front would zero-fill 64 KiB per recv call).
-  std::vector<std::uint8_t> read_scratch = std::vector<std::uint8_t>(kReadChunk);
-  std::shared_ptr<CompletionSink> sink = std::make_shared<CompletionSink>();
-
-  std::atomic<std::uint64_t> accepted{0}, rejected{0}, closed{0}, requests{0},
-      responses{0}, protocol_errors{0}, idle_closed{0};
+  /// Connections alive (or reserved: accepted and in a handoff inbox)
+  /// across all loops — the max_connections quantity.
   std::atomic<std::size_t> open_conns{0};
+
+  /// Round-robin cursor for shared-acceptor dispatch. Only the loop
+  /// owning a dispatch listener (always loop 0) touches it, so it needs
+  /// no synchronization.
+  std::size_t rr_next = 0;
 
   Impl(SortService& svc, SocketOptions options)
       : service(svc), opt(std::move(options)) {}
+
+  // --- one event loop -------------------------------------------------------
+
+  struct Listener {
+    int fd = -1;
+    /// Round-robin accepted fds across all loops instead of adopting them
+    /// locally (shared-acceptor mode; always set for the UDS listener
+    /// when loops > 1, never for per-loop SO_REUSEPORT listeners).
+    bool dispatch = false;
+  };
+
+  struct Loop {
+    Impl* srv = nullptr;
+    std::size_t index = 0;
+
+    std::unique_ptr<Poller> poller;
+    int wake_rd = -1;
+    std::vector<Listener> listeners;
+    std::thread thread;
+
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+    std::vector<int> pending_close;  ///< defer close to end of event batch
+    /// Listener re-arm time after an fd/memory-exhausted accept (see
+    /// accept_ready); unset while the listeners are armed normally.
+    std::optional<Clock::time_point> listener_muted_until;
+    /// Loop-thread recv staging: recv lands here and only the bytes
+    /// actually read are appended to a connection's rbuf (resizing rbuf by
+    /// kReadChunk up front would zero-fill 64 KiB per recv call).
+    std::vector<std::uint8_t> read_scratch =
+        std::vector<std::uint8_t>(kReadChunk);
+    std::shared_ptr<CompletionSink> sink = std::make_shared<CompletionSink>();
+
+    /// Per-loop counters; SocketServer::stats() aggregates across loops.
+    std::atomic<std::uint64_t> accepted{0}, rejected{0}, closed{0},
+        requests{0}, batch_requests{0}, rounds{0}, responses{0},
+        protocol_errors{0}, idle_closed{0};
+
+    [[nodiscard]] bool owns_listener(int fd) const {
+      return std::any_of(listeners.begin(), listeners.end(),
+                         [fd](const Listener& l) { return l.fd == fd; });
+    }
+
+    // --- event loop ---------------------------------------------------------
+
+    void run() {
+      std::vector<PollEvent> events;
+      std::optional<Clock::time_point> drain_deadline;
+      bool accepting = true;
+      for (;;) {
+        events.clear();
+        (void)poller->wait(poll_timeout_ms(), events);
+        const Clock::time_point now = Clock::now();
+
+        if (listener_muted_until && now >= *listener_muted_until) {
+          listener_muted_until.reset();
+          if (accepting) {
+            for (const Listener& l : listeners) poller->set(l.fd, true, false);
+          }
+        }
+
+        for (const PollEvent& ev : events) {
+          if (ev.fd == wake_rd) {
+            drain_wake_pipe();
+          } else if (owns_listener(ev.fd)) {
+            if (accepting) accept_ready(ev.fd, now);
+          } else if (const auto it = conns.find(ev.fd); it != conns.end()) {
+            const std::shared_ptr<Connection>& conn = it->second;
+            if (ev.error) {
+              // EPOLLHUP/POLLERR: the peer is gone in both directions, so
+              // owed responses have no reader. (A half-close arrives as a
+              // plain readable event with read() == 0 instead.)
+              schedule_close(*conn);
+              continue;
+            }
+            // Writable events go through the full pump, not bare
+            // handle_write: the pump re-parses frames that buffered while
+            // writes had the connection paused, and ends in
+            // update_interest so a fully flushed queue disarms
+            // level-triggered EPOLLOUT (a bare flush would leave it armed
+            // on an always-writable socket and spin the loop).
+            if (ev.writable) pump_completions(*conn, now);
+            if (ev.readable && conn->fd >= 0) handle_read(*conn, now);
+          }
+        }
+
+        drain_adopted(now, accepting);
+        drain_dirty(now);
+        flush_pending_close();
+
+        if (srv->opt.idle_timeout.count() > 0) sweep_idle(now);
+        flush_pending_close();
+
+        if (srv->stopping.load(std::memory_order_relaxed)) {
+          if (accepting) {
+            accepting = false;
+            for (const Listener& l : listeners) {
+              poller->remove(l.fd);
+              ::close(l.fd);
+            }
+            listeners.clear();
+            drain_deadline = now + srv->opt.drain_timeout;
+            // No new requests: stop reading everywhere, keep flushing.
+            for (auto& [fd, conn] : conns) {
+              conn->peer_eof = true;
+              update_interest(*conn);
+            }
+          }
+          for (auto& [fd, conn] : conns) {
+            if (conn->drained() || now >= *drain_deadline) {
+              schedule_close(*conn);
+            }
+          }
+          flush_pending_close();
+          // The only way out: stopping, listeners closed, every
+          // connection torn down — nothing is left to clean up after the
+          // loop.
+          if (conns.empty()) break;
+        }
+      }
+    }
+
+    int poll_timeout_ms() const {
+      if (srv->stopping.load(std::memory_order_relaxed)) return 10;
+      return kSweepMs;
+    }
+
+    void drain_wake_pipe() {
+      char buf[256];
+      while (::read(wake_rd, buf, sizeof buf) > 0) {
+      }
+    }
+
+    // --- accept path --------------------------------------------------------
+
+    void accept_ready(int listen_fd, Clock::time_point now) {
+      bool dispatch = false;
+      for (const Listener& l : listeners) {
+        if (l.fd == listen_fd) dispatch = l.dispatch;
+      }
+      for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+              errno == ENOMEM) {
+            // Out of fds/memory: the pending connection stays in the
+            // backlog, so the level-triggered listener would re-fire every
+            // wait() and spin the loop hot. Mute this loop's listeners for
+            // a sweep interval and retry once resources may have freed.
+            for (const Listener& l : listeners) poller->set(l.fd, false, false);
+            listener_muted_until = now + std::chrono::milliseconds(kSweepMs);
+          }
+          return;  // EAGAIN, or a transient accept failure: wait for the
+                   // next readiness notification either way
+        }
+        // Reserve a connection slot before any handoff so the cap holds
+        // across loops (REUSEPORT accepts race; fetch_add keeps it exact).
+        if (srv->open_conns.fetch_add(1, std::memory_order_relaxed) >=
+            srv->opt.max_connections) {
+          srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+          continue;
+        }
+        if (Status s = set_nonblocking(fd); !s.ok()) {
+          srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
+          ::close(fd);
+          continue;
+        }
+        set_cloexec(fd);
+        set_nodelay(fd);
+        if (srv->opt.sndbuf > 0) {
+          (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &srv->opt.sndbuf,
+                             sizeof srv->opt.sndbuf);
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+        if (dispatch) {
+          Loop* target = srv->next_dispatch_target();
+          if (target != this) {
+            // Hand the fd to its loop through the handoff inbox; the
+            // target adopts it on its next iteration. All socket options
+            // are already applied, so the target never touches a racing
+            // syscall path.
+            std::lock_guard lock(target->sink->mu);
+            target->sink->adopted.push_back(fd);
+            wake_locked(*target->sink);
+            continue;
+          }
+        }
+        adopt(fd, now);
+      }
+    }
+
+    /// Registers an accepted (slot-reserved, option-applied) fd with this
+    /// loop. On failure the slot is returned.
+    void adopt(int fd, Clock::time_point now) {
+      auto conn = std::make_shared<Connection>(fd);
+      conn->last_activity = now;
+      if (!poller->add(fd, true, false).ok()) {
+        srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
+        ::close(fd);
+        return;
+      }
+      conns.emplace(fd, std::move(conn));
+    }
+
+    /// Adopts fds handed off by the accepting loop — or closes them when
+    /// this loop is already past accepting (they arrived after stop()).
+    void drain_adopted(Clock::time_point now, bool accepting) {
+      std::vector<int> fds;
+      {
+        std::lock_guard lock(sink->mu);
+        fds.swap(sink->adopted);
+      }
+      for (const int fd : fds) {
+        if (!accepting) {
+          srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
+          closed.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+          continue;
+        }
+        adopt(fd, now);
+      }
+    }
+
+    // --- read path ----------------------------------------------------------
+
+    void handle_read(Connection& conn, Clock::time_point now) {
+      if (conn.fd < 0 || !conn.want_read) {
+        // Paused (inflight cap) or tearing down, but an event raced the
+        // interest update — leave the bytes in the socket buffer.
+        return;
+      }
+      for (;;) {
+        const ssize_t n =
+            ::recv(conn.fd, read_scratch.data(), read_scratch.size(), 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          schedule_close(conn);
+          return;
+        }
+        if (n == 0) {
+          conn.peer_eof = true;
+          parse_frames(conn, now);
+          pump_completions(conn, now);  // flush what's ready; close if drained
+          return;
+        }
+        conn.rbuf.insert(conn.rbuf.end(), read_scratch.begin(),
+                         read_scratch.begin() + n);
+        conn.last_activity = now;
+        parse_frames(conn, now);
+        if (conn.fd < 0) return;
+        if (conn.teardown) {
+          pump_completions(conn, now);  // release the error frame if nothing
+          return;                       // else is owed ahead of it
+        }
+        if (conn.pending() >= srv->opt.max_inflight) break;  // paused
+        if (static_cast<std::size_t>(n) < kReadChunk) break;
+      }
+      update_interest(conn);
+    }
+
+    /// Consumes every complete frame in the read buffer, stopping early at
+    /// the per-connection inflight cap (remaining bytes stay buffered and
+    /// are re-parsed when responses drain) or at a protocol error.
+    void parse_frames(Connection& conn, Clock::time_point now) {
+      std::size_t pos = 0;
+      while (!conn.teardown && conn.pending() < srv->opt.max_inflight) {
+        const auto bytes =
+            std::span<const std::uint8_t>(conn.rbuf).subspan(pos);
+        StatusOr<std::optional<wire::FrameView>> parsed =
+            wire::try_parse_frame(bytes);
+        if (!parsed.ok()) {
+          protocol_error(conn, parsed.status());
+          break;
+        }
+        if (!parsed->has_value()) {
+          if (conn.peer_eof && !bytes.empty()) {
+            // The stream ended inside a frame: report the truncation before
+            // closing. (Unreachable while paused — the loop condition keeps
+            // buffered bytes for the post-drain re-parse instead.)
+            protocol_error(conn,
+                           Status::data_loss("connection closed mid-frame"));
+          }
+          break;
+        }
+        const wire::FrameView view = **parsed;
+        const bool is_batch = view.type == wire::FrameType::batch_request;
+        if (view.type != wire::FrameType::request && !is_batch) {
+          protocol_error(conn, Status::unimplemented(
+                                   "expected a request frame on the server"));
+          break;
+        }
+        StatusOr<SortRequest> request =
+            is_batch ? wire::decode_batch_request(view.body, now)
+                     : wire::decode_request(view.body, now);
+        if (!request.ok()) {
+          protocol_error(conn, request.status());
+          break;
+        }
+        pos += view.frame_size;
+        submit_request(conn, std::move(*request), is_batch);
+      }
+      if (conn.teardown) {
+        conn.rbuf.clear();
+      } else if (pos > 0) {
+        conn.rbuf.erase(conn.rbuf.begin(),
+                        conn.rbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+    }
+
+    void submit_request(Connection& conn, SortRequest request, bool as_batch) {
+      const std::uint64_t seq = conn.next_seq++;
+      const std::size_t weight = std::max<std::size_t>(request.rounds, 1);
+      conn.pending_rounds += weight;
+      requests.fetch_add(1, std::memory_order_relaxed);
+      rounds.fetch_add(weight, std::memory_order_relaxed);
+      if (as_batch) batch_requests.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(sink->mu);
+        ++sink->outstanding;
+      }
+      std::shared_ptr<Connection> self = conn.shared_from_this();
+      std::shared_ptr<CompletionSink> sink_ref = sink;
+      // May block under service-wide backpressure (see the header note);
+      // the per-connection cap keeps that rare. Completions run on service
+      // workers, or inline right here on synchronous rejection — both only
+      // touch the done-map and the sink. The response frame mirrors the
+      // request frame's type, so a batch request always answers with a
+      // batch response.
+      srv->service.submit(
+          std::move(request),
+          [self = std::move(self), sink_ref = std::move(sink_ref), seq, weight,
+           as_batch](SortResponse response) {
+            std::vector<std::uint8_t> frame =
+                as_batch ? wire::encode_batch_response(response)
+                         : wire::encode_response(response);
+            {
+              std::lock_guard lock(self->mu);
+              self->done.emplace(seq, OwedFrame{std::move(frame), weight});
+            }
+            std::lock_guard lock(sink_ref->mu);
+            sink_ref->dirty.push_back(self);
+            wake_locked(*sink_ref);
+            --sink_ref->outstanding;
+            if (sink_ref->outstanding == 0) {
+              sink_ref->cv.notify_all();
+            }
+          });
+    }
+
+    /// Malformed traffic: answer with a Status error frame queued behind
+    /// the responses already owed (so ordering still identifies the bad
+    /// request), then tear the connection down once everything flushes.
+    /// Framing past the bad bytes is unrecoverable, so reading stops here.
+    void protocol_error(Connection& conn, Status status) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      const SortResponse error =
+          SortResponse::failure(std::move(status), SortShape{1, 1});
+      const std::uint64_t seq = conn.next_seq++;
+      conn.pending_rounds += 1;
+      {
+        std::lock_guard lock(conn.mu);
+        conn.done.emplace(seq, OwedFrame{wire::encode_response(error), 1});
+      }
+      conn.teardown = true;
+      conn.rbuf.clear();
+    }
+
+    // --- completion / write path --------------------------------------------
+
+    void drain_dirty(Clock::time_point now) {
+      std::vector<std::shared_ptr<Connection>> ready;
+      {
+        std::lock_guard lock(sink->mu);
+        ready.swap(sink->dirty);
+      }
+      for (const std::shared_ptr<Connection>& conn : ready) {
+        if (conn->fd < 0) continue;  // completed after teardown: drop
+        pump_completions(*conn, now);
+      }
+    }
+
+    /// Moves the in-order prefix of completed responses into the write
+    /// queue.
+    void release_ready(Connection& conn) {
+      std::lock_guard lock(conn.mu);
+      for (auto it = conn.done.find(conn.next_flush); it != conn.done.end();
+           it = conn.done.find(conn.next_flush)) {
+        conn.wqueue.push_back(std::move(it->second));
+        conn.done.erase(it);
+        ++conn.next_flush;
+      }
+    }
+
+    /// Releases the in-order prefix of completed responses into the write
+    /// queue, flushes opportunistically, and resumes parsing frames that
+    /// were buffered while paused at the inflight cap (even after a
+    /// half-close, when no more reads will come). Runs to a fixpoint: a
+    /// completion can land *while* the re-parse submits (fast workers
+    /// outrun the loop thread), dropping inflight below the cap again with
+    /// frames still buffered — keying the re-parse off the state at entry
+    /// would strand those frames until the idle reaper, so keep
+    /// alternating release/parse until neither makes progress.
+    void pump_completions(Connection& conn, Clock::time_point now) {
+      while (conn.fd >= 0) {
+        release_ready(conn);
+        handle_write(conn, now);
+        if (conn.fd < 0) return;
+        if (conn.teardown || conn.rbuf.empty() ||
+            conn.pending() >= srv->opt.max_inflight) {
+          break;
+        }
+        const std::uint64_t before = conn.next_seq;
+        parse_frames(conn, now);
+        if (conn.next_seq == before && !conn.teardown) {
+          break;  // only a partial frame left: wait for more bytes
+        }
+      }
+      update_interest(conn);
+    }
+
+    void handle_write(Connection& conn, Clock::time_point now) {
+      if (conn.fd < 0) return;
+      while (!conn.wqueue.empty()) {
+        const OwedFrame& front = conn.wqueue.front();
+        const ssize_t n = ::send(conn.fd, front.bytes.data() + conn.woff,
+                                 front.bytes.size() - conn.woff, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          schedule_close(conn);  // peer reset; owed responses are moot
+          return;
+        }
+        conn.woff += static_cast<std::size_t>(n);
+        conn.last_activity = now;
+        if (conn.woff == front.bytes.size()) {
+          conn.pending_rounds -=
+              std::min(front.rounds, conn.pending_rounds);
+          conn.wqueue.pop_front();
+          conn.woff = 0;
+          ++conn.written;
+          responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      finish_if_drained(conn);
+    }
+
+    void finish_if_drained(Connection& conn) {
+      if (conn.fd < 0) return;
+      // After a half-close the read buffer may still hold complete frames
+      // that were beyond the pending cap — they are owed answers, so the
+      // connection is not finished until a pump consumes them (a partial
+      // tail turns into a teardown at its next parse instead).
+      if ((conn.teardown || (conn.peer_eof && conn.rbuf.empty())) &&
+          conn.drained()) {
+        schedule_close(conn);
+      }
+    }
+
+    void update_interest(Connection& conn) {
+      if (conn.fd < 0) return;
+      const bool rd = !conn.teardown && !conn.peer_eof &&
+                      conn.pending() < srv->opt.max_inflight;
+      const bool wr = !conn.wqueue.empty();
+      if (rd != conn.want_read || wr != conn.want_write) {
+        conn.want_read = rd;
+        conn.want_write = wr;
+        poller->set(conn.fd, rd, wr);
+      }
+    }
+
+    // --- teardown -----------------------------------------------------------
+
+    /// Closes are deferred to the end of the event batch so a recycled fd
+    /// from accept() can't collide with a stale event in the same batch.
+    void schedule_close(Connection& conn) {
+      if (conn.fd < 0) return;
+      pending_close.push_back(conn.fd);
+      poller->remove(conn.fd);
+      conn.fd = -1;
+    }
+
+    void flush_pending_close() {
+      for (const int fd : pending_close) {
+        ::close(fd);
+        conns.erase(fd);
+        closed.fetch_add(1, std::memory_order_relaxed);
+        srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
+      }
+      pending_close.clear();
+    }
+
+    /// Reaps connections with no socket progress for idle_timeout —
+    /// including ones with responses owed: last_activity advances on every
+    /// read and write, so a stalled-but-owed connection means the client
+    /// stopped reading (the flow-control pause already stopped us reading
+    /// it); holding its encoded backlog forever would be the leak.
+    void sweep_idle(Clock::time_point now) {
+      for (auto& [fd, conn] : conns) {
+        if (conn->fd < 0) continue;
+        if (now - conn->last_activity >= srv->opt.idle_timeout) {
+          idle_closed.fetch_add(1, std::memory_order_relaxed);
+          schedule_close(*conn);
+        }
+      }
+    }
+  };
+
+  std::vector<std::unique_ptr<Loop>> loops;
+
+  static void add_loop_stats(SocketServer::Stats& s, const Loop& l) {
+    s.accepted += l.accepted.load(std::memory_order_relaxed);
+    s.rejected += l.rejected.load(std::memory_order_relaxed);
+    s.closed += l.closed.load(std::memory_order_relaxed);
+    s.requests += l.requests.load(std::memory_order_relaxed);
+    s.batch_requests += l.batch_requests.load(std::memory_order_relaxed);
+    s.rounds += l.rounds.load(std::memory_order_relaxed);
+    s.responses += l.responses.load(std::memory_order_relaxed);
+    s.protocol_errors += l.protocol_errors.load(std::memory_order_relaxed);
+    s.idle_closed += l.idle_closed.load(std::memory_order_relaxed);
+  }
+
+  /// Next loop for shared-acceptor dispatch (called only from the loop
+  /// that owns a dispatch listener, so rr_next is effectively
+  /// single-threaded).
+  Loop* next_dispatch_target() {
+    Loop* target = loops[rr_next % loops.size()].get();
+    ++rr_next;
+    return target;
+  }
 
   // --- lifecycle ------------------------------------------------------------
 
@@ -310,28 +852,95 @@ struct SocketServer::Impl {
     }
     if (Status s = opt.validate(); !s.ok()) return s;
 
-    Status poller_status;
-    poller = make_poller(opt.force_poll, poller_status);
-    if (!poller_status.ok()) return poller_status;
-
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) < 0) return Status::unavailable(errno_text("pipe"));
-    wake_rd = pipe_fds[0];
-    sink->wake_fd = pipe_fds[1];
-    for (const int fd : pipe_fds) {
-      if (Status s = set_nonblocking(fd); !s.ok()) return s;
-      set_cloexec(fd);
+    const std::size_t n = static_cast<std::size_t>(opt.loops);
+    loops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto loop = std::make_unique<Loop>();
+      loop->srv = this;
+      loop->index = i;
+      Status poller_status;
+      loop->poller = make_poller(opt.force_poll, poller_status);
+      if (!poller_status.ok()) return poller_status;
+      int pipe_fds[2];
+      if (::pipe(pipe_fds) < 0) return Status::unavailable(errno_text("pipe"));
+      loop->wake_rd = pipe_fds[0];
+      loop->sink->wake_fd = pipe_fds[1];
+      for (const int fd : pipe_fds) {
+        if (Status s = set_nonblocking(fd); !s.ok()) {
+          loops.push_back(std::move(loop));  // stop() still closes the pipe
+          return s;
+        }
+        set_cloexec(fd);
+      }
+      loops.push_back(std::move(loop));
     }
 
-    if (Status s = open_listener(); !s.ok()) return s;
-    if (Status s = poller->add(listen_fd, true, false); !s.ok()) return s;
-    if (Status s = poller->add(wake_rd, true, false); !s.ok()) return s;
+    if (Status s = open_listeners(); !s.ok()) return s;
 
-    loop = std::thread([this] { run(); });
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      if (Status s = loop->poller->add(loop->wake_rd, true, false); !s.ok()) {
+        return s;
+      }
+      for (const Listener& l : loop->listeners) {
+        if (Status s = loop->poller->add(l.fd, true, false); !s.ok()) return s;
+      }
+    }
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      Loop* lp = loop.get();
+      lp->thread = std::thread([lp] { lp->run(); });
+    }
     return Status();
   }
 
-  Status open_listener() {
+  Status open_listeners() {
+    const std::size_t n = loops.size();
+    if (opt.listen_tcp) {
+      bool reuseport = false;
+#if defined(__linux__)
+      reuseport = n > 1 && !opt.force_acceptor;
+#endif
+      sockaddr_storage bound{};
+      socklen_t bound_len = 0;
+      int family = AF_UNSPEC;
+      int first_fd = -1;
+      if (Status s = open_first_tcp_listener(reuseport, first_fd, bound,
+                                             bound_len, family);
+          !s.ok()) {
+        return s;
+      }
+      if (reuseport) {
+        // One listener per loop, all bound to the (now concrete) same
+        // address: the kernel spreads accepts across them.
+        loops[0]->listeners.push_back(Listener{first_fd, false});
+        for (std::size_t i = 1; i < n; ++i) {
+          int fd = -1;
+          if (Status s = open_sibling_tcp_listener(
+                  family, reinterpret_cast<const sockaddr*>(&bound), bound_len,
+                  fd);
+              !s.ok()) {
+            return s;
+          }
+          loops[i]->listeners.push_back(Listener{fd, false});
+        }
+      } else {
+        // Single listener on loop 0; with several loops it round-robins
+        // accepted fds instead of serving them itself.
+        loops[0]->listeners.push_back(Listener{first_fd, n > 1});
+      }
+    }
+    if (!opt.unix_path.empty()) {
+      int fd = -1;
+      if (Status s = open_unix_listener(fd); !s.ok()) return s;
+      // SO_REUSEPORT does not load-balance AF_UNIX accepts, so the UDS
+      // listener always lives on loop 0 and dispatches.
+      loops[0]->listeners.push_back(Listener{fd, n > 1});
+    }
+    return Status();
+  }
+
+  Status open_first_tcp_listener(bool reuseport, int& out_fd,
+                                 sockaddr_storage& bound, socklen_t& bound_len,
+                                 int& family) {
     addrinfo hints{};
     hints.ai_family = AF_UNSPEC;
     hints.ai_socktype = SOCK_STREAM;
@@ -353,6 +962,11 @@ struct SocketServer::Impl {
       }
       int one = 1;
       (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#if defined(SO_REUSEPORT)
+      if (reuseport) {
+        (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+      }
+#endif
       set_cloexec(fd);
       Status s = set_nonblocking(fd);
       if (s.ok() && ::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0) {
@@ -362,9 +976,9 @@ struct SocketServer::Impl {
         s = Status::unavailable(errno_text("listen"));
       }
       if (s.ok()) {
-        sockaddr_storage bound{};
-        socklen_t len = sizeof bound;
-        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+        bound_len = sizeof bound;
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                          &bound_len) < 0) {
           s = Status::unavailable(errno_text("getsockname"));
         } else if (bound.ss_family == AF_INET) {
           bound_port = ntohs(reinterpret_cast<sockaddr_in&>(bound).sin_port);
@@ -373,7 +987,8 @@ struct SocketServer::Impl {
         }
       }
       if (s.ok()) {
-        listen_fd = fd;
+        out_fd = fd;
+        family = ai->ai_family;
         ::freeaddrinfo(found);
         return Status();
       }
@@ -384,432 +999,120 @@ struct SocketServer::Impl {
     return last;
   }
 
+  /// A further SO_REUSEPORT listener bound to the exact address the first
+  /// one resolved to (concrete port included, so port == 0 requests all
+  /// land on the same ephemeral port).
+  Status open_sibling_tcp_listener(int family, const sockaddr* addr,
+                                   socklen_t addr_len, int& out_fd) {
+    const int fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd < 0) return Status::unavailable(errno_text("socket"));
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+#if defined(SO_REUSEPORT)
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+#endif
+    set_cloexec(fd);
+    Status s = set_nonblocking(fd);
+    if (s.ok() && ::bind(fd, addr, addr_len) < 0) {
+      s = Status::unavailable(errno_text("bind(reuseport sibling)"));
+    }
+    if (s.ok() && ::listen(fd, opt.backlog) < 0) {
+      s = Status::unavailable(errno_text("listen"));
+    }
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    out_fd = fd;
+    return Status();
+  }
+
+  Status open_unix_listener(int& out_fd) {
+    sockaddr_un sa{};
+    if (opt.unix_path.size() >= sizeof sa.sun_path) {
+      return Status::invalid_argument(
+          "unix_path longer than sockaddr_un allows (" +
+          std::to_string(sizeof sa.sun_path - 1) + " bytes)");
+    }
+    struct stat st{};
+    if (::lstat(opt.unix_path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        return Status::invalid_argument("refusing to replace non-socket file " +
+                                        opt.unix_path);
+      }
+      (void)::unlink(opt.unix_path.c_str());
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Status::unavailable(errno_text("socket(AF_UNIX)"));
+    set_cloexec(fd);
+    Status s = set_nonblocking(fd);
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, opt.unix_path.c_str(), opt.unix_path.size());
+    if (s.ok() &&
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0) {
+      s = Status::unavailable(errno_text("bind(unix_path)") + " (path " +
+                              opt.unix_path + ")");
+    }
+    if (s.ok() && ::listen(fd, opt.backlog) < 0) {
+      s = Status::unavailable(errno_text("listen"));
+    }
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    uds_bound_path = opt.unix_path;
+    out_fd = fd;
+    return Status();
+  }
+
   void stop() {
     if (!started.load() || stopped.exchange(true)) return;
     stopping.store(true);
-    {
-      std::lock_guard lock(sink->mu);
-      wake_locked(*sink);
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      std::lock_guard lock(loop->sink->mu);
+      wake_locked(*loop->sink);
     }
-    if (loop.joinable()) loop.join();
-    // The loop is gone; wait out completions still running on service
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      // Handoffs that raced the shutdown: the owning loop exited before
+      // adopting them, so they are ours to close.
+      std::vector<int> orphans;
+      {
+        std::lock_guard lock(loop->sink->mu);
+        orphans.swap(loop->sink->adopted);
+      }
+      for (const int fd : orphans) {
+        open_conns.fetch_sub(1, std::memory_order_relaxed);
+        ::close(fd);
+      }
+    }
+    // The loops are gone; wait out completions still running on service
     // worker threads before tearing down the state they touch. Admitted
     // requests always complete (the service's flush window sweeps partial
     // batches), so this terminates.
-    {
-      std::unique_lock lock(sink->mu);
-      const int wake_fd = sink->wake_fd;
-      sink->wake_fd = -1;
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      std::unique_lock lock(loop->sink->mu);
+      const int wake_fd = loop->sink->wake_fd;
+      loop->sink->wake_fd = -1;
       if (wake_fd >= 0) ::close(wake_fd);
-      sink->cv.wait(lock, [this] { return sink->outstanding == 0; });
+      loop->sink->cv.wait(lock,
+                          [&loop] { return loop->sink->outstanding == 0; });
     }
-    if (wake_rd >= 0) ::close(wake_rd);
-    wake_rd = -1;
-    // If start() failed before the loop thread spawned, the listener (when
-    // it got as far as existing) is still ours to close.
-    if (listen_fd >= 0) {
-      ::close(listen_fd);
-      listen_fd = -1;
+    for (const std::unique_ptr<Loop>& loop : loops) {
+      if (loop->wake_rd >= 0) {
+        ::close(loop->wake_rd);
+        loop->wake_rd = -1;
+      }
+      // If start() failed before the loop threads spawned, the listeners
+      // (when they got as far as existing) are still ours to close.
+      for (const Listener& l : loop->listeners) ::close(l.fd);
+      loop->listeners.clear();
     }
-  }
-
-  // --- event loop -----------------------------------------------------------
-
-  void run() {
-    std::vector<PollEvent> events;
-    std::optional<Clock::time_point> drain_deadline;
-    bool accepting = true;
-    for (;;) {
-      events.clear();
-      (void)poller->wait(poll_timeout_ms(), events);
-      const Clock::time_point now = Clock::now();
-
-      if (listener_muted_until && now >= *listener_muted_until) {
-        listener_muted_until.reset();
-        if (accepting && listen_fd >= 0) poller->set(listen_fd, true, false);
-      }
-
-      for (const PollEvent& ev : events) {
-        if (ev.fd == wake_rd) {
-          drain_wake_pipe();
-        } else if (ev.fd == listen_fd) {
-          if (accepting) accept_ready(now);
-        } else if (const auto it = conns.find(ev.fd); it != conns.end()) {
-          const std::shared_ptr<Connection>& conn = it->second;
-          if (ev.error) {
-            // EPOLLHUP/POLLERR: the peer is gone in both directions, so
-            // owed responses have no reader. (A half-close arrives as a
-            // plain readable event with read() == 0 instead.)
-            schedule_close(*conn);
-            continue;
-          }
-          // Writable events go through the full pump, not bare
-          // handle_write: the pump re-parses frames that buffered while
-          // writes had the connection paused, and ends in
-          // update_interest so a fully flushed queue disarms
-          // level-triggered EPOLLOUT (a bare flush would leave it armed
-          // on an always-writable socket and spin the loop).
-          if (ev.writable) pump_completions(*conn, now);
-          if (ev.readable && conn->fd >= 0) handle_read(*conn, now);
-        }
-      }
-
-      drain_dirty(now);
-      flush_pending_close();
-
-      if (opt.idle_timeout.count() > 0) sweep_idle(now);
-      flush_pending_close();
-
-      if (stopping.load(std::memory_order_relaxed)) {
-        if (accepting) {
-          accepting = false;
-          poller->remove(listen_fd);
-          ::close(listen_fd);
-          listen_fd = -1;
-          drain_deadline = now + opt.drain_timeout;
-          // No new requests: stop reading everywhere, keep flushing.
-          for (auto& [fd, conn] : conns) {
-            conn->peer_eof = true;
-            update_interest(*conn);
-          }
-        }
-        for (auto& [fd, conn] : conns) {
-          if (conn->drained() || now >= *drain_deadline) {
-            schedule_close(*conn);
-          }
-        }
-        flush_pending_close();
-        // The only way out: stopping, listener closed, every connection
-        // torn down — nothing is left to clean up after the loop.
-        if (conns.empty()) break;
-      }
-    }
-  }
-
-  int poll_timeout_ms() const {
-    if (stopping.load(std::memory_order_relaxed)) return 10;
-    return kSweepMs;
-  }
-
-  void drain_wake_pipe() {
-    char buf[256];
-    while (::read(wake_rd, buf, sizeof buf) > 0) {
-    }
-  }
-
-  // --- accept path ----------------------------------------------------------
-
-  void accept_ready(Clock::time_point now) {
-    for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-            errno == ENOMEM) {
-          // Out of fds/memory: the pending connection stays in the
-          // backlog, so the level-triggered listener would re-fire every
-          // wait() and spin the loop hot. Mute it for a sweep interval
-          // and retry once resources may have freed.
-          poller->set(listen_fd, false, false);
-          listener_muted_until = now + std::chrono::milliseconds(kSweepMs);
-        }
-        return;  // EAGAIN, or a transient accept failure: wait for the next
-                 // readiness notification either way
-      }
-      if (conns.size() >= opt.max_connections) {
-        rejected.fetch_add(1, std::memory_order_relaxed);
-        ::close(fd);
-        continue;
-      }
-      if (Status s = set_nonblocking(fd); !s.ok()) {
-        ::close(fd);
-        continue;
-      }
-      set_cloexec(fd);
-      set_nodelay(fd);
-      if (opt.sndbuf > 0) {
-        (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt.sndbuf,
-                           sizeof opt.sndbuf);
-      }
-      auto conn = std::make_shared<Connection>(fd);
-      conn->last_activity = now;
-      if (!poller->add(fd, true, false).ok()) {
-        ::close(fd);
-        continue;
-      }
-      conns.emplace(fd, std::move(conn));
-      accepted.fetch_add(1, std::memory_order_relaxed);
-      open_conns.store(conns.size(), std::memory_order_relaxed);
-    }
-  }
-
-  // --- read path ------------------------------------------------------------
-
-  void handle_read(Connection& conn, Clock::time_point now) {
-    if (conn.fd < 0 || !conn.want_read) {
-      // Paused (inflight cap) or tearing down, but an event raced the
-      // interest update — leave the bytes in the socket buffer.
-      return;
-    }
-    for (;;) {
-      const ssize_t n =
-          ::recv(conn.fd, read_scratch.data(), read_scratch.size(), 0);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        schedule_close(conn);
-        return;
-      }
-      if (n == 0) {
-        conn.peer_eof = true;
-        parse_frames(conn, now);
-        pump_completions(conn, now);  // flush what's ready; close if drained
-        return;
-      }
-      conn.rbuf.insert(conn.rbuf.end(), read_scratch.begin(),
-                       read_scratch.begin() + n);
-      conn.last_activity = now;
-      parse_frames(conn, now);
-      if (conn.fd < 0) return;
-      if (conn.teardown) {
-        pump_completions(conn, now);  // release the error frame if nothing
-        return;                       // else is owed ahead of it
-      }
-      if (conn.pending() >= opt.max_inflight) break;  // paused
-      if (static_cast<std::size_t>(n) < kReadChunk) break;
-    }
-    update_interest(conn);
-  }
-
-  /// Consumes every complete frame in the read buffer, stopping early at
-  /// the per-connection inflight cap (remaining bytes stay buffered and
-  /// are re-parsed when responses drain) or at a protocol error.
-  void parse_frames(Connection& conn, Clock::time_point now) {
-    std::size_t pos = 0;
-    while (!conn.teardown && conn.pending() < opt.max_inflight) {
-      const auto bytes = std::span<const std::uint8_t>(conn.rbuf).subspan(pos);
-      StatusOr<std::optional<wire::FrameView>> parsed =
-          wire::try_parse_frame(bytes);
-      if (!parsed.ok()) {
-        protocol_error(conn, parsed.status());
-        break;
-      }
-      if (!parsed->has_value()) {
-        if (conn.peer_eof && !bytes.empty()) {
-          // The stream ended inside a frame: report the truncation before
-          // closing. (Unreachable while paused — the loop condition keeps
-          // buffered bytes for the post-drain re-parse instead.)
-          protocol_error(conn,
-                         Status::data_loss("connection closed mid-frame"));
-        }
-        break;
-      }
-      const wire::FrameView view = **parsed;
-      if (view.type != wire::FrameType::request) {
-        protocol_error(conn, Status::unimplemented(
-                                 "expected a request frame on the server"));
-        break;
-      }
-      StatusOr<SortRequest> request = wire::decode_request(view.body, now);
-      if (!request.ok()) {
-        protocol_error(conn, request.status());
-        break;
-      }
-      pos += view.frame_size;
-      submit_request(conn, std::move(*request));
-    }
-    if (conn.teardown) {
-      conn.rbuf.clear();
-    } else if (pos > 0) {
-      conn.rbuf.erase(conn.rbuf.begin(),
-                      conn.rbuf.begin() + static_cast<std::ptrdiff_t>(pos));
-    }
-  }
-
-  void submit_request(Connection& conn, SortRequest request) {
-    const std::uint64_t seq = conn.next_seq++;
-    requests.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard lock(sink->mu);
-      ++sink->outstanding;
-    }
-    std::shared_ptr<Connection> self = conn.shared_from_this();
-    std::shared_ptr<CompletionSink> sink_ref = sink;
-    // May block under service-wide backpressure (see the header note); the
-    // per-connection cap keeps that rare. Completions run on service
-    // workers, or inline right here on synchronous rejection — both only
-    // touch the done-map and the sink.
-    service.submit(std::move(request),
-                   [self = std::move(self), sink_ref = std::move(sink_ref),
-                    seq](SortResponse response) {
-                     std::vector<std::uint8_t> frame =
-                         wire::encode_response(response);
-                     {
-                       std::lock_guard lock(self->mu);
-                       self->done.emplace(seq, std::move(frame));
-                     }
-                     std::lock_guard lock(sink_ref->mu);
-                     sink_ref->dirty.push_back(self);
-                     wake_locked(*sink_ref);
-                     --sink_ref->outstanding;
-                     if (sink_ref->outstanding == 0) {
-                       sink_ref->cv.notify_all();
-                     }
-                   });
-  }
-
-  /// Malformed traffic: answer with a Status error frame queued behind the
-  /// responses already owed (so ordering still identifies the bad
-  /// request), then tear the connection down once everything flushes.
-  /// Framing past the bad bytes is unrecoverable, so reading stops here.
-  void protocol_error(Connection& conn, Status status) {
-    protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    const SortResponse error =
-        SortResponse::failure(std::move(status), SortShape{1, 1});
-    const std::uint64_t seq = conn.next_seq++;
-    {
-      std::lock_guard lock(conn.mu);
-      conn.done.emplace(seq, wire::encode_response(error));
-    }
-    conn.teardown = true;
-    conn.rbuf.clear();
-  }
-
-  // --- completion / write path ----------------------------------------------
-
-  void drain_dirty(Clock::time_point now) {
-    std::vector<std::shared_ptr<Connection>> ready;
-    {
-      std::lock_guard lock(sink->mu);
-      ready.swap(sink->dirty);
-    }
-    for (const std::shared_ptr<Connection>& conn : ready) {
-      if (conn->fd < 0) continue;  // completed after teardown: drop
-      pump_completions(*conn, now);
-    }
-  }
-
-  /// Moves the in-order prefix of completed responses into the write queue.
-  void release_ready(Connection& conn) {
-    std::lock_guard lock(conn.mu);
-    for (auto it = conn.done.find(conn.next_flush); it != conn.done.end();
-         it = conn.done.find(conn.next_flush)) {
-      conn.wqueue.push_back(std::move(it->second));
-      conn.done.erase(it);
-      ++conn.next_flush;
-    }
-  }
-
-  /// Releases the in-order prefix of completed responses into the write
-  /// queue, flushes opportunistically, and resumes parsing frames that
-  /// were buffered while paused at the inflight cap (even after a
-  /// half-close, when no more reads will come). Runs to a fixpoint: a
-  /// completion can land *while* the re-parse submits (fast workers outrun
-  /// the loop thread), dropping inflight below the cap again with frames
-  /// still buffered — keying the re-parse off the state at entry would
-  /// strand those frames until the idle reaper, so keep alternating
-  /// release/parse until neither makes progress.
-  void pump_completions(Connection& conn, Clock::time_point now) {
-    while (conn.fd >= 0) {
-      release_ready(conn);
-      handle_write(conn, now);
-      if (conn.fd < 0) return;
-      if (conn.teardown || conn.rbuf.empty() ||
-          conn.pending() >= opt.max_inflight) {
-        break;
-      }
-      const std::uint64_t before = conn.next_seq;
-      parse_frames(conn, now);
-      if (conn.next_seq == before && !conn.teardown) {
-        break;  // only a partial frame left: wait for more bytes
-      }
-    }
-    update_interest(conn);
-  }
-
-  void handle_write(Connection& conn, Clock::time_point now) {
-    if (conn.fd < 0) return;
-    while (!conn.wqueue.empty()) {
-      const std::vector<std::uint8_t>& front = conn.wqueue.front();
-      const ssize_t n = ::send(conn.fd, front.data() + conn.woff,
-                               front.size() - conn.woff, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        schedule_close(conn);  // peer reset; owed responses are moot
-        return;
-      }
-      conn.woff += static_cast<std::size_t>(n);
-      conn.last_activity = now;
-      if (conn.woff == front.size()) {
-        conn.wqueue.pop_front();
-        conn.woff = 0;
-        ++conn.written;
-        responses.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    finish_if_drained(conn);
-  }
-
-  void finish_if_drained(Connection& conn) {
-    if (conn.fd < 0) return;
-    // After a half-close the read buffer may still hold complete frames
-    // that were beyond the pending cap — they are owed answers, so the
-    // connection is not finished until a pump consumes them (a partial
-    // tail turns into a teardown at its next parse instead).
-    if ((conn.teardown || (conn.peer_eof && conn.rbuf.empty())) &&
-        conn.drained()) {
-      schedule_close(conn);
-    }
-  }
-
-  void update_interest(Connection& conn) {
-    if (conn.fd < 0) return;
-    const bool rd = !conn.teardown && !conn.peer_eof &&
-                    conn.pending() < opt.max_inflight;
-    const bool wr = !conn.wqueue.empty();
-    if (rd != conn.want_read || wr != conn.want_write) {
-      conn.want_read = rd;
-      conn.want_write = wr;
-      poller->set(conn.fd, rd, wr);
-    }
-  }
-
-  // --- teardown -------------------------------------------------------------
-
-  /// Closes are deferred to the end of the event batch so a recycled fd
-  /// from accept() can't collide with a stale event in the same batch.
-  void schedule_close(Connection& conn) {
-    if (conn.fd < 0) return;
-    pending_close.push_back(conn.fd);
-    poller->remove(conn.fd);
-    conn.fd = -1;
-  }
-
-  void flush_pending_close() {
-    for (const int fd : pending_close) {
-      ::close(fd);
-      conns.erase(fd);
-      closed.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!pending_close.empty()) {
-      pending_close.clear();
-      open_conns.store(conns.size(), std::memory_order_relaxed);
-    }
-  }
-
-  /// Reaps connections with no socket progress for idle_timeout —
-  /// including ones with responses owed: last_activity advances on every
-  /// read and write, so a stalled-but-owed connection means the client
-  /// stopped reading (the flow-control pause already stopped us reading
-  /// it); holding its encoded backlog forever would be the leak.
-  void sweep_idle(Clock::time_point now) {
-    for (auto& [fd, conn] : conns) {
-      if (conn->fd < 0) continue;
-      if (now - conn->last_activity >= opt.idle_timeout) {
-        idle_closed.fetch_add(1, std::memory_order_relaxed);
-        schedule_close(*conn);
-      }
+    if (!uds_bound_path.empty()) {
+      (void)::unlink(uds_bound_path.c_str());
+      uds_bound_path.clear();
     }
   }
 };
@@ -823,6 +1126,20 @@ Status SocketOptions::validate() const {
     bad += msg;
   };
   if (host.empty()) complain("host must be non-empty");
+  if (loops < 1) {
+    complain("loops must be >= 1 (got " + std::to_string(loops) + ")");
+  }
+  if (loops > 256) {
+    complain("loops must be <= 256 (got " + std::to_string(loops) + ")");
+  }
+  if (!listen_tcp && unix_path.empty()) {
+    complain("need a listener: listen_tcp is false and unix_path is empty");
+  }
+  if (!unix_path.empty() &&
+      unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    complain("unix_path longer than " +
+             std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) + " bytes");
+  }
   if (backlog < 1) {
     complain("backlog must be >= 1 (got " + std::to_string(backlog) + ")");
   }
@@ -856,14 +1173,18 @@ std::uint16_t SocketServer::port() const noexcept { return impl_->bound_port; }
 
 SocketServer::Stats SocketServer::stats() const {
   Stats s;
-  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
-  s.rejected = impl_->rejected.load(std::memory_order_relaxed);
-  s.closed = impl_->closed.load(std::memory_order_relaxed);
-  s.requests = impl_->requests.load(std::memory_order_relaxed);
-  s.responses = impl_->responses.load(std::memory_order_relaxed);
-  s.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
-  s.idle_closed = impl_->idle_closed.load(std::memory_order_relaxed);
+  for (const auto& loop : impl_->loops) Impl::add_loop_stats(s, *loop);
   return s;
+}
+
+SocketServer::Stats SocketServer::loop_stats(std::size_t loop) const {
+  Stats s;
+  if (loop < impl_->loops.size()) Impl::add_loop_stats(s, *impl_->loops[loop]);
+  return s;
+}
+
+std::size_t SocketServer::loop_count() const noexcept {
+  return impl_->loops.size();
 }
 
 std::size_t SocketServer::connections() const {

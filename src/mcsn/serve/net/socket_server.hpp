@@ -1,10 +1,12 @@
 #pragma once
-// SocketServer — the TCP front door to the streaming sort service.
+// SocketServer — the TCP (and UNIX-domain) front door to the streaming
+// sort service.
 //
-// Accepts connections on a non-blocking listening socket and runs them on a
-// single-threaded event loop (epoll on Linux, poll(2) everywhere — the
-// fallback is also selectable at runtime for testing). Each connection
-// carries the length-prefixed wire frames of serve/wire.hpp:
+// Accepts connections on non-blocking listening sockets and runs them on
+// one or more single-threaded event loops (epoll on Linux, poll(2)
+// everywhere — the fallback is also selectable at runtime for testing).
+// Each connection carries the length-prefixed wire frames of
+// serve/wire.hpp:
 //
 //   client                         server
 //   ------ request frame  ------>  incremental decode (try_parse_frame on a
@@ -16,24 +18,40 @@
 //                                  completion queue + EPOLLOUT-driven
 //                                  write flushes
 //
+// BATCH frames (wire v2) ride the same path: a batch request decodes
+// straight into one contiguous flat buffer, submits as a single
+// multi-round SortRequest (one engine lane group), and answers with a
+// single batch response frame — amortizing header, syscall and completion
+// cost across all of its rounds.
+//
+// Scaling: SocketOptions::loops spins up N event-loop threads, each with
+// its own poller instance, self-pipe and connection table. On Linux the
+// TCP listener is replicated per loop with SO_REUSEPORT (the kernel
+// load-balances accepts); everywhere else — and always for the UNIX-domain
+// listener — loop 0 owns the listener and round-robins accepted fds to the
+// other loops through their wake pipes. A connection is pinned to one loop
+// for life, so all per-connection ordering and flow-control invariants
+// hold exactly as in the single-loop case.
+//
 // Threading/ownership: the caller owns the SortService and must keep it
-// alive from start() until stop() returns. The loop thread owns every
-// socket and all connection state; service completions (which run on
-// service worker threads, or inline on the loop thread for synchronous
-// rejections) only encode the response, file it under the request's
-// sequence number and wake the loop through a self-pipe — they never touch
-// a file descriptor. start()/stop()/port()/stats() are safe to call from
+// alive from start() until stop() returns. Each loop thread owns its
+// sockets and connection state; service completions (which run on service
+// worker threads, or inline on a loop thread for synchronous rejections)
+// only encode the response, file it under the request's sequence number
+// and wake the owning loop through its self-pipe — they never touch a
+// file descriptor. start()/stop()/port()/stats() are safe to call from
 // any thread; stop() is idempotent and the destructor calls it.
 //
 // Flow control and defense:
-//   * at most max_inflight requests per connection that are decoded but
-//     not yet fully written back; at the cap the loop stops reading (and
-//     parsing) that connection until responses flush, so one firehose
-//     client cannot monopolize the engine — and a client that sends but
-//     never reads holds at most max_inflight encoded responses, not an
+//   * at most max_inflight *rounds* per connection that are decoded but
+//     not yet fully written back (a single-round frame counts 1, a batch
+//     frame counts its round count); at the cap the loop stops reading
+//     (and parsing) that connection until responses flush, so one
+//     firehose client cannot monopolize the engine — and a client that
+//     sends but never reads holds a bounded encoded backlog, not an
 //     unbounded write queue;
-//   * at most max_connections concurrent connections (excess accepts are
-//     closed immediately);
+//   * at most max_connections concurrent connections across all loops
+//     (excess accepts are closed immediately);
 //   * a connection with no socket progress for idle_timeout is closed —
 //     responses still owed included (no read/write progress that long
 //     means the peer stopped reading; its backlog is reclaimed);
@@ -44,14 +62,14 @@
 //     frame flushes. Corrupt framing is unrecoverable, so nothing after
 //     the bad bytes is parsed.
 //
-// stop() stops accepting, lets every admitted request complete and flushes
-// every owed response (bounded by drain_timeout), then closes all sockets
-// and joins the loop thread.
+// stop() stops accepting on every loop, lets every admitted request
+// complete and flushes every owed response (bounded by drain_timeout),
+// then closes all sockets and joins all loop threads.
 //
 // The server provisions nothing on the service: callers should size
 // ServeOptions::max_inflight >= max_connections * max_inflight, or accept
-// that the loop thread briefly blocks in submit() under service-wide
-// backpressure (correct, but it stalls all connections).
+// that a loop thread briefly blocks in submit() under service-wide
+// backpressure (correct, but it stalls that loop's connections).
 
 #include <chrono>
 #include <cstdint>
@@ -69,14 +87,34 @@ struct SocketOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
+  /// Event-loop threads. Each loop has its own poller, self-pipe and
+  /// connection table; see the header comment for how accepted
+  /// connections are spread across loops.
+  int loops = 1;
+  /// Also listen on this UNIX-domain socket path ("" = no UDS listener).
+  /// A stale socket file at the path is unlinked on start; the bound path
+  /// is unlinked again on stop(). Refuses to replace a non-socket file.
+  std::string unix_path;
+  /// Serve TCP. Disable for a UDS-only server (unix_path must then be
+  /// set); port() reports 0 when no TCP listener exists.
+  bool listen_tcp = true;
+  /// Use the shared-acceptor round-robin dispatch even where per-loop
+  /// SO_REUSEPORT listeners are available (Linux, loops > 1). Gives
+  /// deterministic round-robin placement — the kernel's REUSEPORT
+  /// load-balancing is hash-based — at the cost of funneling all TCP
+  /// accepts through loop 0.
+  bool force_acceptor = false;
   /// listen(2) backlog.
   int backlog = 128;
-  /// Concurrent-connection cap; excess accepts are closed immediately.
+  /// Concurrent-connection cap across all loops; excess accepts are
+  /// closed immediately.
   std::size_t max_connections = 256;
-  /// Per-connection cap on requests decoded but not yet fully written
-  /// back (covers both in-flight sorts and encoded frames queued for a
-  /// slow reader). At the cap the loop stops reading from the connection
-  /// until responses flush.
+  /// Per-connection cap on *rounds* decoded but not yet fully written
+  /// back (a single-round frame counts 1, a batch frame its round count;
+  /// covers both in-flight sorts and encoded frames queued for a slow
+  /// reader). At the cap the loop stops reading from the connection until
+  /// responses flush. A batch frame larger than the cap is still served
+  /// whole — it just pauses further reads until it flushes.
   std::size_t max_inflight = 64;
   /// Close a connection with no read/write progress for this long — even
   /// with responses owed (a peer that stopped reading would otherwise
@@ -110,35 +148,49 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Validates options, binds + listens, and starts the event-loop thread.
-  /// Returns kInvalidArgument for bad options and kUnavailable for
-  /// socket/bind/listen failures (with errno text). Call at most once.
+  /// Validates options, binds + listens, and starts the event-loop
+  /// threads. Returns kInvalidArgument for bad options and kUnavailable
+  /// for socket/bind/listen failures (with errno text). Call at most once.
   [[nodiscard]] Status start();
 
-  /// Stops accepting, drains owed responses (bounded by drain_timeout),
-  /// closes every socket and joins the loop thread. Idempotent; called by
-  /// the destructor. Safe from any thread, but not from a service
-  /// completion.
+  /// Stops accepting on every loop, drains owed responses (bounded by
+  /// drain_timeout), closes every socket and joins all loop threads.
+  /// Idempotent; called by the destructor. Safe from any thread, but not
+  /// from a service completion.
   void stop();
 
-  /// The bound port (useful with SocketOptions::port == 0). Valid after a
-  /// successful start().
+  /// The bound TCP port (useful with SocketOptions::port == 0; with
+  /// loops > 1 on Linux every SO_REUSEPORT listener shares this one
+  /// port). 0 when TCP is disabled. Valid after a successful start().
   [[nodiscard]] std::uint16_t port() const noexcept;
 
-  /// Cumulative counters, updated by the loop thread, readable anytime.
+  /// Cumulative counters, updated by the loop threads, readable anytime.
   struct Stats {
     std::uint64_t accepted = 0;         ///< connections accepted
     std::uint64_t rejected = 0;         ///< accepts over max_connections
     std::uint64_t closed = 0;           ///< connections fully torn down
     std::uint64_t requests = 0;         ///< request frames submitted
+                                        ///< (single-round and batch)
+    std::uint64_t batch_requests = 0;   ///< batch request frames among them
+    std::uint64_t rounds = 0;           ///< rounds across all request frames
     std::uint64_t responses = 0;        ///< response frames fully written
     std::uint64_t protocol_errors = 0;  ///< malformed frames answered
     std::uint64_t idle_closed = 0;      ///< idle-timeout teardowns
   };
+  /// Aggregated across every loop (each loop keeps its own counters; this
+  /// sums them — never just loop 0's view).
   [[nodiscard]] Stats stats() const;
 
-  /// Connections currently open (loop-thread view; approximate from other
-  /// threads).
+  /// One loop's counters (index < loop_count()) — for tests and per-loop
+  /// load introspection.
+  [[nodiscard]] Stats loop_stats(std::size_t loop) const;
+
+  /// Event loops actually running (== SocketOptions::loops after a
+  /// successful start()).
+  [[nodiscard]] std::size_t loop_count() const noexcept;
+
+  /// Connections currently open across all loops (approximate from
+  /// non-loop threads).
   [[nodiscard]] std::size_t connections() const;
 
  private:

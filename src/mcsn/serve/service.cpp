@@ -103,7 +103,10 @@ Status SortService::try_admit(SortRequest& request, SortCompletion& done) {
   }
 
   // Backpressure: wait for an inflight slot (workers free them as batches
-  // complete); stop() aborts the wait.
+  // complete); stop() aborts the wait. Inflight is counted in rounds, so a
+  // batched request takes as many slots as the work it carries (a batch
+  // may overshoot the cap by its own size, same soft bound as before).
+  const std::size_t weight = request.rounds;
   {
     std::unique_lock lock(inflight_mu_);
     inflight_cv_.wait(lock, [this] {
@@ -113,12 +116,12 @@ Status SortService::try_admit(SortRequest& request, SortCompletion& done) {
     if (!accepting_.load(std::memory_order_relaxed)) {
       return Status::unavailable("SortService: stopped");
     }
-    ++inflight_;
+    inflight_ += weight;
   }
 
   std::shared_lock lifecycle(lifecycle_mu_);
   if (!accepting_.load(std::memory_order_relaxed)) {
-    release_inflight(1);
+    release_inflight(weight);
     return Status::unavailable("SortService: stopped");
   }
 
@@ -156,7 +159,8 @@ void SortService::submit(SortRequest request, SortCompletion done) {
     // try_admit left both untouched: complete inline with the failure.
     metrics_.on_rejected();
     done(SortResponse::failure(std::move(admitted), request.shape,
-                               request.values_requested));
+                               request.values_requested,
+                               std::max<std::size_t>(request.rounds, 1)));
   }
 }
 
@@ -282,36 +286,51 @@ void SortService::execute(BatchGroup group) {
   if (group.requests.empty()) return;  // wake-up kick, not work
   const std::size_t n = group.requests.size();
   const std::size_t round_trits = group.sorter->shape().trits();
+  // Request i occupies rounds(i) consecutive rounds of `flat`; all-single
+  // groups reduce to the historical one-row-per-request layout.
+  const auto rounds_of = [&group](std::size_t i) {
+    return group.requests[i].request.rounds;
+  };
 
   // Deadline policy: expiry is judged once, at flush time. A request whose
   // deadline passed while it waited for lane-mates is failed with
-  // kDeadlineExceeded instead of being sorted late; the rest of the group
-  // is compacted and still sorted.
+  // kDeadlineExceeded instead of being sorted late (a batched request
+  // expires as a whole); the rest of the group is compacted and still
+  // sorted.
   const auto flushed_at = Clock::now();
   std::vector<char> expired(n, 0);
   std::size_t n_expired = 0;
+  std::size_t total_rounds = 0;
+  std::size_t live_rounds = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& deadline = group.requests[i].request.deadline;
+    total_rounds += rounds_of(i);
     if (deadline && *deadline < flushed_at) {
       expired[i] = 1;
       ++n_expired;
+    } else {
+      live_rounds += rounds_of(i);
     }
   }
   const std::size_t n_live = n - n_expired;
 
   Status run_status;
-  std::vector<Trit> out(n_live * round_trits);
+  std::vector<Trit> out(live_rounds * round_trits);
   if (n_live > 0) {
     std::span<const Trit> in(group.flat);
     std::vector<Trit> compacted;
     if (n_expired > 0) {
-      compacted.reserve(n_live * round_trits);
+      compacted.reserve(live_rounds * round_trits);
+      std::size_t offset = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        if (expired[i]) continue;
-        const auto row = group.flat.begin() +
-                         static_cast<std::ptrdiff_t>(i * round_trits);
-        compacted.insert(compacted.end(), row,
-                         row + static_cast<std::ptrdiff_t>(round_trits));
+        const std::size_t width = rounds_of(i) * round_trits;
+        if (!expired[i]) {
+          const auto row =
+              group.flat.begin() + static_cast<std::ptrdiff_t>(offset);
+          compacted.insert(compacted.end(), row,
+                           row + static_cast<std::ptrdiff_t>(width));
+        }
+        offset += width;
       }
       in = compacted;
     }
@@ -325,7 +344,9 @@ void SortService::execute(BatchGroup group) {
   }
 
   // Metrics are recorded *before* the completions run, so a client that
-  // observed its response also observes the batch in the metrics.
+  // observed its response also observes the batch in the metrics. Lane
+  // occupancy is measured in rounds (what actually fills engine lanes);
+  // failed/expired stay per-request.
   const auto done_at = Clock::now();
   Histogram latencies;
   if (run_status.ok()) {
@@ -337,14 +358,16 @@ void SortService::execute(BatchGroup group) {
               .count()));
     }
   }
-  metrics_.on_batch(n, group.cause, latencies,
+  metrics_.on_batch(total_rounds, group.cause, latencies,
                     run_status.ok() ? 0 : n_live, n_expired);
 
-  std::size_t live = 0;
+  std::size_t live_offset = 0;
   for (std::size_t i = 0; i < n; ++i) {
     PendingSort& pending = group.requests[i];
+    const std::size_t width = rounds_of(i) * round_trits;
     SortResponse response;
     response.shape = pending.request.shape;
+    response.rounds = pending.request.rounds;
     response.values_requested = pending.request.values_requested;
     response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
         done_at - pending.enqueued);
@@ -355,15 +378,15 @@ void SortService::execute(BatchGroup group) {
       response.status = run_status;
       if (run_status.ok()) {
         const auto row =
-            out.begin() + static_cast<std::ptrdiff_t>(live * round_trits);
-        response.payload.assign(
-            row, row + static_cast<std::ptrdiff_t>(round_trits));
+            out.begin() + static_cast<std::ptrdiff_t>(live_offset);
+        response.payload.assign(row,
+                                row + static_cast<std::ptrdiff_t>(width));
       }
-      ++live;
+      live_offset += width;
     }
     pending.done(std::move(response));
   }
-  release_inflight(n);
+  release_inflight(total_rounds);
 }
 
 void SortService::publish_ready(BatchGroup group) {
@@ -374,15 +397,17 @@ void SortService::publish_ready(BatchGroup group) {
 }
 
 void SortService::fail_group(BatchGroup group, const char* reason) {
-  const std::size_t n = group.requests.size();
-  if (n == 0) return;
+  if (group.requests.empty()) return;
+  std::size_t total_rounds = 0;
   for (PendingSort& pending : group.requests) {
+    total_rounds += pending.request.rounds;
     metrics_.on_rejected();
     pending.done(SortResponse::failure(Status::unavailable(reason),
                                        pending.request.shape,
-                                       pending.request.values_requested));
+                                       pending.request.values_requested,
+                                       pending.request.rounds));
   }
-  release_inflight(n);
+  release_inflight(total_rounds);
 }
 
 void SortService::release_inflight(std::size_t n) {

@@ -90,13 +90,28 @@ std::optional<std::vector<std::uint64_t>> values_if_decodable(
   return std::move(*values);
 }
 
+/// The lowest version whose decoders understand `type` — what encoders
+/// stamp into the header, so single-round frames stay byte-identical to
+/// version 1 and only batch frames require an upgraded peer.
+std::uint8_t version_for(FrameType type) {
+  switch (type) {
+    case FrameType::batch_request:
+    case FrameType::batch_response:
+      return kVersionBatch;
+    case FrameType::request:
+    case FrameType::response:
+      break;
+  }
+  return kVersionMin;
+}
+
 std::vector<std::uint8_t> finish_frame(FrameType type,
                                        std::vector<std::uint8_t> body) {
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderSize + body.size());
   frame.push_back(kMagic0);
   frame.push_back(kMagic1);
-  frame.push_back(kVersion);
+  frame.push_back(version_for(type));
   frame.push_back(static_cast<std::uint8_t>(type));
   put_u32(frame, static_cast<std::uint32_t>(body.size()));
   frame.insert(frame.end(), body.begin(), body.end());
@@ -117,14 +132,22 @@ StatusOr<Header> parse_header(std::span<const std::uint8_t> bytes) {
   if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
     return Status::data_loss("bad frame magic");
   }
-  if (bytes[2] != kVersion) {
+  const std::uint8_t version = bytes[2];
+  if (version < kVersionMin || version > kVersion) {
     return Status::unimplemented("unsupported wire version " +
-                                 std::to_string(bytes[2]));
+                                 std::to_string(version));
   }
   const std::uint8_t type = bytes[3];
-  if (type != static_cast<std::uint8_t>(FrameType::request) &&
-      type != static_cast<std::uint8_t>(FrameType::response)) {
+  if (type < static_cast<std::uint8_t>(FrameType::request) ||
+      type > static_cast<std::uint8_t>(FrameType::batch_response)) {
     return Status::unimplemented("unknown frame type " + std::to_string(type));
+  }
+  if (version < version_for(static_cast<FrameType>(type))) {
+    // A batch type under a version-1 header: no v1 encoder produces it,
+    // so it is corrupt or a confused peer — either way unsupported.
+    return Status::unimplemented(
+        "frame type " + std::to_string(type) + " requires wire version " +
+        std::to_string(version_for(static_cast<FrameType>(type))));
   }
   const std::uint32_t body_size = get_u32(bytes.data() + 4);
   if (body_size > kMaxBody) {
@@ -148,6 +171,48 @@ StatusOr<SortShape> decode_shape(std::uint32_t channels, std::uint32_t bits) {
 
 constexpr std::size_t kRequestFixed = 20;   // channels..deadline
 constexpr std::size_t kResponseFixed = 28;  // status..message length
+constexpr std::size_t kBatchRequestFixed = 24;   // channels..round count
+constexpr std::size_t kBatchResponseFixed = 32;  // status..message length
+
+/// Shared bound check for decoded batch round counts: nonzero and inside
+/// the API batch limits (which also keep every encodable batch frame
+/// under kMaxBody).
+Status check_batch_rounds(std::uint32_t rounds, SortShape shape) {
+  if (rounds == 0) {
+    return Status::invalid_argument("zero-round batch frame");
+  }
+  if (rounds > kMaxBatchRounds ||
+      static_cast<std::size_t>(rounds) * shape.trits() > kMaxBatchTrits) {
+    return Status::resource_exhausted(
+        "batch of " + std::to_string(rounds) + " rounds exceeds the " +
+        std::to_string(kMaxBatchTrits) + " trit bound");
+  }
+  return Status();
+}
+
+/// Gray-encodes `words` u64 values (8 bytes each, caller-checked length)
+/// into flat trits — the decode half both value-payload batch bodies
+/// share. Fails with kDataLoss on a value out of range for shape.bits.
+Status values_to_trits(SortShape shape, std::size_t words,
+                       std::span<const std::uint8_t> payload,
+                       std::vector<Trit>& out) {
+  const std::uint64_t limit = shape.bits == 64
+                                  ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << shape.bits) - 1;
+  out.clear();
+  out.reserve(words * shape.bits);
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t v = get_u64(payload.data() + i * 8);
+    if (v > limit) {
+      return Status::data_loss("payload value " + std::to_string(v) +
+                               " out of range for " +
+                               std::to_string(shape.bits) + " bits");
+    }
+    const Word w = gray_encode(v, shape.bits);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return Status();
+}
 
 }  // namespace
 
@@ -201,6 +266,58 @@ std::vector<std::uint8_t> encode_response(const SortResponse& response) {
     }
   }
   return finish_frame(FrameType::response, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_batch_request(const SortRequest& request,
+                                               Clock::time_point now) {
+  std::vector<std::uint8_t> body;
+  const std::optional<std::vector<std::uint64_t>> values = values_if_decodable(
+      request.shape, request.payload, request.values_requested);
+  put_u32(body, static_cast<std::uint32_t>(request.shape.channels));
+  put_u32(body, static_cast<std::uint32_t>(request.shape.bits));
+  put_u32(body, values ? kFlagValues : 0u);
+  std::uint64_t deadline_ns = 0;
+  if (request.deadline) {
+    const auto budget = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        *request.deadline - now);
+    deadline_ns = budget.count() > 0
+                      ? static_cast<std::uint64_t>(budget.count())
+                      : 1;
+  }
+  put_u64(body, deadline_ns);
+  put_u32(body, static_cast<std::uint32_t>(request.rounds));
+  if (values) {
+    for (const std::uint64_t v : *values) put_u64(body, v);
+  } else {
+    pack_trits(body, request.payload);
+  }
+  return finish_frame(FrameType::batch_request, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_batch_response(const SortResponse& response) {
+  std::vector<std::uint8_t> body;
+  const bool has_payload = response.status.ok();
+  const std::optional<std::vector<std::uint64_t>> values =
+      has_payload ? values_if_decodable(response.shape, response.payload,
+                                        response.values_requested)
+                  : std::nullopt;
+  put_u32(body, static_cast<std::uint32_t>(response.status.code()));
+  put_u32(body, values ? kFlagValues : 0u);
+  put_u32(body, static_cast<std::uint32_t>(response.shape.channels));
+  put_u32(body, static_cast<std::uint32_t>(response.shape.bits));
+  put_u64(body, static_cast<std::uint64_t>(response.latency.count()));
+  put_u32(body, static_cast<std::uint32_t>(response.rounds));
+  const std::string& message = response.status.message();
+  put_u32(body, static_cast<std::uint32_t>(message.size()));
+  body.insert(body.end(), message.begin(), message.end());
+  if (has_payload) {
+    if (values) {
+      for (const std::uint64_t v : *values) put_u64(body, v);
+    } else {
+      pack_trits(body, response.payload);
+    }
+  }
+  return finish_frame(FrameType::batch_response, std::move(body));
 }
 
 StatusOr<FrameView> parse_frame(std::span<const std::uint8_t> bytes) {
@@ -360,6 +477,140 @@ StatusOr<SortResponse> decode_response(std::span<const std::uint8_t> body) {
                                " bytes, expected " + std::to_string(expect));
     }
     if (Status s = unpack_trits(payload, shape->trits(), response.payload);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return response;
+}
+
+StatusOr<SortRequest> decode_batch_request(std::span<const std::uint8_t> body,
+                                           Clock::time_point now) {
+  if (body.size() < kBatchRequestFixed) {
+    return Status::data_loss("batch request body truncated (" +
+                             std::to_string(body.size()) + " bytes)");
+  }
+  StatusOr<SortShape> shape =
+      decode_shape(get_u32(body.data()), get_u32(body.data() + 4));
+  if (!shape.ok()) return shape.status();
+  const std::uint32_t flags = get_u32(body.data() + 8);
+  if ((flags & ~kFlagValues) != 0) {
+    return Status::unimplemented("unknown request flags " + hex32(flags));
+  }
+  const std::uint64_t deadline_ns = get_u64(body.data() + 12);
+  const std::uint32_t rounds = get_u32(body.data() + 20);
+  if (Status s = check_batch_rounds(rounds, *shape); !s.ok()) return s;
+  const std::span<const std::uint8_t> payload =
+      body.subspan(kBatchRequestFixed);
+  const std::size_t total_trits = rounds * shape->trits();
+
+  StatusOr<SortRequest> request = Status::internal("unreachable");
+  if (flags & kFlagValues) {
+    if (shape->bits > 64) {
+      return Status::invalid_argument("value-encoded request at bits > 64");
+    }
+    const std::size_t words =
+        rounds * static_cast<std::size_t>(shape->channels);
+    if (payload.size() != words * 8) {
+      return Status::data_loss(
+          "value payload of " + std::to_string(payload.size()) +
+          " bytes inconsistent with " + std::to_string(rounds) +
+          " rounds (expected " + std::to_string(words * 8) + ")");
+    }
+    std::vector<Trit> trits;
+    if (Status s = values_to_trits(*shape, words, payload, trits); !s.ok()) {
+      return s;
+    }
+    request = SortRequest::own_batch(*shape, rounds, std::move(trits));
+    if (request.ok()) request->values_requested = true;
+  } else {
+    const std::size_t expect = packed_trit_bytes(total_trits);
+    if (payload.size() != expect) {
+      return Status::data_loss(
+          "trit payload of " + std::to_string(payload.size()) +
+          " bytes inconsistent with " + std::to_string(rounds) +
+          " rounds (expected " + std::to_string(expect) + ")");
+    }
+    std::vector<Trit> trits;
+    if (Status s = unpack_trits(payload, total_trits, trits); !s.ok()) {
+      return s;
+    }
+    request = SortRequest::own_batch(*shape, rounds, std::move(trits));
+  }
+  if (request.ok() && deadline_ns != 0) {
+    request->deadline = now + std::chrono::nanoseconds(deadline_ns);
+  }
+  return request;
+}
+
+StatusOr<SortResponse> decode_batch_response(
+    std::span<const std::uint8_t> body) {
+  if (body.size() < kBatchResponseFixed) {
+    return Status::data_loss("batch response body truncated (" +
+                             std::to_string(body.size()) + " bytes)");
+  }
+  const std::uint32_t code = get_u32(body.data());
+  if (code > static_cast<std::uint32_t>(StatusCode::kInternal)) {
+    return Status::unimplemented("unknown status code " + std::to_string(code));
+  }
+  const std::uint32_t flags = get_u32(body.data() + 4);
+  if ((flags & ~kFlagValues) != 0) {
+    return Status::unimplemented("unknown response flags " + hex32(flags));
+  }
+  StatusOr<SortShape> shape =
+      decode_shape(get_u32(body.data() + 8), get_u32(body.data() + 12));
+  if (!shape.ok()) return shape.status();
+  const std::uint64_t latency_ns = get_u64(body.data() + 16);
+  const std::uint32_t rounds = get_u32(body.data() + 24);
+  if (Status s = check_batch_rounds(rounds, *shape); !s.ok()) return s;
+  const std::uint32_t message_len = get_u32(body.data() + 28);
+  if (body.size() < kBatchResponseFixed + message_len) {
+    return Status::data_loss("batch response message truncated");
+  }
+  std::string message(
+      reinterpret_cast<const char*>(body.data() + kBatchResponseFixed),
+      message_len);
+  const std::span<const std::uint8_t> payload =
+      body.subspan(kBatchResponseFixed + message_len);
+  const std::size_t total_trits = rounds * shape->trits();
+
+  SortResponse response;
+  response.shape = *shape;
+  response.rounds = rounds;
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  response.latency = std::chrono::nanoseconds(latency_ns);
+  response.values_requested = (flags & kFlagValues) != 0;
+  if (!response.status.ok()) {
+    if (!payload.empty()) {
+      return Status::data_loss("error response carries a payload");
+    }
+    return response;
+  }
+  if (flags & kFlagValues) {
+    if (shape->bits > 64) {
+      return Status::invalid_argument("value-encoded response at bits > 64");
+    }
+    const std::size_t words =
+        rounds * static_cast<std::size_t>(shape->channels);
+    if (payload.size() != words * 8) {
+      return Status::data_loss(
+          "value payload of " + std::to_string(payload.size()) +
+          " bytes inconsistent with " + std::to_string(rounds) +
+          " rounds (expected " + std::to_string(words * 8) + ")");
+    }
+    if (Status s = values_to_trits(*shape, words, payload, response.payload);
+        !s.ok()) {
+      return s;
+    }
+  } else {
+    const std::size_t expect = packed_trit_bytes(total_trits);
+    if (payload.size() != expect) {
+      return Status::data_loss(
+          "trit payload of " + std::to_string(payload.size()) +
+          " bytes inconsistent with " + std::to_string(rounds) +
+          " rounds (expected " + std::to_string(expect) + ")");
+    }
+    if (Status s = unpack_trits(payload, total_trits, response.payload);
         !s.ok()) {
       return s;
     }

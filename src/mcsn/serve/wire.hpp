@@ -7,12 +7,13 @@
 //
 //   offset size  field
 //   0      2     magic "MC" (0x4D 0x43)
-//   2      1     version (currently 1)
-//   3      1     frame type (1 = request, 2 = response)
+//   2      1     version (1 or 2; see the versioning note below)
+//   3      1     frame type (1 = request, 2 = response,
+//                3 = batch request, 4 = batch response)
 //   4      4     body length N
 //   8      N     body
 //
-// Request body:
+// Request body (type 1):
 //   0      4     channels
 //   4      4     bits
 //   8      4     flags (bit 0: payload is u64 values, not trits)
@@ -22,7 +23,7 @@
 //                packed 2 bits each (00=0, 01=1, 10=M, 11=invalid, trit i
 //                in byte i/4 at bit 2*(i%4)), or channels x u64 values
 //
-// Response body:
+// Response body (type 2):
 //   0      4     status code (StatusCode numeric value)
 //   4      4     flags (bit 0: payload is u64 values)
 //   8      4     channels
@@ -31,6 +32,37 @@
 //   24     4     status message length M
 //   28     M     status message (UTF-8)
 //   28+M   ...   payload (same encodings; empty unless status == ok)
+//
+// Batch request body (type 3, version >= 2) — R same-shape rounds behind
+// one header, amortizing header + syscall cost and feeding the server's
+// lane engine whole groups at a time:
+//   0      4     channels
+//   4      4     bits
+//   8      4     flags (bit 0: payload is u64 values)
+//   12     8     deadline budget in ns for the whole batch (0 = none)
+//   20     4     round count R (>= 1)
+//   24     ...   payload: all R rounds contiguous, round-major — either
+//                ceil(R*channels*bits/4) bytes of packed trits (one
+//                canonical-padding tail byte for the whole batch), or
+//                R x channels u64 values
+//
+// Batch response body (type 4, version >= 2):
+//   0      4     status code
+//   4      4     flags (bit 0: payload is u64 values)
+//   8      4     channels
+//   12     4     bits
+//   16     8     latency in ns
+//   24     4     round count R
+//   28     4     status message length M
+//   32     M     status message (UTF-8)
+//   32+M   ...   payload for all R rounds (same encodings as the batch
+//                request; empty unless status == ok)
+//
+// Versioning: encoders emit the lowest version that can represent the
+// frame — single-round frames (types 1/2) stay version 1, byte-identical
+// to what a v1 peer produces and accepts; batch frames (types 3/4) carry
+// version 2. Decoders accept versions 1..kVersion, with batch types
+// rejected under a version-1 header.
 //
 // Decoding is defensive end to end: bad magic, unsupported versions,
 // unknown frame types/flags, corrupt length prefixes, truncated bodies,
@@ -55,19 +87,32 @@ namespace mcsn::wire {
 
 inline constexpr std::uint8_t kMagic0 = 0x4D;  // 'M'
 inline constexpr std::uint8_t kMagic1 = 0x43;  // 'C'
-/// Wire version this build speaks; decoders reject all others.
-inline constexpr std::uint8_t kVersion = 1;
+/// Highest wire version this build speaks. Encoders emit the lowest
+/// version that can represent a frame (single-round frames stay at
+/// kVersionMin for v1 interop; batch frames need version 2); decoders
+/// accept kVersionMin..kVersion and reject everything else.
+inline constexpr std::uint8_t kVersion = 2;
+/// Oldest wire version decoders still accept.
+inline constexpr std::uint8_t kVersionMin = 1;
+/// First version with batch frame types (3/4).
+inline constexpr std::uint8_t kVersionBatch = 2;
 /// Fixed frame header: magic(2) + version(1) + type(1) + body length(4).
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a body a decoder will accept; a corrupt length prefix
 /// must not turn into a multi-gigabyte allocation.
 inline constexpr std::size_t kMaxBody = std::size_t{1} << 24;
 
-/// Header byte 3. Values are wire-stable: append, never renumber.
-enum class FrameType : std::uint8_t { request = 1, response = 2 };
+/// Header byte 3. Values are wire-stable: append, never renumber. The
+/// batch types require a version >= kVersionBatch header.
+enum class FrameType : std::uint8_t {
+  request = 1,
+  response = 2,
+  batch_request = 3,
+  batch_response = 4,
+};
 
 /// Body flag bit 0: the payload carries u64 integer values (bits <= 64)
-/// instead of packed trits. All other bits must be zero in version 1.
+/// instead of packed trits. All other bits must be zero in versions 1-2.
 inline constexpr std::uint32_t kFlagValues = 1u << 0;
 
 // --- encoding ---------------------------------------------------------------
@@ -86,6 +131,19 @@ inline constexpr std::uint32_t kFlagValues = 1u << 0;
 /// (metastable results fall back to packed trits with the flag clear, so
 /// nothing is silently mis-decoded).
 [[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const SortResponse& response);
+
+/// One version-2 batch request frame carrying request.rounds same-shape
+/// rounds (>= 1; the request must satisfy SortRequest::validate()). The
+/// deadline budget applies to the batch as a whole.
+[[nodiscard]] std::vector<std::uint8_t> encode_batch_request(
+    const SortRequest& request,
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now());
+
+/// One version-2 batch response frame (response.rounds rounds). Same
+/// value-encoding fallback rules as encode_response.
+[[nodiscard]] std::vector<std::uint8_t> encode_batch_response(
     const SortResponse& response);
 
 // --- decoding ---------------------------------------------------------------
@@ -125,6 +183,19 @@ struct FrameView {
 
 /// Decodes a response body.
 [[nodiscard]] StatusOr<SortResponse> decode_response(
+    std::span<const std::uint8_t> body);
+
+/// Decodes a batch request body (frame type batch_request). Rejects a
+/// zero round count (kInvalidArgument), a round count inconsistent with
+/// the body length (kDataLoss), and batches over the API bounds
+/// (kResourceExhausted). Deadline budgets are re-anchored at `now`.
+[[nodiscard]] StatusOr<SortRequest> decode_batch_request(
+    std::span<const std::uint8_t> body,
+    std::chrono::steady_clock::time_point now =
+        std::chrono::steady_clock::now());
+
+/// Decodes a batch response body (frame type batch_response).
+[[nodiscard]] StatusOr<SortResponse> decode_batch_response(
     std::span<const std::uint8_t> body);
 
 // --- stream framing ---------------------------------------------------------

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <optional>
@@ -602,6 +605,459 @@ TEST(SocketServer, StopIsIdempotentAndClosesClients) {
   StatusOr<SortResponse> eof = client.receive();
   EXPECT_FALSE(eof.ok());
   EXPECT_EQ(loop.server->connections(), 0u);
+}
+
+// --- multi-loop -------------------------------------------------------------
+
+TEST(SocketServer, MultiLoopPipelinedClientsSpreadAndAgree) {
+  // Three event loops behind the shared acceptor (force_acceptor gives
+  // deterministic round-robin placement; kernel REUSEPORT balancing is
+  // hash-based and can't be asserted on). Six pipelined clients land two
+  // per loop, and every response must still arrive in per-connection send
+  // order, bit-identical to the direct engine path.
+  const SortShape shape{4, 5};
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 48;
+  net::SocketOptions sopt;
+  sopt.loops = 3;
+  sopt.force_acceptor = true;
+  Loopback loop(sopt, fast_flush());
+  ASSERT_EQ(loop.server->loop_count(), 3u);
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(500 + static_cast<std::uint64_t>(c));
+      std::vector<std::vector<Trit>> rounds;
+      for (int i = 0; i < kPerClient; ++i) {
+        rounds.push_back(random_flat(rng, shape));
+      }
+      const std::vector<std::vector<Trit>> expect =
+          expected_sorted(shape, rounds);
+      net::SortClient client = loop.client();
+      for (const std::vector<Trit>& r : rounds) {
+        StatusOr<SortRequest> request = SortRequest::view(shape, r);
+        if (!request.ok() || !client.send(*request).ok()) {
+          failures[static_cast<std::size_t>(c)] = "send failed";
+          return;
+        }
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        StatusOr<SortResponse> response = client.receive();
+        if (!response.ok() || !response->status.ok()) {
+          failures[static_cast<std::size_t>(c)] = "receive failed";
+          return;
+        }
+        if (response->payload != expect[static_cast<std::size_t>(i)]) {
+          failures[static_cast<std::size_t>(c)] =
+              "order/parity mismatch at " + std::to_string(i);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+
+  // Aggregated counters cover every loop's traffic, and the round-robin
+  // dispatch actually used every loop.
+  const net::SocketServer::Stats total = loop.server->stats();
+  EXPECT_EQ(total.requests, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(total.accepted, static_cast<std::uint64_t>(kClients));
+  std::uint64_t summed = 0;
+  for (std::size_t l = 0; l < loop.server->loop_count(); ++l) {
+    const net::SocketServer::Stats per = loop.server->loop_stats(l);
+    EXPECT_GT(per.requests, 0u) << "loop " << l << " served nothing";
+    summed += per.requests;
+  }
+  EXPECT_EQ(summed, total.requests);
+}
+
+TEST(SocketServer, MultiLoopListenersShareOneEphemeralPort) {
+  // loops > 1 without force_acceptor: on Linux this replicates the TCP
+  // listener per loop with SO_REUSEPORT — every sibling must end up on
+  // the same kernel-chosen ephemeral port, and clients connecting to that
+  // one port round-trip regardless of which loop's listener wins the
+  // accept. (Elsewhere this degrades to the shared acceptor; the client
+  // contract is identical.)
+  const SortShape shape{4, 4};
+  net::SocketOptions sopt;
+  sopt.loops = 2;
+  Loopback loop(sopt, fast_flush());
+  ASSERT_EQ(loop.server->loop_count(), 2u);
+  ASSERT_NE(loop.server->port(), 0);
+
+  Xoshiro256 rng(41);
+  for (int c = 0; c < 8; ++c) {
+    const std::vector<Trit> round = random_flat(rng, shape);
+    const std::vector<std::vector<Trit>> expect =
+        expected_sorted(shape, {round});
+    net::SortClient client = loop.client();
+    StatusOr<SortRequest> request = SortRequest::view(shape, round);
+    ASSERT_TRUE(request.ok());
+    StatusOr<SortResponse> response = client.sort(*request);
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[0]);
+  }
+  EXPECT_EQ(loop.server->stats().accepted, 8u);
+}
+
+TEST(SocketServer, MultiLoopGracefulStopDrainsEveryLoop) {
+  // Owed responses pending on BOTH loops when stop() lands (wide flush
+  // window keeps the batches unflushed): the drain must flush every
+  // connection on every loop, not just loop 0's.
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(47);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 16; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.loops = 2;
+  sopt.force_acceptor = true;  // deterministic: client 1 -> loop 0, 2 -> 1
+  ServeOptions vopt;
+  vopt.flush_window = std::chrono::milliseconds(20);
+  Loopback loop(sopt, vopt);
+  net::SortClient a = loop.client();
+  net::SortClient b = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(a.send(*request).ok());
+    ASSERT_TRUE(b.send(*request).ok());
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return loop.server->stats().requests == 2 * rounds.size(); }));
+  loop.server->stop();
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> ra = a.receive();
+    StatusOr<SortResponse> rb = b.receive();
+    ASSERT_TRUE(ra.ok() && rb.ok()) << "round " << i;
+    ASSERT_TRUE(ra->status.ok() && rb->status.ok());
+    EXPECT_EQ(ra->payload, expect[i]);
+    EXPECT_EQ(rb->payload, expect[i]);
+  }
+  EXPECT_FALSE(a.receive().ok());
+  EXPECT_FALSE(b.receive().ok());
+  EXPECT_EQ(loop.server->connections(), 0u);
+}
+
+// --- batch frames over the socket -------------------------------------------
+
+TEST(SocketServer, BatchFramesRoundTripWithParityAndCounters) {
+  const SortShape shape{6, 6};
+  constexpr std::size_t kRounds = 64;
+  Xoshiro256 rng(53);
+  std::vector<std::vector<Trit>> rounds;
+  std::vector<Trit> flat;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    rounds.push_back(random_flat(rng, shape));
+    flat.insert(flat.end(), rounds.back().begin(), rounds.back().end());
+  }
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.max_inflight = 256;  // in rounds: one 64-round frame fits comfortably
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+  StatusOr<SortRequest> request = SortRequest::view_batch(shape, kRounds, flat);
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+  StatusOr<SortResponse> response = client.sort_batch(*request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  ASSERT_TRUE(response->status.ok()) << response->status.to_string();
+  EXPECT_EQ(response->rounds, kRounds);
+  ASSERT_EQ(response->payload.size(), kRounds * shape.trits());
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    const std::vector<Trit> row(
+        response->payload.begin() +
+            static_cast<std::ptrdiff_t>(i * shape.trits()),
+        response->payload.begin() +
+            static_cast<std::ptrdiff_t>((i + 1) * shape.trits()));
+    EXPECT_EQ(row, expect[i]) << "round " << i;
+  }
+  const net::SocketServer::Stats stats = loop.server->stats();
+  EXPECT_EQ(stats.requests, 1u);        // one frame...
+  EXPECT_EQ(stats.batch_requests, 1u);  // ...a batch one...
+  EXPECT_EQ(stats.rounds, kRounds);     // ...carrying all the rounds
+}
+
+TEST(SocketServer, BatchAndSingleFramesInterleaveInOrder) {
+  // A pipelined mix of single-round and batch frames on one connection:
+  // responses come back in send order, each answered with its own frame
+  // type (rounds tells them apart on the client).
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(59);
+  const std::vector<Trit> single1 = random_flat(rng, shape);
+  std::vector<std::vector<Trit>> batch_rounds;
+  std::vector<Trit> batch_flat;
+  for (int i = 0; i < 5; ++i) {
+    batch_rounds.push_back(random_flat(rng, shape));
+    batch_flat.insert(batch_flat.end(), batch_rounds.back().begin(),
+                      batch_rounds.back().end());
+  }
+  const std::vector<Trit> single2 = random_flat(rng, shape);
+  const std::vector<std::vector<Trit>> expect1 =
+      expected_sorted(shape, {single1});
+  const std::vector<std::vector<Trit>> expect_batch =
+      expected_sorted(shape, batch_rounds);
+  const std::vector<std::vector<Trit>> expect2 =
+      expected_sorted(shape, {single2});
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  ASSERT_TRUE(client.send(SortRequest::view(shape, single1).value()).ok());
+  ASSERT_TRUE(
+      client.send_batch(SortRequest::view_batch(shape, 5, batch_flat).value())
+          .ok());
+  ASSERT_TRUE(client.send(SortRequest::view(shape, single2).value()).ok());
+
+  StatusOr<SortResponse> r1 = client.receive();
+  ASSERT_TRUE(r1.ok() && r1->status.ok());
+  EXPECT_EQ(r1->rounds, 1u);
+  EXPECT_EQ(r1->payload, expect1[0]);
+  StatusOr<SortResponse> rb = client.receive();
+  ASSERT_TRUE(rb.ok() && rb->status.ok());
+  EXPECT_EQ(rb->rounds, 5u);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<Trit> row(
+        rb->payload.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(i) * shape.trits()),
+        rb->payload.begin() +
+            static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i + 1) *
+                                        shape.trits()));
+    EXPECT_EQ(row, expect_batch[static_cast<std::size_t>(i)]);
+  }
+  StatusOr<SortResponse> r2 = client.receive();
+  ASSERT_TRUE(r2.ok() && r2->status.ok());
+  EXPECT_EQ(r2->rounds, 1u);
+  EXPECT_EQ(r2->payload, expect2[0]);
+}
+
+// --- UNIX-domain sockets ----------------------------------------------------
+
+std::string fresh_uds_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/mcsn_net_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// A service + started UDS-only server on a fresh socket path.
+struct UdsLoop {
+  explicit UdsLoop(net::SocketOptions sopt = {}, ServeOptions vopt = {})
+      : path(fresh_uds_path()) {
+    service.emplace(vopt);
+    sopt.listen_tcp = false;
+    sopt.unix_path = path;
+    server.emplace(*service, sopt);
+    const Status s = server->start();
+    EXPECT_TRUE(s.ok()) << s.to_string();
+  }
+
+  net::SortClient client() {
+    StatusOr<net::SortClient> c = net::SortClient::connect_unix(path);
+    EXPECT_TRUE(c.ok()) << c.status().to_string();
+    return std::move(*c);
+  }
+
+  std::string path;
+  std::optional<SortService> service;
+  std::optional<net::SocketServer> server;
+};
+
+TEST(SocketServer, UnixDomainParityWithTcpIncludingMetastable) {
+  // The same traffic over AF_UNIX must be indistinguishable from TCP:
+  // pipelined parity rounds plus a marginal measurement whose single M
+  // trit crosses the socket intact.
+  const SortShape shape{4, 8};
+  Xoshiro256 rng(61);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 32; ++i) rounds.push_back(random_flat(rng, shape));
+  Word marginal = gray_encode(77, shape.bits);
+  marginal[gray_flip_index(77, shape.bits)] = Trit::meta;
+  std::vector<Trit> meta_round;
+  for (int c = 0; c < shape.channels; ++c) {
+    const Word w = c == 0 ? marginal : gray_encode(200, shape.bits);
+    meta_round.insert(meta_round.end(), w.begin(), w.end());
+  }
+  rounds.push_back(meta_round);
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  UdsLoop loop({}, fast_flush());
+  ASSERT_EQ(loop.server->port(), 0);  // no TCP listener at all
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, r);
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(client.send(*request).ok());
+  }
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    EXPECT_EQ(response->payload, expect[i]) << "round " << i;
+  }
+  EXPECT_EQ(std::count(expect.back().begin(), expect.back().end(), Trit::meta),
+            1);
+}
+
+TEST(SocketServer, UnixDomainBatchAndMultiLoopDispatch) {
+  // AF_UNIX has no REUSEPORT load balancing, so with several loops the
+  // UDS listener lives on loop 0 and hands accepted fds round-robin to
+  // the others — batch frames included.
+  const SortShape shape{4, 4};
+  constexpr std::size_t kRounds = 24;
+  Xoshiro256 rng(67);
+  std::vector<std::vector<Trit>> rounds;
+  std::vector<Trit> flat;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    rounds.push_back(random_flat(rng, shape));
+    flat.insert(flat.end(), rounds.back().begin(), rounds.back().end());
+  }
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  net::SocketOptions sopt;
+  sopt.loops = 2;
+  UdsLoop loop(sopt, fast_flush());
+  for (int c = 0; c < 4; ++c) {
+    net::SortClient client = loop.client();
+    StatusOr<SortRequest> request =
+        SortRequest::view_batch(shape, kRounds, flat);
+    ASSERT_TRUE(request.ok());
+    StatusOr<SortResponse> response = client.sort_batch(*request);
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok());
+    ASSERT_EQ(response->payload.size(), kRounds * shape.trits());
+    for (std::size_t i = 0; i < kRounds; ++i) {
+      const std::vector<Trit> row(
+          response->payload.begin() +
+              static_cast<std::ptrdiff_t>(i * shape.trits()),
+          response->payload.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * shape.trits()));
+      EXPECT_EQ(row, expect[i]);
+    }
+  }
+  const net::SocketServer::Stats stats = loop.server->stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.batch_requests, 4u);
+  EXPECT_EQ(stats.rounds, 4 * kRounds);
+  // Round-robin dispatch: both loops adopted connections.
+  EXPECT_GT(loop.server->loop_stats(0).accepted +
+                loop.server->loop_stats(0).requests,
+            0u);
+  EXPECT_GT(loop.server->loop_stats(1).requests, 0u);
+}
+
+TEST(SocketServer, UnixPathIsUnlinkedOnStopAndNonSocketRefused) {
+  const std::string path = fresh_uds_path();
+  {
+    ServeOptions vopt;
+    SortService service(vopt);
+    net::SocketOptions sopt;
+    sopt.listen_tcp = false;
+    sopt.unix_path = path;
+    net::SocketServer server(service, sopt);
+    ASSERT_TRUE(server.start().ok());
+    server.stop();
+    // The socket file is gone: a later server can bind the path fresh.
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  }
+  // A non-socket file at the path is never unlinked, it's an error.
+  {
+    const std::string file = fresh_uds_path();
+    FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    ServeOptions vopt;
+    SortService service(vopt);
+    net::SocketOptions sopt;
+    sopt.listen_tcp = false;
+    sopt.unix_path = file;
+    net::SocketServer server(service, sopt);
+    const Status s = server.start();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(::access(file.c_str(), F_OK), 0);  // still there
+    ::unlink(file.c_str());
+  }
+}
+
+// --- connect timeout --------------------------------------------------------
+
+TEST(SortClient, ConnectWithTimeoutSucceedsAgainstLiveServer) {
+  // The bounded-connect path (non-blocking + poll + restore-to-blocking)
+  // must leave a perfectly usable connection behind.
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(71);
+  const std::vector<Trit> round = random_flat(rng, shape);
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, {round});
+
+  Loopback loop({}, fast_flush());
+  StatusOr<net::SortClient> client =
+      net::SortClient::connect("127.0.0.1", loop.server->port(), 2000ms);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  StatusOr<SortResponse> response =
+      client->sort(SortRequest::view(shape, round).value());
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_EQ(response->payload, expect[0]);
+}
+
+TEST(SortClient, ConnectTimesOutAgainstFullBacklog) {
+  // A listener that never accepts, with its backlog pre-filled: further
+  // SYNs are dropped (Linux default) so the connect can only hang — the
+  // timeout must cut it off with kDeadlineExceeded near the budget.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // Fill the accept queue (backlog 1 admits a couple of connections on
+  // Linux; a handful of fillers makes the overflow certain).
+  std::vector<int> fillers;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(50ms);  // let the queue fill
+
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<net::SortClient> client =
+      net::SortClient::connect("127.0.0.1", port, 300ms);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kDeadlineExceeded)
+      << client.status().to_string();
+  EXPECT_GE(elapsed, 250ms);
+  EXPECT_LT(elapsed, 5000ms);  // and it didn't hang anywhere near forever
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(lfd);
+}
+
+TEST(SortClient, ConnectUnixRejectsBadPaths) {
+  EXPECT_EQ(net::SortClient::connect_unix("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::SortClient::connect_unix(std::string(200, 'x'))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // longer than sun_path
+  const StatusOr<net::SortClient> missing =
+      net::SortClient::connect_unix("/tmp/mcsn_no_such_socket_here.sock");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -297,6 +297,254 @@ TEST(Wire, RequestBodyShapeAndSizeMismatchesAreRejected) {
             StatusCode::kDataLoss);
 }
 
+// --- batch frames (wire v2) ---------------------------------------------------
+
+std::vector<Trit> random_batch_flat(Xoshiro256& rng, SortShape shape,
+                                    std::size_t rounds) {
+  std::vector<Trit> flat;
+  flat.reserve(rounds * shape.trits());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::vector<Trit> one = random_flat(rng, shape);
+    flat.insert(flat.end(), one.begin(), one.end());
+  }
+  return flat;
+}
+
+TEST(WireBatch, BatchRequestRoundTripsByteExact) {
+  const std::vector<std::pair<SortShape, std::size_t>> cases = {
+      {{4, 4}, 1}, {{4, 4}, 7}, {{10, 8}, 256}, {{2, 16}, 3}, {{7, 3}, 100}};
+  Xoshiro256 rng(301);
+  for (const auto& [shape, rounds] : cases) {
+    const std::vector<Trit> flat = random_batch_flat(rng, shape, rounds);
+    const SortRequest original =
+        std::move(SortRequest::view_batch(shape, rounds, flat).value());
+    const auto now = Clock::now();
+    const std::vector<std::uint8_t> frame =
+        wire::encode_batch_request(original, now);
+
+    // Batch frames carry the v2 version byte; the type marks them BATCH.
+    EXPECT_EQ(frame[2], wire::kVersionBatch);
+    StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok()) << view.status().to_string();
+    EXPECT_EQ(view->type, wire::FrameType::batch_request);
+    StatusOr<SortRequest> decoded = wire::decode_batch_request(view->body, now);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded->shape, shape);
+    EXPECT_EQ(decoded->rounds, rounds);
+    ASSERT_EQ(decoded->payload.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      ASSERT_EQ(decoded->payload[i], flat[i]) << "trit " << i;
+    }
+    // Canonical: one byte representation (one padding tail for the whole
+    // batch, not one per round).
+    EXPECT_EQ(wire::encode_batch_request(*decoded, now), frame);
+  }
+}
+
+TEST(WireBatch, SingleRoundFramesStayVersion1ForV1Interop) {
+  // A v2 sender's single-round traffic is byte-identical to v1: a v1-only
+  // peer never sees a version byte it cannot handle unless BATCH frames
+  // are actually used.
+  Xoshiro256 rng(303);
+  const SortRequest req =
+      std::move(SortRequest::own(SortShape{4, 4}, random_flat(rng, {4, 4}))
+                    .value());
+  EXPECT_EQ(wire::encode_request(req)[2], wire::kVersionMin);
+  SortResponse rsp;
+  rsp.shape = SortShape{4, 4};
+  rsp.payload = random_flat(rng, rsp.shape);
+  EXPECT_EQ(wire::encode_response(rsp)[2], wire::kVersionMin);
+}
+
+TEST(WireBatch, ValueEncodedBatchRequestRoundTrips) {
+  const SortShape shape{3, 10};
+  const std::vector<std::uint64_t> values = {1023, 0, 512, 7, 99, 1000};
+  std::vector<Trit> flat;
+  for (const std::uint64_t v : values) {
+    const Word w = gray_encode(v, shape.bits);
+    flat.insert(flat.end(), w.begin(), w.end());
+  }
+  SortRequest original =
+      std::move(SortRequest::view_batch(shape, 2, flat).value());
+  original.values_requested = true;
+  const std::vector<std::uint8_t> frame = wire::encode_batch_request(original);
+  // 8 header + 24 fixed + 2 rounds x 3 channels x 8 bytes.
+  EXPECT_EQ(frame.size(), 8u + 24u + 48u);
+
+  const auto view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortRequest> decoded = wire::decode_batch_request(view->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->values_requested);
+  EXPECT_EQ(decoded->rounds, 2u);
+  ASSERT_EQ(decoded->payload.size(), flat.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    ASSERT_EQ(decoded->payload[i], flat[i]);
+  }
+}
+
+TEST(WireBatch, BatchResponseRoundTripsRoundsLatencyAndPayload) {
+  Xoshiro256 rng(307);
+  SortResponse rsp;
+  rsp.shape = SortShape{7, 3};
+  rsp.rounds = 5;
+  rsp.payload = random_batch_flat(rng, rsp.shape, 5);
+  rsp.latency = std::chrono::nanoseconds(98765);
+  const std::vector<std::uint8_t> frame = wire::encode_batch_response(rsp);
+
+  EXPECT_EQ(frame[2], wire::kVersionBatch);
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, wire::FrameType::batch_response);
+  StatusOr<SortResponse> decoded = wire::decode_batch_response(view->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->shape, rsp.shape);
+  EXPECT_EQ(decoded->rounds, 5u);
+  EXPECT_EQ(decoded->latency, std::chrono::nanoseconds(98765));
+  ASSERT_EQ(decoded->payload.size(), rsp.payload.size());
+  for (std::size_t i = 0; i < rsp.payload.size(); ++i) {
+    ASSERT_EQ(decoded->payload[i], rsp.payload[i]);
+  }
+  EXPECT_EQ(wire::encode_batch_response(*decoded), frame);  // byte-exact
+}
+
+TEST(WireBatch, ErrorBatchResponseCarriesStatusAndRounds) {
+  const SortResponse failed =
+      SortResponse::failure(Status::deadline_exceeded("batch expired"),
+                            SortShape{4, 4}, false, 12);
+  const std::vector<std::uint8_t> frame = wire::encode_batch_response(failed);
+  const auto view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortResponse> decoded = wire::decode_batch_response(view->body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->status.message(), "batch expired");
+  EXPECT_EQ(decoded->rounds, 12u);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(WireBatch, TruncatedBatchFramesAreIncompleteAtEveryPrefixLength) {
+  Xoshiro256 rng(311);
+  const SortShape shape{4, 4};
+  const std::vector<Trit> flat = random_batch_flat(rng, shape, 9);
+  const SortRequest req =
+      std::move(SortRequest::view_batch(shape, 9, flat).value());
+  const std::vector<std::uint8_t> frame = wire::encode_batch_request(req);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    // Blocking parse: truncation is data loss.
+    const StatusOr<wire::FrameView> view =
+        wire::parse_frame(std::span(frame.data(), len));
+    ASSERT_FALSE(view.ok()) << "prefix " << len;
+    EXPECT_EQ(view.status().code(), StatusCode::kDataLoss) << "prefix " << len;
+    // Incremental parse: truncation means "keep reading", never an error.
+    StatusOr<std::optional<wire::FrameView>> partial =
+        wire::try_parse_frame(std::span(frame.data(), len));
+    ASSERT_TRUE(partial.ok()) << "prefix " << len;
+    EXPECT_FALSE(partial->has_value()) << "prefix " << len;
+  }
+  EXPECT_TRUE(wire::parse_frame(frame).ok());
+}
+
+TEST(WireBatch, ZeroRoundBatchFrameIsInvalidArgument) {
+  // view_batch refuses rounds == 0 at encode time, so hand-tamper a valid
+  // frame's round count (body offset 20, frame offset 28).
+  Xoshiro256 rng(313);
+  const SortShape shape{4, 4};
+  const std::vector<Trit> flat = random_batch_flat(rng, shape, 2);
+  const SortRequest req =
+      std::move(SortRequest::view_batch(shape, 2, flat).value());
+  ASSERT_FALSE(SortRequest::view_batch(shape, 0, {}).ok());
+  std::vector<std::uint8_t> frame = wire::encode_batch_request(req);
+  frame[wire::kHeaderSize + 20] = 0;
+  frame[wire::kHeaderSize + 21] = 0;
+  const auto view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(wire::decode_batch_request(view->body).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireBatch, RoundCountBodyLengthInconsistencyIsDataLoss) {
+  Xoshiro256 rng(317);
+  const SortShape shape{4, 4};
+  const std::vector<Trit> flat = random_batch_flat(rng, shape, 4);
+  const SortRequest req =
+      std::move(SortRequest::view_batch(shape, 4, flat).value());
+  std::vector<std::uint8_t> frame = wire::encode_batch_request(req);
+  // Claim one more round than the payload carries: well-framed (header
+  // length matches the bytes on the wire) but internally inconsistent.
+  frame[wire::kHeaderSize + 20] = 5;
+  {
+    const auto view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(wire::decode_batch_request(view->body).status().code(),
+              StatusCode::kDataLoss);
+  }
+  // And one fewer: trailing payload bytes the count does not explain.
+  frame[wire::kHeaderSize + 20] = 3;
+  {
+    const auto view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(wire::decode_batch_request(view->body).status().code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(WireBatch, OversizedBatchIsResourceExhaustedAtBothEnds) {
+  // Encode side: view_batch rejects a batch over the API bounds before a
+  // frame is ever built (kMaxBody is unreachable through the encoder).
+  const SortShape shape{4, 4};
+  EXPECT_FALSE(
+      SortRequest::view_batch(shape, kMaxBatchRounds + 1, {}).ok());
+  // Decode side: a hand-built frame claiming a huge round count is
+  // rejected by the bound check before any allocation sized from it.
+  Xoshiro256 rng(331);
+  const std::vector<Trit> flat = random_batch_flat(rng, shape, 2);
+  const SortRequest req =
+      std::move(SortRequest::view_batch(shape, 2, flat).value());
+  std::vector<std::uint8_t> frame = wire::encode_batch_request(req);
+  frame[wire::kHeaderSize + 20] = 0xFF;
+  frame[wire::kHeaderSize + 21] = 0xFF;
+  frame[wire::kHeaderSize + 22] = 0xFF;
+  frame[wire::kHeaderSize + 23] = 0x7F;
+  const auto view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(wire::decode_batch_request(view->body).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(WireBatch, TryParseFrameClassifiesBatchTypesAndVersionMix) {
+  Xoshiro256 rng(337);
+  const SortShape shape{4, 4};
+  const std::vector<Trit> flat = random_batch_flat(rng, shape, 3);
+  const SortRequest req =
+      std::move(SortRequest::view_batch(shape, 3, flat).value());
+  const std::vector<std::uint8_t> frame = wire::encode_batch_request(req);
+
+  // A complete batch frame classifies with its type and exact boundary.
+  std::vector<std::uint8_t> two = frame;
+  two.insert(two.end(), frame.begin(), frame.end());
+  StatusOr<std::optional<wire::FrameView>> whole = wire::try_parse_frame(two);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(whole->has_value());
+  EXPECT_EQ((*whole)->type, wire::FrameType::batch_request);
+  EXPECT_EQ((*whole)->frame_size, frame.size());
+
+  // A batch type under a v1 header is a version violation (a v1 peer
+  // could never have sent it), reported as kUnimplemented immediately.
+  std::vector<std::uint8_t> v1_batch = frame;
+  v1_batch[2] = wire::kVersionMin;
+  EXPECT_EQ(wire::try_parse_frame(v1_batch).status().code(),
+            StatusCode::kUnimplemented);
+
+  // A version above kVersion is from the future: kUnimplemented, not data
+  // loss — the bytes are fine, this decoder is just too old.
+  std::vector<std::uint8_t> v3 = frame;
+  v3[2] = wire::kVersion + 1;
+  EXPECT_EQ(wire::try_parse_frame(v3).status().code(),
+            StatusCode::kUnimplemented);
+}
+
 // --- incremental framing ------------------------------------------------------
 
 TEST(Wire, TryParseFrameDistinguishesIncompleteFromCorrupt) {

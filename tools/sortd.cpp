@@ -27,17 +27,22 @@
 //     frames and response frames back into text — the two ends of a
 //     --framed pipeline, also used by CI to round-trip the binary path.
 //
-//   tool_sortd --listen PORT                      TCP server mode:
-//     serves the same wire frames over a non-blocking socket front-end
-//     (serve/net/socket_server.hpp — epoll on Linux, --poll forces the
-//     portable poll(2) loop). PORT 0 binds an ephemeral port; the bound
-//     address is printed as "listening on HOST:PORT" on stdout so scripts
-//     can scrape it. Serves until SIGINT/SIGTERM, then drains and prints
-//     socket stats + service metrics JSON to stderr. Socket knobs:
-//     --host H (default 127.0.0.1) --max-conns N --conn-inflight N
-//     --idle-timeout-ms T. Unless --max-inflight is given explicitly, the
-//     service backpressure bound is raised to max-conns x conn-inflight so
-//     the event loop never blocks in submit().
+//   tool_sortd --listen PORT                      socket server mode:
+//     serves the same wire frames (BATCH frames included) over a
+//     non-blocking socket front-end (serve/net/socket_server.hpp — epoll
+//     on Linux, --poll forces the portable poll(2) loop). PORT 0 binds an
+//     ephemeral port; each bound endpoint is printed on stdout so scripts
+//     can scrape it: "listening on HOST:PORT" for TCP (the one shared port
+//     even with several SO_REUSEPORT listeners) and "listening on
+//     unix:PATH" for --listen-unix PATH (which also works without
+//     --listen, giving a UDS-only server). Serves until SIGINT/SIGTERM,
+//     then drains and prints socket stats + service metrics JSON to
+//     stderr — socket counters aggregated across every event loop. Socket
+//     knobs: --host H (default 127.0.0.1) --loops N (event-loop threads)
+//     --max-conns N --conn-inflight N (in rounds: a batch frame counts its
+//     round count) --idle-timeout-ms T. Unless --max-inflight is given
+//     explicitly, the service backpressure bound is raised to max-conns x
+//     conn-inflight so the event loops never block in submit().
 //
 // Shared knobs: --channels C --bits B --workers W --window-us U
 //               --max-lanes L --max-inflight N --seed S
@@ -239,9 +244,16 @@ int run_listen(SortService& service, const net::SocketOptions& sopt) {
     std::cerr << "sortd: " << s.to_string() << "\n";
     return 2;
   }
-  // Scrapable by scripts (and the CI smoke): the one stdout line.
-  std::cout << "listening on " << sopt.host << ":" << server.port() << "\n"
-            << std::flush;
+  // Scrapable by scripts (and the CI smoke): one stdout line per bound
+  // endpoint. With SO_REUSEPORT the N TCP listeners share one port, so
+  // one line still identifies the whole TCP endpoint.
+  if (sopt.listen_tcp) {
+    std::cout << "listening on " << sopt.host << ":" << server.port() << "\n";
+  }
+  if (!sopt.unix_path.empty()) {
+    std::cout << "listening on unix:" << sopt.unix_path << "\n";
+  }
+  std::cout << std::flush;
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -249,11 +261,15 @@ int run_listen(SortService& service, const net::SocketOptions& sopt) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.stop();
+  // Aggregated over every event loop (stats() sums the per-loop counters).
   const net::SocketServer::Stats stats = server.stats();
-  std::cerr << "{\"socket\": {\"accepted\": " << stats.accepted
+  std::cerr << "{\"socket\": {\"loops\": " << server.loop_count()
+            << ", \"accepted\": " << stats.accepted
             << ", \"rejected\": " << stats.rejected
             << ", \"closed\": " << stats.closed
             << ", \"requests\": " << stats.requests
+            << ", \"batch_requests\": " << stats.batch_requests
+            << ", \"rounds\": " << stats.rounds
             << ", \"responses\": " << stats.responses
             << ", \"protocol_errors\": " << stats.protocol_errors
             << ", \"idle_closed\": " << stats.idle_closed
@@ -304,9 +320,10 @@ int usage() {
                " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
                " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
                " [--seed S] [--stdin | --framed | --encode-frames |"
-               " --decode-frames | --listen PORT]\n"
-               "       --listen knobs: [--host H] [--max-conns N>=1]"
-               " [--conn-inflight N>=1] [--idle-timeout-ms T>=0] [--poll]\n";
+               " --decode-frames | --listen PORT | --listen-unix PATH]\n"
+               "       server knobs: [--host H] [--loops N>=1]"
+               " [--max-conns N>=1] [--conn-inflight N>=1]"
+               " [--idle-timeout-ms T>=0] [--poll]\n";
   return 2;
 }
 
@@ -355,17 +372,24 @@ int main(int argc, char** argv) {
       max_inflight < 0 ? 0 : static_cast<std::size_t>(max_inflight);
 
   net::SocketOptions sopt;
-  if (args.has("listen")) {
-    const long port = args.get_long_or("listen", -1);
+  const bool serve_sockets = args.has("listen") || args.has("listen-unix");
+  if (serve_sockets) {
     const long max_conns = args.get_long_or("max-conns", 256);
     const long conn_inflight = args.get_long_or("conn-inflight", 64);
     const long idle_ms = args.get_long_or("idle-timeout-ms", 30000);
-    if (port < 0 || port > 65535) {
-      std::cerr << "sortd: --listen needs a port in 0..65535\n";
-      return usage();
+    const long loops = args.get_long_or("loops", 1);
+    sopt.listen_tcp = args.has("listen");
+    if (sopt.listen_tcp) {
+      const long port = args.get_long_or("listen", -1);
+      if (port < 0 || port > 65535) {
+        std::cerr << "sortd: --listen needs a port in 0..65535\n";
+        return usage();
+      }
+      sopt.port = static_cast<std::uint16_t>(port);
     }
+    sopt.unix_path = args.get_or("listen-unix", "");
     sopt.host = args.get_or("host", "127.0.0.1");
-    sopt.port = static_cast<std::uint16_t>(port);
+    sopt.loops = static_cast<int>(loops);
     sopt.max_connections =
         max_conns < 0 ? 0 : static_cast<std::size_t>(max_conns);
     sopt.max_inflight =
@@ -376,7 +400,7 @@ int main(int argc, char** argv) {
       std::cerr << "sortd: " << s.to_string() << "\n";
       return usage();
     }
-    // Provision the service so the event loop never blocks in submit():
+    // Provision the service so the event loops never block in submit():
     // worst case every connection is at its per-connection cap.
     if (!args.has("max-inflight")) {
       opt.max_inflight =
@@ -393,7 +417,7 @@ int main(int argc, char** argv) {
   }
   SortService service(opt);
 
-  if (args.has("listen")) return run_listen(service, sopt);
+  if (serve_sockets) return run_listen(service, sopt);
   if (args.has("framed")) return run_framed(service);
   if (args.has("stdin")) return run_stdin(service, bits);
   return run_load(service, channels, bits, rate, duration_s,
