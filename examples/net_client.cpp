@@ -11,6 +11,14 @@
 //   $ ./tool_sortd --listen-unix /tmp/mcsn.sock &
 //   $ ./example_net_client --unix /tmp/mcsn.sock
 //
+// With --stats the client is a scraper instead: it sends a STATS admin
+// frame (wire v2), validates the reply in BOTH formats, and prints the
+// one picked by --format json|prometheus (default json) on stdout — CI
+// pipes it into scripts/check_metrics.py.
+//
+//   $ ./example_net_client --port P --stats | python3 scripts/check_metrics.py
+//   $ ./example_net_client --port P --stats --format prometheus
+//
 // Exits non-zero on any mismatch, so CI can use it as the socket smoke.
 
 #include <algorithm>
@@ -46,6 +54,51 @@ int main(int argc, char** argv) {
   if (!client.ok()) {
     std::cerr << "connect: " << client.status().to_string() << "\n";
     return 1;
+  }
+
+  // Scraper mode: one STATS round-trip per format. Both renderings come
+  // from the same registry snapshot machinery, so validating both here
+  // catches a format-dispatch bug server-side; only the selected one is
+  // printed (stdout stays pipeable).
+  if (args.has("stats")) {
+    const std::string format = args.get_or("format", "json");
+    if (format != "json" && format != "prometheus") {
+      std::cerr << "example_net_client: --format must be json or prometheus\n";
+      return 2;
+    }
+    StatusOr<wire::StatsReply> json_reply =
+        client->stats(wire::StatsFormat::json);
+    if (!json_reply.ok() || !json_reply->status.ok()) {
+      std::cerr << "stats(json): "
+                << (json_reply.ok() ? json_reply->status : json_reply.status())
+                       .to_string()
+                << "\n";
+      return 1;
+    }
+    if (json_reply->format != wire::StatsFormat::json ||
+        json_reply->text.empty() || json_reply->text.front() != '{') {
+      std::cerr << "stats(json): reply is not a JSON document\n";
+      return 1;
+    }
+    StatusOr<wire::StatsReply> prom_reply =
+        client->stats(wire::StatsFormat::prometheus);
+    if (!prom_reply.ok() || !prom_reply->status.ok()) {
+      std::cerr << "stats(prometheus): "
+                << (prom_reply.ok() ? prom_reply->status : prom_reply.status())
+                       .to_string()
+                << "\n";
+      return 1;
+    }
+    if (prom_reply->format != wire::StatsFormat::prometheus ||
+        prom_reply->text.compare(0, 2, "# ") != 0) {
+      std::cerr << "stats(prometheus): reply is not exposition text\n";
+      return 1;
+    }
+    const std::string& text =
+        format == "json" ? json_reply->text : prom_reply->text;
+    std::cout << text;
+    if (text.empty() || text.back() != '\n') std::cout << "\n";
+    return 0;
   }
 
   // 2. Integer round trip: from_values Gray-encodes on the client; the

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate a scraped observability document from the sort service.
+
+Reads the document from stdin (or a file argument). Two modes:
+
+  check_metrics.py            JSON document, as served for StatsFormat
+                              json: {"metrics": {...}, "slow_requests":
+                              [...]}. Checks the schema, that counters and
+                              gauges are integers, that histogram objects
+                              carry the full summary-stat set, and — the
+                              CI smoke's point — that every per-stage
+                              latency histogram has samples.
+  check_metrics.py --prometheus
+                              Prometheus text exposition: every non-#
+                              line must match the sample grammar, every
+                              sample must be preceded by a # TYPE line for
+                              its metric, and the stage histograms must
+                              report non-zero _count samples.
+
+Exits non-zero listing every violation, so a malformed or empty scrape
+fails CI loudly.
+
+Usage: tool_sortd --listen 0 &  ... load ...
+       example_net_client --port P --stats | scripts/check_metrics.py
+"""
+
+import json
+import re
+import sys
+
+STAGES = (
+    "stage_decode_ns",
+    "stage_queue_ns",
+    "stage_execute_ns",
+    "stage_encode_ns",
+    "stage_write_ns",
+)
+HISTO_KEYS = {"count", "min", "p50", "p90", "p99", "max", "mean"}
+SLOW_KEYS = {
+    "channels", "bits", "rounds", "total_ns", "queue_ns", "execute_ns",
+    "status",
+}
+
+# name or name{k="v",...} followed by a number; \" and \\ stay inside the
+# quoted label value.
+SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$'
+)
+TYPE_LINE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|untyped)$"
+)
+
+
+def check_json(text: str) -> list:
+    errors = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"not valid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    for key in ("metrics", "slow_requests"):
+        if key not in doc:
+            errors.append(f'missing top-level "{key}"')
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return errors + ['"metrics" is not an object']
+
+    for key, value in metrics.items():
+        if isinstance(value, dict):
+            missing = HISTO_KEYS - value.keys()
+            if missing:
+                errors.append(f"{key}: histogram missing {sorted(missing)}")
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{key}: expected integer, got {value!r}")
+
+    for stage in STAGES:
+        histo = metrics.get(stage)
+        if not isinstance(histo, dict):
+            errors.append(f"{stage}: missing stage histogram")
+        elif not histo.get("count"):
+            errors.append(f"{stage}: stage histogram is empty")
+
+    slow = doc.get("slow_requests")
+    if not isinstance(slow, list):
+        errors.append('"slow_requests" is not an array')
+    else:
+        for i, entry in enumerate(slow):
+            if not isinstance(entry, dict) or entry.keys() != SLOW_KEYS:
+                errors.append(f"slow_requests[{i}]: bad entry {entry!r}")
+    return errors
+
+
+def check_prometheus(text: str) -> list:
+    errors = []
+    typed = set()
+    counts = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"line {lineno}: empty line")
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: bad comment line: {line}")
+            else:
+                typed.add(m.group(1))
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: bad sample line: {line}")
+            continue
+        name = m.group(1)
+        # A summary's _sum/_count samples belong to the base metric's TYPE.
+        base = re.sub(r"_(sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            errors.append(f"line {lineno}: sample before any # TYPE: {name}")
+        if name.endswith("_count"):
+            counts[name] = float(line.rsplit(" ", 1)[1])
+    for stage in STAGES:
+        count = counts.get(stage + "_count")
+        if count is None:
+            errors.append(f"{stage}: no _count sample")
+        elif count == 0:
+            errors.append(f"{stage}: stage histogram is empty")
+    return errors
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    prometheus = "--prometheus" in args
+    paths = [a for a in args if a != "--prometheus"]
+    if paths:
+        with open(paths[0], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("check_metrics: empty document", file=sys.stderr)
+        return 1
+    errors = check_prometheus(text) if prometheus else check_json(text)
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    if not errors:
+        mode = "prometheus" if prometheus else "json"
+        print(f"check_metrics: OK ({mode}, {len(text)} bytes)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

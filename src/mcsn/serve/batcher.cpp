@@ -10,6 +10,12 @@ BatchGroup MicroBatcher::drain_shard(Shard& shard, FlushCause cause) {
   group.cause = cause;
   shard.requests.clear();  // moved-from: guarantee a valid empty state
   shard.flat.clear();
+  if (pending_rounds_ != nullptr) {
+    std::size_t rounds = 0;
+    for (const PendingSort& p : group.requests) rounds += p.request.rounds;
+    pending_rounds_->sub(static_cast<std::int64_t>(rounds));
+    open_shards_->sub(1);
+  }
   return group;
 }
 
@@ -32,11 +38,17 @@ MicroBatcher::AddResult MicroBatcher::add(
   // sees its future. A batched request stages all of its rounds at once
   // and counts as that many lanes toward the flush threshold.
   const std::size_t round_trits = pending.request.shape.trits();
+  const std::size_t rounds = pending.request.rounds;
   shard.flat.insert(shard.flat.end(), pending.request.payload.begin(),
                     pending.request.payload.end());
   pending.request.payload = {};
   pending.request.storage.reset();
   shard.requests.push_back(std::move(pending));
+  if (pending_rounds_ != nullptr) {
+    pending_rounds_->add(static_cast<std::int64_t>(rounds));
+    if (result.window_started) open_shards_->add(1);
+    staged_total_->add(rounds);
+  }
   if (round_trits == 0 || shard.flat.size() / round_trits >= max_lanes_) {
     result.full = drain_shard(shard, FlushCause::lane_full);
     result.window_started = false;  // the window closed with the group

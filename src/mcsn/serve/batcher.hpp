@@ -27,6 +27,7 @@
 #include "mcsn/api/sort_api.hpp"
 #include "mcsn/serve/metrics.hpp"
 #include "mcsn/sorter.hpp"
+#include "mcsn/util/metrics_registry.hpp"
 #include "mcsn/util/unique_function.hpp"
 
 namespace mcsn {
@@ -57,8 +58,19 @@ struct BatchGroup {
 
 class MicroBatcher {
  public:
-  MicroBatcher(std::size_t max_lanes, std::chrono::nanoseconds window)
-      : max_lanes_(max_lanes == 0 ? 1 : max_lanes), window_(window) {}
+  /// With a registry, the batcher publishes its live state as
+  /// batcher_pending_rounds / batcher_open_shards gauges and a
+  /// batcher_staged_rounds_total counter (all updated under the mutex it
+  /// already holds).
+  MicroBatcher(std::size_t max_lanes, std::chrono::nanoseconds window,
+               MetricsRegistry* registry = nullptr)
+      : max_lanes_(max_lanes == 0 ? 1 : max_lanes), window_(window) {
+    if (registry != nullptr) {
+      pending_rounds_ = &registry->gauge("batcher_pending_rounds");
+      open_shards_ = &registry->gauge("batcher_open_shards");
+      staged_total_ = &registry->counter("batcher_staged_rounds_total");
+    }
+  }
 
   struct AddResult {
     /// The full group, when this request topped its shard up to max_lanes.
@@ -103,10 +115,14 @@ class MicroBatcher {
     std::chrono::steady_clock::time_point oldest{};
   };
 
-  [[nodiscard]] static BatchGroup drain_shard(Shard& shard, FlushCause cause);
+  [[nodiscard]] BatchGroup drain_shard(Shard& shard, FlushCause cause);
 
   const std::size_t max_lanes_;
   const std::chrono::nanoseconds window_;
+  /// Registry handles (null when constructed without a registry).
+  Gauge* pending_rounds_ = nullptr;
+  Gauge* open_shards_ = nullptr;
+  Counter* staged_total_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::pair<int, std::size_t>, Shard> shards_;
 };

@@ -1,13 +1,21 @@
 #pragma once
-// Service observability: counters, lane-occupancy, and latency quantiles,
-// snapshotted into a plain struct and exported as JSON. The live recorder
-// (ServiceMetrics) is internally synchronized; the snapshot is a value.
+// Service observability, backed by the shared MetricsRegistry
+// (util/metrics_registry.hpp): admission counters are relaxed atomics
+// (no lock on the per-request hot path), latency/occupancy histograms
+// record lock-free, and MetricsSnapshot/json() remain as the historical
+// compatibility view assembled from the registry handles. Also home of
+// the slow-request ring: the top-K slowest requests with per-stage
+// breakdowns, kept with one relaxed load per fast request.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "mcsn/api/status.hpp"
 #include "mcsn/util/histogram.hpp"
+#include "mcsn/util/metrics_registry.hpp"
 
 namespace mcsn {
 
@@ -36,35 +44,87 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string json() const;
 };
 
-class ServiceMetrics {
+/// One slow request as captured by the ring: its shape, size, and where
+/// its latency went (queue = enqueue -> batch flush, execute = flush ->
+/// responses built; the difference to total is completion overhead).
+struct SlowRequest {
+  int channels = 0;
+  std::size_t bits = 0;
+  std::size_t rounds = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t queue_ns = 0;
+  std::uint64_t execute_ns = 0;
+  StatusCode code = StatusCode::kOk;
+};
+
+/// Fixed-size top-K ring of the slowest requests, by total latency.
+/// offer() is designed for the completion path: a request slower than the
+/// current floor takes a mutex; everything else costs one relaxed load.
+/// snapshot() returns the entries sorted slowest-first.
+class SlowRequestRing {
  public:
-  explicit ServiceMetrics(std::size_t max_lanes) { snap_.max_lanes = max_lanes; }
+  explicit SlowRequestRing(std::size_t capacity = 16) : capacity_(capacity) {}
 
-  void on_submitted() {
-    std::lock_guard lock(mu_);
-    ++snap_.submitted;
-  }
-  void on_rejected() {
-    std::lock_guard lock(mu_);
-    ++snap_.rejected;
-  }
+  void offer(const SlowRequest& r) noexcept;
 
-  /// Records one executed batch: `lanes` requests, flushed for `cause`,
-  /// each completed request's latency in `latencies_ns`; `failed` of them
-  /// carried an error status and `expired` (counted separately, not part
-  /// of `failed`) were past their deadline at flush time.
-  void on_batch(std::size_t lanes, FlushCause cause,
-                const Histogram& latencies_ns, std::uint64_t failed,
-                std::uint64_t expired = 0);
+  [[nodiscard]] std::vector<SlowRequest> snapshot() const;
 
-  [[nodiscard]] MetricsSnapshot snapshot() const {
-    std::lock_guard lock(mu_);
-    return snap_;
-  }
+  /// JSON array of entry objects, slowest first; locale-independent.
+  [[nodiscard]] std::string json() const;
 
  private:
+  const std::size_t capacity_;
+  /// Smallest total_ns currently held once the ring is full: the cheap
+  /// pre-filter. 0 while the ring has room (every request qualifies).
+  std::atomic<std::uint64_t> floor_{0};
   mutable std::mutex mu_;
-  MetricsSnapshot snap_;
+  std::vector<SlowRequest> items_;
+};
+
+/// The service's recorder: thin, stable handles into a MetricsRegistry.
+/// on_submitted/on_rejected are single relaxed atomic adds — they sit on
+/// every request admission, where the old mutex showed up in profiles.
+class ServiceMetrics {
+ public:
+  ServiceMetrics(MetricsRegistry& registry, std::size_t max_lanes);
+
+  void on_submitted() noexcept { submitted_.add(); }
+  void on_rejected() noexcept { rejected_.add(); }
+
+  /// Records one executed batch of `lanes` rounds flushed for `cause`;
+  /// `failed` of its requests carried an error status and `expired`
+  /// (counted separately, not part of `failed`) were past their deadline
+  /// at flush time.
+  void on_batch(std::size_t lanes, FlushCause cause, std::uint64_t failed,
+                std::uint64_t expired = 0) noexcept;
+
+  /// Per-request submit -> response latency, in ns.
+  void record_latency(std::uint64_t ns) noexcept { latency_ns_.record(ns); }
+  /// Per-request enqueue -> batch-flush wait, in ns (stage histogram).
+  void record_queue(std::uint64_t ns) noexcept { queue_ns_.record(ns); }
+  /// Per-batch flush -> engine-done time, in ns (stage histogram).
+  void record_execute(std::uint64_t ns) noexcept { execute_ns_.record(ns); }
+
+  /// Compatibility view assembled from the registry handles. Counters are
+  /// read completion-side first, so after a client observed its response
+  /// the snapshot never shows completed ahead of submitted.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::size_t max_lanes_;
+  Counter& submitted_;
+  Counter& completed_;
+  Counter& rejected_;
+  Counter& failed_;
+  Counter& expired_;
+  Counter& batches_;
+  Counter& flush_full_;
+  Counter& flush_window_;
+  Counter& flush_drain_;
+  AtomicHistogram& latency_ns_;
+  AtomicHistogram& batch_lanes_;
+  AtomicHistogram& queue_ns_;
+  AtomicHistogram& execute_ns_;
 };
 
 }  // namespace mcsn

@@ -232,6 +232,52 @@ StatusOr<SortResponse> SortClient::receive() {
   }
 }
 
+Status SortClient::send_stats(wire::StatsFormat format) {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  return write_frame(wire::encode_stats_request(format));
+}
+
+StatusOr<wire::StatsReply> SortClient::receive_stats() {
+  if (fd_ < 0) {
+    return Status::failed_precondition("SortClient: not connected");
+  }
+  for (;;) {
+    StatusOr<std::optional<wire::FrameView>> parsed =
+        wire::try_parse_frame(rbuf_);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->has_value()) {
+      const wire::FrameView view = **parsed;
+      if (view.type != wire::FrameType::stats_response) {
+        return Status::unimplemented("expected a stats response frame");
+      }
+      StatusOr<wire::StatsReply> reply = wire::decode_stats_response(view.body);
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(view.frame_size));
+      return reply;
+    }
+    if (scratch_.empty()) scratch_.resize(kReadChunk);
+    const ssize_t n = ::recv(fd_, scratch_.data(), scratch_.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errno_text("recv"));
+    }
+    if (n == 0) {
+      if (rbuf_.empty()) {
+        return Status::unavailable("connection closed");
+      }
+      return Status::data_loss("connection closed mid-frame");
+    }
+    rbuf_.insert(rbuf_.end(), scratch_.begin(), scratch_.begin() + n);
+  }
+}
+
+StatusOr<wire::StatsReply> SortClient::stats(wire::StatsFormat format) {
+  if (Status s = send_stats(format); !s.ok()) return s;
+  return receive_stats();
+}
+
 StatusOr<SortResponse> SortClient::sort(const SortRequest& request) {
   if (Status s = send(request); !s.ok()) return s;
   return receive();

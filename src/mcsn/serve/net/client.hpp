@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "mcsn/api/sort_api.hpp"
+#include "mcsn/serve/wire.hpp"
 
 namespace mcsn::net {
 
@@ -90,6 +91,22 @@ class SortClient {
 
   /// send_batch() + receive(): one round trip for a whole rounds batch.
   [[nodiscard]] StatusOr<SortResponse> sort_batch(const SortRequest& request);
+
+  /// Writes one STATS request frame (wire v2) asking for the server's
+  /// observability document in `format`. Pipelines with sort sends: the
+  /// matching stats response arrives in send order.
+  [[nodiscard]] Status send_stats(
+      wire::StatsFormat format = wire::StatsFormat::json);
+
+  /// Blocks for the next frame, which must be a stats response (use after
+  /// send_stats with no sort sends in between, or drain sort responses
+  /// first when pipelining). The reply's own status reports server-side
+  /// scrape failures; wire-level corruption surfaces as this call's Status.
+  [[nodiscard]] StatusOr<wire::StatsReply> receive_stats();
+
+  /// send_stats() + receive_stats(): one-call scrape.
+  [[nodiscard]] StatusOr<wire::StatsReply> stats(
+      wire::StatsFormat format = wire::StatsFormat::json);
 
   /// Closes the connection (idempotent; the destructor calls it).
   void close() noexcept;

@@ -32,6 +32,7 @@
 
 #include "mcsn/serve/net/detail.hpp"
 #include "mcsn/serve/wire.hpp"
+#include "mcsn/util/metrics_registry.hpp"
 
 namespace mcsn::net {
 
@@ -228,6 +229,9 @@ std::unique_ptr<Poller> make_poller(bool force_poll, Status& status) {
 struct OwedFrame {
   std::vector<std::uint8_t> bytes;
   std::size_t rounds = 1;
+  /// When the encoded frame was filed for writing — start of the write
+  /// stage (stage_write_ns measures from here to the last byte sent).
+  Clock::time_point enqueued{};
 };
 
 struct Connection : std::enable_shared_from_this<Connection> {
@@ -309,6 +313,14 @@ struct SocketServer::Impl {
   /// no synchronization.
   std::size_t rr_next = 0;
 
+  /// Stage-latency histograms in the service's registry (shared across
+  /// loops; registered by start() before any loop thread spawns):
+  /// decode = wire bytes -> SortRequest, encode = SortResponse -> wire
+  /// bytes, write = frame filed -> last byte sent.
+  AtomicHistogram* decode_ns = nullptr;
+  AtomicHistogram* encode_ns = nullptr;
+  AtomicHistogram* write_ns = nullptr;
+
   Impl(SortService& svc, SocketOptions options)
       : service(svc), opt(std::move(options)) {}
 
@@ -343,10 +355,20 @@ struct SocketServer::Impl {
         std::vector<std::uint8_t>(kReadChunk);
     std::shared_ptr<CompletionSink> sink = std::make_shared<CompletionSink>();
 
-    /// Per-loop counters; SocketServer::stats() aggregates across loops.
-    std::atomic<std::uint64_t> accepted{0}, rejected{0}, closed{0},
-        requests{0}, batch_requests{0}, rounds{0}, responses{0},
-        protocol_errors{0}, idle_closed{0};
+    /// Per-loop counters: handles into the service's MetricsRegistry
+    /// (socket_*_total series labeled loop="<index>"), registered by
+    /// start() before the loop thread spawns. SocketServer::stats()
+    /// aggregates across loops by reading the same handles back.
+    Counter* accepted = nullptr;
+    Counter* rejected = nullptr;
+    Counter* closed = nullptr;
+    Counter* requests = nullptr;
+    Counter* batch_requests = nullptr;
+    Counter* rounds = nullptr;
+    Counter* responses = nullptr;
+    Counter* protocol_errors = nullptr;
+    Counter* idle_closed = nullptr;
+    Counter* stats_requests = nullptr;
 
     [[nodiscard]] bool owns_listener(int fd) const {
       return std::any_of(listeners.begin(), listeners.end(),
@@ -471,7 +493,7 @@ struct SocketServer::Impl {
         if (srv->open_conns.fetch_add(1, std::memory_order_relaxed) >=
             srv->opt.max_connections) {
           srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
-          rejected.fetch_add(1, std::memory_order_relaxed);
+          rejected->add();
           ::close(fd);
           continue;
         }
@@ -486,7 +508,7 @@ struct SocketServer::Impl {
           (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &srv->opt.sndbuf,
                              sizeof srv->opt.sndbuf);
         }
-        accepted.fetch_add(1, std::memory_order_relaxed);
+        accepted->add();
         if (dispatch) {
           Loop* target = srv->next_dispatch_target();
           if (target != this) {
@@ -528,7 +550,7 @@ struct SocketServer::Impl {
       for (const int fd : fds) {
         if (!accepting) {
           srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
-          closed.fetch_add(1, std::memory_order_relaxed);
+          closed->add();
           ::close(fd);
           continue;
         }
@@ -599,15 +621,28 @@ struct SocketServer::Impl {
           break;
         }
         const wire::FrameView view = **parsed;
+        if (view.type == wire::FrameType::stats_request) {
+          // Admin frame: served inline from the loop thread — the stats
+          // document never takes a trip through the batcher, but its
+          // response still queues in sequence order behind the sorts.
+          pos += view.frame_size;
+          serve_stats(conn, view.body);
+          continue;
+        }
         const bool is_batch = view.type == wire::FrameType::batch_request;
         if (view.type != wire::FrameType::request && !is_batch) {
           protocol_error(conn, Status::unimplemented(
                                    "expected a request frame on the server"));
           break;
         }
+        const Clock::time_point decode_start = Clock::now();
         StatusOr<SortRequest> request =
             is_batch ? wire::decode_batch_request(view.body, now)
                      : wire::decode_request(view.body, now);
+        srv->decode_ns->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - decode_start)
+                .count()));
         if (!request.ok()) {
           protocol_error(conn, request.status());
           break;
@@ -627,9 +662,9 @@ struct SocketServer::Impl {
       const std::uint64_t seq = conn.next_seq++;
       const std::size_t weight = std::max<std::size_t>(request.rounds, 1);
       conn.pending_rounds += weight;
-      requests.fetch_add(1, std::memory_order_relaxed);
-      rounds.fetch_add(weight, std::memory_order_relaxed);
-      if (as_batch) batch_requests.fetch_add(1, std::memory_order_relaxed);
+      requests->add();
+      rounds->add(weight);
+      if (as_batch) batch_requests->add();
       {
         std::lock_guard lock(sink->mu);
         ++sink->outstanding;
@@ -645,13 +680,21 @@ struct SocketServer::Impl {
       srv->service.submit(
           std::move(request),
           [self = std::move(self), sink_ref = std::move(sink_ref), seq, weight,
-           as_batch](SortResponse response) {
+           as_batch, encode_ns = srv->encode_ns](SortResponse response) {
+            const Clock::time_point encode_start = Clock::now();
             std::vector<std::uint8_t> frame =
                 as_batch ? wire::encode_batch_response(response)
                          : wire::encode_response(response);
+            const Clock::time_point encoded_at = Clock::now();
+            encode_ns->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    encoded_at - encode_start)
+                    .count()));
             {
               std::lock_guard lock(self->mu);
-              self->done.emplace(seq, OwedFrame{std::move(frame), weight});
+              self->done.emplace(seq,
+                                 OwedFrame{std::move(frame), weight,
+                                           encoded_at});
             }
             std::lock_guard lock(sink_ref->mu);
             sink_ref->dirty.push_back(self);
@@ -663,19 +706,53 @@ struct SocketServer::Impl {
           });
     }
 
+    /// Serves a stats admin frame inline: renders the service's
+    /// observability document in the requested format and files the
+    /// response under the connection's next sequence number (the regular
+    /// drain releases it in order). A malformed stats body is answered
+    /// with an error stats reply — framing is intact, so the connection
+    /// survives.
+    void serve_stats(Connection& conn, std::span<const std::uint8_t> body) {
+      stats_requests->add();
+      wire::StatsReply reply;
+      StatusOr<wire::StatsFormat> format = wire::decode_stats_request(body);
+      if (!format.ok()) {
+        reply.status = format.status();
+      } else {
+        reply.format = *format;
+        reply.text = *format == wire::StatsFormat::prometheus
+                         ? srv->service.stats_prometheus()
+                         : srv->service.stats_json();
+      }
+      const std::uint64_t seq = conn.next_seq++;
+      conn.pending_rounds += 1;
+      {
+        std::lock_guard lock(conn.mu);
+        conn.done.emplace(
+            seq, OwedFrame{wire::encode_stats_response(reply), 1,
+                           Clock::now()});
+      }
+      // File the connection with the sink so the end-of-iteration drain
+      // pumps the response out — same release path completions use, no
+      // wake needed from the loop's own thread.
+      std::lock_guard lock(sink->mu);
+      sink->dirty.push_back(conn.shared_from_this());
+    }
+
     /// Malformed traffic: answer with a Status error frame queued behind
     /// the responses already owed (so ordering still identifies the bad
     /// request), then tear the connection down once everything flushes.
     /// Framing past the bad bytes is unrecoverable, so reading stops here.
     void protocol_error(Connection& conn, Status status) {
-      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors->add();
       const SortResponse error =
           SortResponse::failure(std::move(status), SortShape{1, 1});
       const std::uint64_t seq = conn.next_seq++;
       conn.pending_rounds += 1;
       {
         std::lock_guard lock(conn.mu);
-        conn.done.emplace(seq, OwedFrame{wire::encode_response(error), 1});
+        conn.done.emplace(seq, OwedFrame{wire::encode_response(error), 1,
+                                         Clock::now()});
       }
       conn.teardown = true;
       conn.rbuf.clear();
@@ -751,10 +828,15 @@ struct SocketServer::Impl {
         if (conn.woff == front.bytes.size()) {
           conn.pending_rounds -=
               std::min(front.rounds, conn.pending_rounds);
+          srv->write_ns->record(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(
+                  0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         now - front.enqueued)
+                         .count())));
           conn.wqueue.pop_front();
           conn.woff = 0;
           ++conn.written;
-          responses.fetch_add(1, std::memory_order_relaxed);
+          responses->add();
         }
       }
       finish_if_drained(conn);
@@ -799,7 +881,7 @@ struct SocketServer::Impl {
       for (const int fd : pending_close) {
         ::close(fd);
         conns.erase(fd);
-        closed.fetch_add(1, std::memory_order_relaxed);
+        closed->add();
         srv->open_conns.fetch_sub(1, std::memory_order_relaxed);
       }
       pending_close.clear();
@@ -814,7 +896,7 @@ struct SocketServer::Impl {
       for (auto& [fd, conn] : conns) {
         if (conn->fd < 0) continue;
         if (now - conn->last_activity >= srv->opt.idle_timeout) {
-          idle_closed.fetch_add(1, std::memory_order_relaxed);
+          idle_closed->add();
           schedule_close(*conn);
         }
       }
@@ -824,15 +906,35 @@ struct SocketServer::Impl {
   std::vector<std::unique_ptr<Loop>> loops;
 
   static void add_loop_stats(SocketServer::Stats& s, const Loop& l) {
-    s.accepted += l.accepted.load(std::memory_order_relaxed);
-    s.rejected += l.rejected.load(std::memory_order_relaxed);
-    s.closed += l.closed.load(std::memory_order_relaxed);
-    s.requests += l.requests.load(std::memory_order_relaxed);
-    s.batch_requests += l.batch_requests.load(std::memory_order_relaxed);
-    s.rounds += l.rounds.load(std::memory_order_relaxed);
-    s.responses += l.responses.load(std::memory_order_relaxed);
-    s.protocol_errors += l.protocol_errors.load(std::memory_order_relaxed);
-    s.idle_closed += l.idle_closed.load(std::memory_order_relaxed);
+    if (l.accepted == nullptr) return;  // start() failed before registration
+    s.accepted += l.accepted->value();
+    s.rejected += l.rejected->value();
+    s.closed += l.closed->value();
+    s.requests += l.requests->value();
+    s.batch_requests += l.batch_requests->value();
+    s.rounds += l.rounds->value();
+    s.responses += l.responses->value();
+    s.protocol_errors += l.protocol_errors->value();
+    s.idle_closed += l.idle_closed->value();
+    s.stats_requests += l.stats_requests->value();
+  }
+
+  /// Registers one loop's counters in the service registry, labeled with
+  /// the loop index so per-loop load stays visible in the exposition.
+  static void register_loop_series(Loop& loop, MetricsRegistry& reg) {
+    const MetricsRegistry::Labels labels{
+        {"loop", std::to_string(loop.index)}};
+    loop.accepted = &reg.counter("socket_accepted_total", labels);
+    loop.rejected = &reg.counter("socket_rejected_total", labels);
+    loop.closed = &reg.counter("socket_closed_total", labels);
+    loop.requests = &reg.counter("socket_requests_total", labels);
+    loop.batch_requests = &reg.counter("socket_batch_requests_total", labels);
+    loop.rounds = &reg.counter("socket_rounds_total", labels);
+    loop.responses = &reg.counter("socket_responses_total", labels);
+    loop.protocol_errors =
+        &reg.counter("socket_protocol_errors_total", labels);
+    loop.idle_closed = &reg.counter("socket_idle_closed_total", labels);
+    loop.stats_requests = &reg.counter("socket_stats_requests_total", labels);
   }
 
   /// Next loop for shared-acceptor dispatch (called only from the loop
@@ -852,12 +954,18 @@ struct SocketServer::Impl {
     }
     if (Status s = opt.validate(); !s.ok()) return s;
 
+    MetricsRegistry& reg = service.registry();
+    decode_ns = &reg.histogram("stage_decode_ns");
+    encode_ns = &reg.histogram("stage_encode_ns");
+    write_ns = &reg.histogram("stage_write_ns");
+
     const std::size_t n = static_cast<std::size_t>(opt.loops);
     loops.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       auto loop = std::make_unique<Loop>();
       loop->srv = this;
       loop->index = i;
+      register_loop_series(*loop, reg);
       Status poller_status;
       loop->poller = make_poller(opt.force_poll, poller_status);
       if (!poller_status.ok()) return poller_status;

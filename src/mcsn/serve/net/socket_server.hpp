@@ -24,6 +24,12 @@
 // single batch response frame — amortizing header, syscall and completion
 // cost across all of its rounds.
 //
+// STATS frames (wire v2) are admin requests answered directly from the
+// event loop — the observability document (service registry + slow-request
+// ring) is rendered inline and the response queued behind the responses
+// already owed, so scrapes never take a trip through the batcher yet still
+// respect per-connection ordering and flow control.
+//
 // Scaling: SocketOptions::loops spins up N event-loop threads, each with
 // its own poller instance, self-pipe and connection table. On Linux the
 // TCP listener is replicated per loop with SO_REUSEPORT (the kernel
@@ -164,7 +170,9 @@ class SocketServer {
   /// port). 0 when TCP is disabled. Valid after a successful start().
   [[nodiscard]] std::uint16_t port() const noexcept;
 
-  /// Cumulative counters, updated by the loop threads, readable anytime.
+  /// Cumulative counters, read back from the service's MetricsRegistry
+  /// (each loop records into socket_*_total series labeled loop="i";
+  /// this struct is the historical compatibility view).
   struct Stats {
     std::uint64_t accepted = 0;         ///< connections accepted
     std::uint64_t rejected = 0;         ///< accepts over max_connections
@@ -176,6 +184,7 @@ class SocketServer {
     std::uint64_t responses = 0;        ///< response frames fully written
     std::uint64_t protocol_errors = 0;  ///< malformed frames answered
     std::uint64_t idle_closed = 0;      ///< idle-timeout teardowns
+    std::uint64_t stats_requests = 0;   ///< stats admin frames served
   };
   /// Aggregated across every loop (each loop keeps its own counters; this
   /// sums them — never just loop 0's view).

@@ -34,6 +34,7 @@ ServeOptions sanitize(ServeOptions opt) {
   } else {
     batch.threads = 1;
   }
+  if (!opt.registry) opt.registry = std::make_shared<MetricsRegistry>();
   return opt;
 }
 
@@ -65,10 +66,10 @@ Status ServeOptions::validate() const {
 
 SortService::SortService(ServeOptions opt)
     : opt_(sanitize(std::move(opt))),
-      pool_(opt_.sorter),
-      batcher_(opt_.max_lanes, opt_.flush_window),
+      pool_(opt_.sorter, opt_.registry.get()),
+      batcher_(opt_.max_lanes, opt_.flush_window, opt_.registry.get()),
       ready_(opt_.ready_capacity),
-      metrics_(opt_.max_lanes) {
+      metrics_(*opt_.registry, opt_.max_lanes) {
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i) {
     workers_.emplace_back(&SortService::worker_loop, this);
@@ -348,18 +349,37 @@ void SortService::execute(BatchGroup group) {
   // occupancy is measured in rounds (what actually fills engine lanes);
   // failed/expired stay per-request.
   const auto done_at = Clock::now();
-  Histogram latencies;
-  if (run_status.ok()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (expired[i]) continue;
-      latencies.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              done_at - group.requests[i].enqueued)
-              .count()));
-    }
+  const auto since_ns = [](Clock::time_point from, Clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::max<std::int64_t>(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                   .count()));
+  };
+  const std::uint64_t execute_ns = since_ns(flushed_at, done_at);
+  if (n_live > 0) metrics_.record_execute(execute_ns);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PendingSort& pending = group.requests[i];
+    const std::uint64_t queue_ns = since_ns(pending.enqueued, flushed_at);
+    const std::uint64_t total_ns = since_ns(pending.enqueued, done_at);
+    metrics_.record_queue(queue_ns);
+    if (!expired[i] && run_status.ok()) metrics_.record_latency(total_ns);
+    SlowRequest slow;
+    slow.channels = pending.request.shape.channels;
+    slow.bits = pending.request.shape.bits;
+    slow.rounds = pending.request.rounds;
+    slow.total_ns = total_ns;
+    slow.queue_ns = queue_ns;
+    slow.execute_ns = expired[i] ? 0 : execute_ns;
+    slow.code = expired[i] ? StatusCode::kDeadlineExceeded
+                           : run_status.code();
+    slow_ring_.offer(slow);
   }
-  metrics_.on_batch(total_rounds, group.cause, latencies,
-                    run_status.ok() ? 0 : n_live, n_expired);
+  metrics_.on_batch(total_rounds, group.cause, run_status.ok() ? 0 : n_live,
+                    n_expired);
+  if (n_live > 0 && run_status.ok()) {
+    pool_.record_batch(group.sorter->channels(), group.sorter->bits(),
+                       live_rounds, execute_ns);
+  }
 
   std::size_t live_offset = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -387,6 +407,19 @@ void SortService::execute(BatchGroup group) {
     pending.done(std::move(response));
   }
   release_inflight(total_rounds);
+}
+
+std::string SortService::stats_json() const {
+  std::string out = "{\"metrics\": ";
+  out += opt_.registry->json();
+  out += ", \"slow_requests\": ";
+  out += slow_ring_.json();
+  out += "}";
+  return out;
+}
+
+std::string SortService::stats_prometheus() const {
+  return opt_.registry->prometheus();
 }
 
 void SortService::publish_ready(BatchGroup group) {

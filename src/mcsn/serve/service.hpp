@@ -81,6 +81,13 @@ struct ServeOptions {
   /// slicing of huge netlists.
   McSorterOptions sorter;
 
+  /// The metrics registry every serving layer (service, batcher, sorter
+  /// pool, and a socket front-end built on this service) registers into.
+  /// The constructor creates one when left null; set it to share a
+  /// registry across services or to scrape it independently. Shared
+  /// registries share same-named series (counters merge).
+  std::shared_ptr<MetricsRegistry> registry;
+
   /// Checks every knob and reports *all* out-of-range values in one
   /// kInvalidArgument status instead of silently clamping them. CLI
   /// front-ends call this so bad flags error out; the SortService
@@ -150,6 +157,23 @@ class SortService {
   [[nodiscard]] std::string metrics_json() const {
     return metrics_.snapshot().json();
   }
+  /// The registry this service records into (options().registry; never
+  /// null after construction). Scrape it directly or register additional
+  /// series — handles stay valid for the service's lifetime.
+  [[nodiscard]] MetricsRegistry& registry() const noexcept {
+    return *opt_.registry;
+  }
+  /// Top-K slowest requests with per-stage breakdowns; snapshot any time.
+  [[nodiscard]] const SlowRequestRing& slow_requests() const noexcept {
+    return slow_ring_;
+  }
+  /// Full observability document: {"metrics": <registry JSON>,
+  /// "slow_requests": [...]} — what the wire stats frame and tool_sortd
+  /// dumps serve. Locale-independent.
+  [[nodiscard]] std::string stats_json() const;
+  /// Registry in Prometheus text exposition (the slow-request ring is
+  /// JSON-only; it has no natural Prometheus shape).
+  [[nodiscard]] std::string stats_prometheus() const;
   /// The sanitized options this service actually runs with (clamps
   /// applied); const and safe from any thread.
   [[nodiscard]] const ServeOptions& options() const noexcept { return opt_; }
@@ -180,6 +204,7 @@ class SortService {
   MicroBatcher batcher_;
   BoundedQueue<BatchGroup> ready_;
   ServiceMetrics metrics_;
+  SlowRequestRing slow_ring_;
 
   // Guards the submit-vs-stop race: submit holds it shared across
   // admission-check + batcher add + ready push; stop takes it exclusive to

@@ -1,6 +1,18 @@
 #include "mcsn/serve/sorter_pool.hpp"
 
+#include <chrono>
+#include <string>
+
 namespace mcsn {
+
+namespace {
+
+MetricsRegistry::Labels shape_labels(int channels, std::size_t bits) {
+  return {{"channels", std::to_string(channels)},
+          {"bits", std::to_string(bits)}};
+}
+
+}  // namespace
 
 std::shared_ptr<const McSorter> SorterPool::acquire(int channels,
                                                     std::size_t bits) {
@@ -20,6 +32,7 @@ std::shared_ptr<const McSorter> SorterPool::acquire(int channels,
     }
   }
   if (builder) {
+    const auto start = std::chrono::steady_clock::now();
     try {
       building.set_value(
           std::make_shared<const McSorter>(channels, bits, opt_));
@@ -27,9 +40,41 @@ std::shared_ptr<const McSorter> SorterPool::acquire(int channels,
       building.set_exception(std::current_exception());
       std::lock_guard lock(mu_);
       cache_.erase(key);  // don't cache the failure; waiters still see it
+      return entry.get();
+    }
+    if (registry_ != nullptr) {
+      const auto build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+      const auto labels = shape_labels(channels, bits);
+      registry_->gauge("pool_build_ns", labels).set(build_ns);
+      ShapeSeries series;
+      series.batches = &registry_->counter("pool_batches_total", labels);
+      series.rounds = &registry_->counter("pool_rounds_total", labels);
+      series.execute_ns = &registry_->histogram("pool_execute_ns", labels);
+      std::lock_guard lock(mu_);
+      series_.emplace(key, series);
+      registry_->gauge("pool_shapes")
+          .set(static_cast<std::int64_t>(series_.size()));
     }
   }
   return entry.get();
+}
+
+void SorterPool::record_batch(int channels, std::size_t bits,
+                              std::size_t rounds,
+                              std::uint64_t execute_ns) noexcept {
+  if (registry_ == nullptr) return;
+  ShapeSeries series;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = series_.find(Key{channels, bits});
+    if (it == series_.end()) return;
+    series = it->second;
+  }
+  series.batches->add();
+  series.rounds->add(rounds);
+  series.execute_ns->record(execute_ns);
 }
 
 std::size_t SorterPool::size() const {

@@ -6,8 +6,15 @@
 // Concurrency: the first thread to request a shape builds it outside the
 // map lock; others requesting the same shape wait on a shared_future, and
 // requests for *other* shapes are never stalled by an in-flight build.
+//
+// With a registry, the pool publishes one labeled series family per shape
+// (pool_batches_total / pool_rounds_total / pool_execute_ns, all labeled
+// {channels="C",bits="B"}), a pool_build_ns gauge per shape (one-shot
+// compile cost), and a pool_shapes gauge — the per-shape view the flat
+// service counters can't give.
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
@@ -15,12 +22,15 @@
 #include <utility>
 
 #include "mcsn/sorter.hpp"
+#include "mcsn/util/metrics_registry.hpp"
 
 namespace mcsn {
 
 class SorterPool {
  public:
-  explicit SorterPool(McSorterOptions opt = {}) : opt_(std::move(opt)) {}
+  explicit SorterPool(McSorterOptions opt = {},
+                      MetricsRegistry* registry = nullptr)
+      : opt_(std::move(opt)), registry_(registry) {}
 
   /// The pooled sorter for (channels, bits), building it on first use.
   /// Throws (and leaves no cache entry) if construction fails, e.g. on a
@@ -29,6 +39,12 @@ class SorterPool {
   [[nodiscard]] std::shared_ptr<const McSorter> acquire(int channels,
                                                         std::size_t bits);
 
+  /// Records one executed batch of `rounds` lanes for this shape: bumps
+  /// the shape's batch/round counters and its execute-latency histogram.
+  /// No-op without a registry or for a shape never acquired.
+  void record_batch(int channels, std::size_t bits, std::size_t rounds,
+                    std::uint64_t execute_ns) noexcept;
+
   /// Number of distinct shapes built or building.
   [[nodiscard]] std::size_t size() const;
 
@@ -36,9 +52,18 @@ class SorterPool {
   using Key = std::pair<int, std::size_t>;
   using Entry = std::shared_future<std::shared_ptr<const McSorter>>;
 
+  /// Registry handles for one shape, created when its build starts.
+  struct ShapeSeries {
+    Counter* batches = nullptr;
+    Counter* rounds = nullptr;
+    AtomicHistogram* execute_ns = nullptr;
+  };
+
   McSorterOptions opt_;
+  MetricsRegistry* registry_ = nullptr;
   mutable std::mutex mu_;
   std::map<Key, Entry> cache_;
+  std::map<Key, ShapeSeries> series_;
 };
 
 }  // namespace mcsn

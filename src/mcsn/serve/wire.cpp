@@ -98,6 +98,9 @@ std::uint8_t version_for(FrameType type) {
     case FrameType::batch_request:
     case FrameType::batch_response:
       return kVersionBatch;
+    case FrameType::stats_request:
+    case FrameType::stats_response:
+      return kVersionStats;
     case FrameType::request:
     case FrameType::response:
       break;
@@ -139,12 +142,13 @@ StatusOr<Header> parse_header(std::span<const std::uint8_t> bytes) {
   }
   const std::uint8_t type = bytes[3];
   if (type < static_cast<std::uint8_t>(FrameType::request) ||
-      type > static_cast<std::uint8_t>(FrameType::batch_response)) {
+      type > static_cast<std::uint8_t>(FrameType::stats_response)) {
     return Status::unimplemented("unknown frame type " + std::to_string(type));
   }
   if (version < version_for(static_cast<FrameType>(type))) {
-    // A batch type under a version-1 header: no v1 encoder produces it,
-    // so it is corrupt or a confused peer — either way unsupported.
+    // A batch or stats type under a version-1 header: no v1 encoder
+    // produces it, so it is corrupt or a confused peer — either way
+    // unsupported.
     return Status::unimplemented(
         "frame type " + std::to_string(type) + " requires wire version " +
         std::to_string(version_for(static_cast<FrameType>(type))));
@@ -173,6 +177,8 @@ constexpr std::size_t kRequestFixed = 20;   // channels..deadline
 constexpr std::size_t kResponseFixed = 28;  // status..message length
 constexpr std::size_t kBatchRequestFixed = 24;   // channels..round count
 constexpr std::size_t kBatchResponseFixed = 32;  // status..message length
+constexpr std::size_t kStatsRequestSize = 4;     // format — the whole body
+constexpr std::size_t kStatsResponseFixed = 12;  // status..message length
 
 /// Shared bound check for decoded batch round counts: nonzero and inside
 /// the API batch limits (which also keep every encodable batch frame
@@ -318,6 +324,78 @@ std::vector<std::uint8_t> encode_batch_response(const SortResponse& response) {
     }
   }
   return finish_frame(FrameType::batch_response, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_stats_request(StatsFormat format) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, static_cast<std::uint32_t>(format));
+  return finish_frame(FrameType::stats_request, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_stats_response(const StatsReply& reply) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, static_cast<std::uint32_t>(reply.status.code()));
+  put_u32(body, static_cast<std::uint32_t>(reply.format));
+  const std::string& message = reply.status.message();
+  put_u32(body, static_cast<std::uint32_t>(message.size()));
+  body.insert(body.end(), message.begin(), message.end());
+  if (reply.status.ok()) {
+    body.insert(body.end(), reply.text.begin(), reply.text.end());
+  }
+  return finish_frame(FrameType::stats_response, std::move(body));
+}
+
+StatusOr<StatsFormat> decode_stats_request(std::span<const std::uint8_t> body) {
+  if (body.size() != kStatsRequestSize) {
+    return Status::data_loss("stats request body of " +
+                             std::to_string(body.size()) +
+                             " bytes, expected " +
+                             std::to_string(kStatsRequestSize));
+  }
+  const std::uint32_t format = get_u32(body.data());
+  if (format > static_cast<std::uint32_t>(StatsFormat::prometheus)) {
+    return Status::unimplemented("unknown stats format " +
+                                 std::to_string(format));
+  }
+  return static_cast<StatsFormat>(format);
+}
+
+StatusOr<StatsReply> decode_stats_response(
+    std::span<const std::uint8_t> body) {
+  if (body.size() < kStatsResponseFixed) {
+    return Status::data_loss("stats response body truncated (" +
+                             std::to_string(body.size()) + " bytes)");
+  }
+  const std::uint32_t code = get_u32(body.data());
+  if (code > static_cast<std::uint32_t>(StatusCode::kInternal)) {
+    return Status::unimplemented("unknown status code " + std::to_string(code));
+  }
+  const std::uint32_t format = get_u32(body.data() + 4);
+  if (format > static_cast<std::uint32_t>(StatsFormat::prometheus)) {
+    return Status::unimplemented("unknown stats format " +
+                                 std::to_string(format));
+  }
+  const std::uint32_t message_len = get_u32(body.data() + 8);
+  if (body.size() < kStatsResponseFixed + message_len) {
+    return Status::data_loss("stats response message truncated");
+  }
+  StatsReply reply;
+  reply.format = static_cast<StatsFormat>(format);
+  reply.status = Status(
+      static_cast<StatusCode>(code),
+      std::string(
+          reinterpret_cast<const char*>(body.data() + kStatsResponseFixed),
+          message_len));
+  const std::span<const std::uint8_t> text =
+      body.subspan(kStatsResponseFixed + message_len);
+  if (!reply.status.ok()) {
+    if (!text.empty()) {
+      return Status::data_loss("error stats response carries a document");
+    }
+    return reply;
+  }
+  reply.text.assign(reinterpret_cast<const char*>(text.data()), text.size());
+  return reply;
 }
 
 StatusOr<FrameView> parse_frame(std::span<const std::uint8_t> bytes) {

@@ -58,6 +58,20 @@
 //   32+M   ...   payload for all R rounds (same encodings as the batch
 //                request; empty unless status == ok)
 //
+// Stats request body (type 5, version >= 2) — admin frame asking the
+// server for its live observability document; answered from the event
+// loop without a trip through the batcher:
+//   0      4     format (0 = JSON, 1 = Prometheus text)
+//   (exactly 4 bytes; anything else is kDataLoss)
+//
+// Stats response body (type 6, version >= 2):
+//   0      4     status code
+//   4      4     format (echo of the request's)
+//   8      4     status message length M
+//   12     M     status message (UTF-8)
+//   12+M   ...   stats document (UTF-8 text in the requested format;
+//                empty unless status == ok)
+//
 // Versioning: encoders emit the lowest version that can represent the
 // frame — single-round frames (types 1/2) stay version 1, byte-identical
 // to what a v1 peer produces and accepts; batch frames (types 3/4) carry
@@ -96,6 +110,8 @@ inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::uint8_t kVersionMin = 1;
 /// First version with batch frame types (3/4).
 inline constexpr std::uint8_t kVersionBatch = 2;
+/// First version with stats admin frame types (5/6).
+inline constexpr std::uint8_t kVersionStats = 2;
 /// Fixed frame header: magic(2) + version(1) + type(1) + body length(4).
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a body a decoder will accept; a corrupt length prefix
@@ -103,12 +119,21 @@ inline constexpr std::size_t kHeaderSize = 8;
 inline constexpr std::size_t kMaxBody = std::size_t{1} << 24;
 
 /// Header byte 3. Values are wire-stable: append, never renumber. The
-/// batch types require a version >= kVersionBatch header.
+/// batch types require a version >= kVersionBatch header; the stats
+/// admin types a version >= kVersionStats header.
 enum class FrameType : std::uint8_t {
   request = 1,
   response = 2,
   batch_request = 3,
   batch_response = 4,
+  stats_request = 5,
+  stats_response = 6,
+};
+
+/// Exposition format carried by stats frames (body field, wire-stable).
+enum class StatsFormat : std::uint32_t {
+  json = 0,
+  prometheus = 1,
 };
 
 /// Body flag bit 0: the payload carries u64 integer values (bits <= 64)
@@ -145,6 +170,23 @@ inline constexpr std::uint32_t kFlagValues = 1u << 0;
 /// value-encoding fallback rules as encode_response.
 [[nodiscard]] std::vector<std::uint8_t> encode_batch_response(
     const SortResponse& response);
+
+/// A decoded stats response: the status of the scrape, the echoed format,
+/// and (on ok) the stats document text.
+struct StatsReply {
+  Status status;
+  StatsFormat format = StatsFormat::json;
+  std::string text;
+};
+
+/// One version-2 stats request frame asking for `format`.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request(
+    StatsFormat format);
+
+/// One version-2 stats response frame. On a non-ok status the document
+/// text is omitted (an error response never carries a payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_response(
+    const StatsReply& reply);
 
 // --- decoding ---------------------------------------------------------------
 
@@ -196,6 +238,18 @@ struct FrameView {
 
 /// Decodes a batch response body (frame type batch_response).
 [[nodiscard]] StatusOr<SortResponse> decode_batch_response(
+    std::span<const std::uint8_t> body);
+
+/// Decodes a stats request body (frame type stats_request). Rejects any
+/// body that is not exactly the 4-byte format field (kDataLoss) and
+/// formats this build doesn't know (kUnimplemented).
+[[nodiscard]] StatusOr<StatsFormat> decode_stats_request(
+    std::span<const std::uint8_t> body);
+
+/// Decodes a stats response body (frame type stats_response). A non-ok
+/// reply carrying document text is kDataLoss, mirroring the sort
+/// responses' error-payload rule.
+[[nodiscard]] StatusOr<StatsReply> decode_stats_response(
     std::span<const std::uint8_t> body);
 
 // --- stream framing ---------------------------------------------------------

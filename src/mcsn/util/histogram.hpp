@@ -43,6 +43,11 @@ class Histogram {
   [[nodiscard]] std::string json(double unit = 1.0) const;
 
  private:
+  // AtomicHistogram (util/metrics_registry.hpp) shares this exact bucket
+  // layout so its lock-free recordings snapshot into a plain Histogram
+  // without translation.
+  friend class AtomicHistogram;
+
   // Buckets 0..7 hold values 0..7 exactly; above that, 8 sub-buckets per
   // binary order of magnitude: value with bit width e >= 4 lands in
   // 8 + (e - 4) * 8 + (next 3 bits below the leading bit).

@@ -1,0 +1,267 @@
+// Tests for the observability subsystem: the registry primitives
+// (Counter, Gauge, AtomicHistogram), series identity and exposition
+// (JSON + Prometheus text), and the serve-layer slow-request ring.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcsn/serve/metrics.hpp"
+#include "mcsn/util/metrics_registry.hpp"
+
+namespace mcsn {
+namespace {
+
+TEST(Counter, StartsAtZeroAndSumsAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsNeverLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddSubRoundTrip) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(AtomicHistogram, EmptySnapshotIsSafe) {
+  const AtomicHistogram h;
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.min(), 0u);
+  EXPECT_EQ(snap.max(), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.quantile(0.99), 0u);
+}
+
+TEST(AtomicHistogram, SnapshotMatchesPlainHistogram) {
+  AtomicHistogram atomic;
+  Histogram plain;
+  const std::vector<std::uint64_t> values{0,  1,    7,      8,      9,
+                                          63, 1000, 123456, 7890123};
+  for (const std::uint64_t v : values) {
+    atomic.record(v);
+    plain.record(v);
+  }
+  const Histogram snap = atomic.snapshot();
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_EQ(snap.min(), plain.min());
+  EXPECT_EQ(snap.max(), plain.max());
+  EXPECT_EQ(snap.mean(), plain.mean());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(snap.quantile(q), plain.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(AtomicHistogram, ConcurrentRecordsKeepCountSumAndExtrema) {
+  AtomicHistogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * kPerThread + i + 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), kThreads * kPerThread);
+  EXPECT_EQ(snap.min(), 1u);
+  EXPECT_EQ(snap.max(), kThreads * kPerThread);
+  // Mean of 1..N is (N+1)/2; the log buckets do not affect sum/count.
+  EXPECT_DOUBLE_EQ(snap.mean(), (kThreads * kPerThread + 1) / 2.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total");
+  Counter& b = reg.counter("hits_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Gauge& g1 = reg.gauge("depth");
+  Gauge& g2 = reg.gauge("depth");
+  EXPECT_EQ(&g1, &g2);
+  AtomicHistogram& h1 = reg.histogram("lat_ns");
+  AtomicHistogram& h2 = reg.histogram("lat_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishSeriesAndOrderIsCanonical) {
+  MetricsRegistry reg;
+  Counter& loop0 = reg.counter("reqs_total", {{"loop", "0"}});
+  Counter& loop1 = reg.counter("reqs_total", {{"loop", "1"}});
+  EXPECT_NE(&loop0, &loop1);
+  // Label order must not create a second series: {a,b} == {b,a}.
+  Counter& ab = reg.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = reg.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+}
+
+TEST(MetricsRegistry, SameNameDifferentKindAreDistinctSlots) {
+  // Degenerate but must not alias or crash: the kind participates in
+  // series identity.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("clash");
+  Gauge& g = reg.gauge("clash");
+  c.add(7);
+  g.set(-7);
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(reg.snapshot().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry reg;
+  (void)reg.counter("zz_total");
+  (void)reg.gauge("aa");
+  (void)reg.counter("mm_total", {{"loop", "1"}});
+  (void)reg.counter("mm_total", {{"loop", "0"}});
+  const std::vector<MetricsRegistry::Series> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].key(), "aa");
+  EXPECT_EQ(snap[1].key(), "mm_total{loop=\"0\"}");
+  EXPECT_EQ(snap[2].key(), "mm_total{loop=\"1\"}");
+  EXPECT_EQ(snap[3].key(), "zz_total");
+}
+
+TEST(MetricsRegistry, JsonExposesAllKindsWithExactKeys) {
+  MetricsRegistry reg;
+  reg.counter("requests_total").add(5);
+  reg.gauge("queue_depth").set(-3);
+  reg.histogram("stage_ns").record(7);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"requests_total\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth\": -3"), std::string::npos) << json;
+  // One sample: every summary stat equals it.
+  EXPECT_NE(json.find("\"stage_ns\": {\"count\": 1, \"min\": 7, \"p50\": 7, "
+                      "\"p90\": 7, \"p99\": 7, \"max\": 7, \"mean\": 7}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistry, JsonEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("odd_total", {{"tag", "a\"b\\c\nd"}}).add(1);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("odd_total{tag=\\\"a\\\\\\\"b\\\\\\\\c\\\\nd\\\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistry, PrometheusExpositionHasTypesAndSummaries) {
+  MetricsRegistry reg;
+  reg.counter("requests_total", {{"loop", "0"}}).add(5);
+  reg.gauge("queue_depth").set(2);
+  AtomicHistogram& h = reg.histogram("stage_ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const std::string text = reg.prometheus();
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{loop=\"0\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\nqueue_depth 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE stage_ns summary\n"), std::string::npos);
+  EXPECT_NE(text.find("stage_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("stage_ns{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("stage_ns_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("stage_ns_count 100\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(SlowRequestRing, KeepsTopKByTotalLatencySortedDescending) {
+  SlowRequestRing ring(4);
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    SlowRequest r;
+    r.channels = static_cast<int>(t);
+    r.total_ns = t * 100;
+    ring.offer(r);
+  }
+  const std::vector<SlowRequest> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].total_ns, 2000u);
+  EXPECT_EQ(snap[1].total_ns, 1900u);
+  EXPECT_EQ(snap[2].total_ns, 1800u);
+  EXPECT_EQ(snap[3].total_ns, 1700u);
+  // A request at/below the floor must not evict anything.
+  SlowRequest fast;
+  fast.total_ns = 1;
+  ring.offer(fast);
+  EXPECT_EQ(ring.snapshot().back().total_ns, 1700u);
+}
+
+TEST(SlowRequestRing, JsonListsEntriesWithStageBreakdown) {
+  SlowRequestRing ring(2);
+  SlowRequest r;
+  r.channels = 10;
+  r.bits = 8;
+  r.rounds = 3;
+  r.total_ns = 5000;
+  r.queue_ns = 1500;
+  r.execute_ns = 3000;
+  r.code = StatusCode::kDeadlineExceeded;
+  ring.offer(r);
+  const std::string json = ring.json();
+  EXPECT_NE(json.find("\"channels\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bits\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rounds\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_ns\": 5000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_ns\": 1500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"execute_ns\": 3000"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_EQ(SlowRequestRing(4).json(), "[]");
+}
+
+TEST(ServiceMetrics, SnapshotCompatViewMatchesRegistrySeries) {
+  MetricsRegistry reg;
+  ServiceMetrics m(reg, 16);
+  m.on_submitted();
+  m.on_submitted();
+  m.on_rejected();
+  m.record_latency(1000);
+  m.on_batch(8, FlushCause::window, /*failed=*/0, /*expired=*/1);
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.flush_window, 1u);
+  EXPECT_EQ(snap.expired, 1u);
+  EXPECT_EQ(snap.max_lanes, 16u);
+  EXPECT_EQ(snap.latency_ns.count(), 1u);
+  EXPECT_EQ(snap.batch_lanes.count(), 1u);
+  // The same numbers must be visible through the shared registry.
+  EXPECT_EQ(reg.counter("serve_submitted_total").value(), 2u);
+  EXPECT_EQ(reg.counter("serve_flush_total", {{"cause", "window"}}).value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace mcsn

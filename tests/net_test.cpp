@@ -1060,5 +1060,187 @@ TEST(SortClient, ConnectUnixRejectsBadPaths) {
   EXPECT_EQ(missing.status().code(), StatusCode::kUnavailable);
 }
 
+// --- stats admin frames ------------------------------------------------------
+
+TEST(SocketServer, LiveStatsScrapeDuringPipelinedLoad) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(51);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 64; ++i) rounds.push_back(random_flat(rng, shape));
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  for (const std::vector<Trit>& r : rounds) {
+    ASSERT_TRUE(client.send(SortRequest::view(shape, r).value()).ok());
+  }
+  // Scrape from a second connection while the pipelined load is in
+  // flight: the stats path must answer from the event loop without a
+  // batcher trip (a scrape stuck behind the load would deadlock a
+  // monitoring client).
+  net::SortClient scraper = loop.client();
+  const StatusOr<wire::StatsReply> mid = scraper.stats();
+  ASSERT_TRUE(mid.ok()) << mid.status().to_string();
+  ASSERT_TRUE(mid->status.ok()) << mid->status.to_string();
+  EXPECT_EQ(mid->format, wire::StatsFormat::json);
+  // Eagerly registered series only: the per-shape pool series appear
+  // after the first batch executes, which may race this scrape.
+  for (const char* key :
+       {"\"metrics\"", "\"slow_requests\"", "serve_submitted_total",
+        "stage_decode_ns", "stage_queue_ns", "stage_execute_ns",
+        "stage_encode_ns", "stage_write_ns", "socket_requests_total"}) {
+    EXPECT_NE(mid->text.find(key), std::string::npos) << key;
+  }
+
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const StatusOr<SortResponse> response = client.receive();
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+  }
+  // After the drain, every stage histogram must have samples — the
+  // Prometheus rendering exposes the counts directly.
+  const StatusOr<wire::StatsReply> after =
+      scraper.stats(wire::StatsFormat::prometheus);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_EQ(after->format, wire::StatsFormat::prometheus);
+  for (const char* stage :
+       {"stage_decode_ns", "stage_queue_ns", "stage_execute_ns",
+        "stage_encode_ns", "stage_write_ns"}) {
+    const std::string count_key = std::string(stage) + "_count ";
+    const std::size_t at = after->text.find(count_key);
+    ASSERT_NE(at, std::string::npos) << stage;
+    EXPECT_NE(after->text.compare(at + count_key.size(), 2, "0\n"), 0)
+        << stage << " histogram is empty";
+  }
+  // By now at least one batch executed, so the per-shape pool series exist.
+  EXPECT_NE(after->text.find("pool_batches_total{bits=\"4\",channels=\"4\"}"),
+            std::string::npos);
+  EXPECT_GE(loop.server->stats().stats_requests, 2u);
+}
+
+TEST(SocketServer, StatsFramesInterleaveWithSortFramesInOrder) {
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(53);
+  constexpr std::size_t kRounds = 3;
+  std::vector<Trit> flat;
+  std::vector<std::vector<Trit>> rounds;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    rounds.push_back(random_flat(rng, shape));
+    flat.insert(flat.end(), rounds.back().begin(), rounds.back().end());
+  }
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+  const std::vector<Trit> single = random_flat(rng, shape);
+  const std::vector<std::vector<Trit>> single_expect =
+      expected_sorted(shape, {single});
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  // One connection, four pipelined sends: batch, stats, single, stats.
+  // Responses must come back in exactly that order — stats replies are
+  // served inline by the loop but still queue behind owed responses.
+  ASSERT_TRUE(
+      client.send_batch(SortRequest::view_batch(shape, kRounds, flat).value())
+          .ok());
+  ASSERT_TRUE(client.send_stats(wire::StatsFormat::json).ok());
+  ASSERT_TRUE(client.send(SortRequest::view(shape, single).value()).ok());
+  ASSERT_TRUE(client.send_stats(wire::StatsFormat::prometheus).ok());
+
+  const StatusOr<SortResponse> batch = client.receive();
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+  ASSERT_TRUE(batch->status.ok());
+  EXPECT_EQ(batch->rounds, kRounds);
+  const StatusOr<wire::StatsReply> json_reply = client.receive_stats();
+  ASSERT_TRUE(json_reply.ok()) << json_reply.status().to_string();
+  ASSERT_TRUE(json_reply->status.ok());
+  EXPECT_EQ(json_reply->format, wire::StatsFormat::json);
+  EXPECT_EQ(json_reply->text.front(), '{');
+  const StatusOr<SortResponse> one = client.receive();
+  ASSERT_TRUE(one.ok()) << one.status().to_string();
+  ASSERT_TRUE(one->status.ok());
+  EXPECT_EQ(one->payload, single_expect[0]);
+  const StatusOr<wire::StatsReply> prom_reply = client.receive_stats();
+  ASSERT_TRUE(prom_reply.ok()) << prom_reply.status().to_string();
+  ASSERT_TRUE(prom_reply->status.ok());
+  EXPECT_EQ(prom_reply->format, wire::StatsFormat::prometheus);
+  EXPECT_EQ(prom_reply->text.compare(0, 7, "# TYPE "), 0);
+  // The JSON scrape ran between the two sorts: it must already count the
+  // batch frame but reflect a live server either way.
+  EXPECT_NE(json_reply->text.find("socket_batch_requests_total"),
+            std::string::npos);
+}
+
+TEST(SocketServer, MalformedStatsRequestGetsErrorReplyAndSurvives) {
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  // Intact framing, wrong body size (3 bytes, must be exactly 4): the
+  // reply carries the decode failure as its status, and — unlike a corrupt
+  // sort frame — the connection stays up, because framing was never lost.
+  const std::uint8_t bad_len[] = {'M', 'C', 2, 5, 3, 0, 0, 0, 1, 2, 3};
+  ASSERT_EQ(::send(client.native_handle(), bad_len, sizeof bad_len, 0),
+            static_cast<ssize_t>(sizeof bad_len));
+  const StatusOr<wire::StatsReply> reply = client.receive_stats();
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->status.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(reply->text.empty());
+
+  // An unknown format value (a newer client) answers kUnimplemented.
+  const std::uint8_t bad_format[] = {'M', 'C', 2, 5, 4, 0, 0, 0, 9, 0, 0, 0};
+  ASSERT_EQ(::send(client.native_handle(), bad_format, sizeof bad_format, 0),
+            static_cast<ssize_t>(sizeof bad_format));
+  const StatusOr<wire::StatsReply> reply2 = client.receive_stats();
+  ASSERT_TRUE(reply2.ok()) << reply2.status().to_string();
+  EXPECT_EQ(reply2->status.code(), StatusCode::kUnimplemented);
+
+  // The connection still sorts.
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(57);
+  const std::vector<Trit> round = random_flat(rng, shape);
+  const StatusOr<SortResponse> response =
+      client.sort(SortRequest::view(shape, round).value());
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(loop.server->stats().protocol_errors, 0u);
+}
+
+TEST(SocketServer, SlowRequestRingCapturesDeadlineExceeded) {
+  // A deadline shorter than the flush window: the request expires in the
+  // batcher, the client sees kDeadlineExceeded, and the slow-request ring
+  // records the victim with its stage breakdown.
+  ServeOptions vopt;
+  vopt.flush_window = std::chrono::microseconds(20000);
+  Loopback loop({}, vopt);
+  net::SortClient client = loop.client();
+  const SortShape shape{4, 4};
+  Xoshiro256 rng(59);
+  const std::vector<Trit> round = random_flat(rng, shape);
+  StatusOr<SortRequest> request = SortRequest::view(shape, round);
+  ASSERT_TRUE(request.ok());
+  request->set_deadline_after(std::chrono::milliseconds(1));
+  const StatusOr<SortResponse> response = client.sort(*request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status.code(), StatusCode::kDeadlineExceeded);
+
+  const std::vector<SlowRequest> slow = loop.service->slow_requests().snapshot();
+  ASSERT_FALSE(slow.empty());
+  bool found = false;
+  for (const SlowRequest& r : slow) {
+    if (r.code != StatusCode::kDeadlineExceeded) continue;
+    found = true;
+    EXPECT_EQ(r.channels, shape.channels);
+    EXPECT_EQ(r.bits, shape.bits);
+    EXPECT_EQ(r.rounds, 1u);
+    // It spent (at least) the deadline waiting in the queue, and never
+    // reached the engine.
+    EXPECT_GE(r.queue_ns, 1000000u);
+    EXPECT_EQ(r.execute_ns, 0u);
+    EXPECT_GE(r.total_ns, r.queue_ns);
+  }
+  EXPECT_TRUE(found);
+  // The ring also renders into the live scrape document.
+  const StatusOr<wire::StatsReply> reply = client.stats();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->text.find("\"slow_requests\": [{"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mcsn

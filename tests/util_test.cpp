@@ -77,6 +77,31 @@ TEST(Histogram, ExactBelowEightAndEmptySafe) {
   EXPECT_NEAR(h.mean(), 3.5, 1e-12);
 }
 
+TEST(Histogram, EmptyAccessorsAndJsonAreAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.json(),
+            "{\"count\": 0, \"min\": 0, \"p50\": 0, \"p90\": 0, \"p99\": 0, "
+            "\"max\": 0, \"mean\": 0}");
+}
+
+TEST(Histogram, SingleSampleCollapsesEveryStatistic) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  // One sample: every quantile is that sample (bucket upper bounds clamp
+  // to the observed max).
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 42u) << q;
+  }
+}
+
 TEST(Histogram, QuantilesWithinBucketResolution) {
   Histogram h;
   for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);

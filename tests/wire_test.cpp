@@ -637,5 +637,171 @@ TEST(Wire, ReadFrameReportsMidFrameEofAsDataLoss) {
   }
 }
 
+// --- stats frames ------------------------------------------------------------
+
+TEST(WireStats, StatsRequestRoundTripsByteExact) {
+  for (const wire::StatsFormat format :
+       {wire::StatsFormat::json, wire::StatsFormat::prometheus}) {
+    const std::vector<std::uint8_t> frame = wire::encode_stats_request(format);
+    // Fixed layout: header + a 4-byte format word, under the stats version.
+    ASSERT_EQ(frame.size(), wire::kHeaderSize + 4);
+    EXPECT_EQ(frame[0], wire::kMagic0);
+    EXPECT_EQ(frame[1], wire::kMagic1);
+    EXPECT_EQ(frame[2], wire::kVersionStats);
+    EXPECT_EQ(frame[3],
+              static_cast<std::uint8_t>(wire::FrameType::stats_request));
+    const StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok()) << view.status().to_string();
+    EXPECT_EQ(view->type, wire::FrameType::stats_request);
+    const StatusOr<wire::StatsFormat> decoded =
+        wire::decode_stats_request(view->body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(*decoded, format);
+    // One canonical form: re-encoding reproduces the frame byte-exact.
+    EXPECT_EQ(wire::encode_stats_request(*decoded), frame);
+  }
+}
+
+TEST(WireStats, StatsResponseRoundTripsDocumentByteExact) {
+  wire::StatsReply reply;
+  reply.format = wire::StatsFormat::prometheus;
+  reply.text =
+      "# TYPE serve_submitted_total counter\nserve_submitted_total 3\n";
+  const std::vector<std::uint8_t> frame = wire::encode_stats_response(reply);
+  EXPECT_EQ(frame[2], wire::kVersionStats);
+  const StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok()) << view.status().to_string();
+  EXPECT_EQ(view->type, wire::FrameType::stats_response);
+  const StatusOr<wire::StatsReply> decoded =
+      wire::decode_stats_response(view->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->format, reply.format);
+  EXPECT_EQ(decoded->text, reply.text);
+  EXPECT_EQ(wire::encode_stats_response(*decoded), frame);
+}
+
+TEST(WireStats, ErrorStatsResponseCarriesStatusAndDropsDocument) {
+  wire::StatsReply reply;
+  reply.status = Status::unimplemented("unknown stats format 7");
+  reply.text = "must not travel on an error reply";
+  const std::vector<std::uint8_t> frame = wire::encode_stats_response(reply);
+  const StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  const StatusOr<wire::StatsReply> decoded =
+      wire::decode_stats_response(view->body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->status.code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(decoded->status.message(), "unknown stats format 7");
+  EXPECT_TRUE(decoded->text.empty());  // the encoder refused to send it
+
+  // A hand-built error reply that does carry a document is corrupt: the
+  // decoder must reject it rather than surface half-valid state.
+  std::vector<std::uint8_t> body;
+  for (const std::uint32_t word :
+       {static_cast<std::uint32_t>(StatusCode::kInternal),
+        static_cast<std::uint32_t>(wire::StatsFormat::json), 0u}) {
+    body.push_back(static_cast<std::uint8_t>(word));
+    body.push_back(static_cast<std::uint8_t>(word >> 8));
+    body.push_back(static_cast<std::uint8_t>(word >> 16));
+    body.push_back(static_cast<std::uint8_t>(word >> 24));
+  }
+  body.push_back('x');  // stray document byte
+  EXPECT_EQ(wire::decode_stats_response(body).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(WireStats, TruncatedStatsFramesAreDataLossAtEveryPrefixLength) {
+  wire::StatsReply reply;
+  reply.text = "{\"metrics\": {}}";
+  for (const std::vector<std::uint8_t>& frame :
+       {wire::encode_stats_request(wire::StatsFormat::json),
+        wire::encode_stats_response(reply)}) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const StatusOr<wire::FrameView> view =
+          wire::parse_frame(std::span(frame.data(), len));
+      ASSERT_FALSE(view.ok()) << "prefix " << len;
+      EXPECT_EQ(view.status().code(), StatusCode::kDataLoss)
+          << "prefix " << len;
+    }
+    EXPECT_TRUE(wire::parse_frame(frame).ok());
+  }
+  // Body-level truncation: a response body shorter than its fixed part,
+  // and one whose message length overruns the bytes present.
+  const std::vector<std::uint8_t> frame = wire::encode_stats_response(reply);
+  const StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  for (std::size_t len = 0; len < 12; ++len) {
+    EXPECT_EQ(
+        wire::decode_stats_response(view->body.subspan(0, len)).status().code(),
+        StatusCode::kDataLoss)
+        << "body prefix " << len;
+  }
+  std::vector<std::uint8_t> overrun(view->body.begin(), view->body.end());
+  overrun[8] = 0xff;  // message_len low byte: claims 255+ message bytes
+  EXPECT_EQ(wire::decode_stats_response(overrun).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(WireStats, CorruptLengthAndUnknownFormatsAreRejected) {
+  // Length prefix one byte long: plausible but wrong — data loss.
+  std::vector<std::uint8_t> frame =
+      wire::encode_stats_request(wire::StatsFormat::json);
+  frame[4] = static_cast<std::uint8_t>(frame[4] + 1);
+  EXPECT_EQ(wire::parse_frame(frame).status().code(), StatusCode::kDataLoss);
+
+  // A stats request body must be exactly the 4-byte format word.
+  frame = wire::encode_stats_request(wire::StatsFormat::json);
+  const StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(wire::decode_stats_request(view->body.subspan(0, 3))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+
+  // Unknown format values are kUnimplemented (a newer peer), in both the
+  // request and the response direction; same for an unknown status code.
+  std::vector<std::uint8_t> bad_format(view->body.begin(), view->body.end());
+  bad_format[0] = 9;
+  EXPECT_EQ(wire::decode_stats_request(bad_format).status().code(),
+            StatusCode::kUnimplemented);
+  wire::StatsReply reply;
+  reply.text = "{}";
+  const std::vector<std::uint8_t> rsp = wire::encode_stats_response(reply);
+  const StatusOr<wire::FrameView> rsp_view = wire::parse_frame(rsp);
+  ASSERT_TRUE(rsp_view.ok());
+  std::vector<std::uint8_t> bad_rsp(rsp_view->body.begin(),
+                                    rsp_view->body.end());
+  bad_rsp[4] = 9;  // format word
+  EXPECT_EQ(wire::decode_stats_response(bad_rsp).status().code(),
+            StatusCode::kUnimplemented);
+  bad_rsp = {rsp_view->body.begin(), rsp_view->body.end()};
+  bad_rsp[0] = 99;  // status code word
+  EXPECT_EQ(wire::decode_stats_response(bad_rsp).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(WireStats, StatsTypesUnderV1HeaderAreVersionViolations) {
+  // A v1 peer could never have sent a stats frame: a stats type under a
+  // version-1 header is kUnimplemented at parse time, for both types and
+  // through both parse entry points.
+  wire::StatsReply reply;
+  reply.text = "{}";
+  for (std::vector<std::uint8_t> frame :
+       {wire::encode_stats_request(wire::StatsFormat::json),
+        wire::encode_stats_response(reply)}) {
+    frame[2] = wire::kVersionMin;
+    EXPECT_EQ(wire::parse_frame(frame).status().code(),
+              StatusCode::kUnimplemented);
+    EXPECT_EQ(wire::try_parse_frame(frame).status().code(),
+              StatusCode::kUnimplemented);
+    // From-the-future versions too: the bytes are fine, this decoder is
+    // just too old — never data loss.
+    frame[2] = wire::kVersion + 1;
+    EXPECT_EQ(wire::parse_frame(frame).status().code(),
+              StatusCode::kUnimplemented);
+  }
+}
+
 }  // namespace
 }  // namespace mcsn

@@ -36,16 +36,25 @@
 //     even with several SO_REUSEPORT listeners) and "listening on
 //     unix:PATH" for --listen-unix PATH (which also works without
 //     --listen, giving a UDS-only server). Serves until SIGINT/SIGTERM,
-//     then drains and prints socket stats + service metrics JSON to
-//     stderr — socket counters aggregated across every event loop. Socket
-//     knobs: --host H (default 127.0.0.1) --loops N (event-loop threads)
-//     --max-conns N --conn-inflight N (in rounds: a batch frame counts its
-//     round count) --idle-timeout-ms T. Unless --max-inflight is given
-//     explicitly, the service backpressure bound is raised to max-conns x
-//     conn-inflight so the event loops never block in submit().
+//     then drains and dumps the observability document to stderr — the
+//     per-loop socket counters live in the same MetricsRegistry as the
+//     service series, so one document covers both. Socket knobs: --host H
+//     (default 127.0.0.1) --loops N (event-loop threads) --max-conns N
+//     --conn-inflight N (in rounds: a batch frame counts its round count)
+//     --idle-timeout-ms T. Unless --max-inflight is given explicitly, the
+//     service backpressure bound is raised to max-conns x conn-inflight so
+//     the event loops never block in submit().
+//
+// Observability: every service mode (--stdin, --framed, --listen, load)
+// emits the same registry-rendered stats document on stderr when it
+// finishes — one schema across all modes. --metrics-format json (default)
+// or prometheus selects the rendering. --stats-interval SECS additionally
+// dumps the document every SECS seconds while serving, and SIGUSR1 forces
+// a dump immediately (in any service mode, interval set or not).
 //
 // Shared knobs: --channels C --bits B --workers W --window-us U
 //               --max-lanes L --max-inflight N --seed S
+//               --metrics-format json|prometheus --stats-interval SECS
 
 #include <algorithm>
 #include <atomic>
@@ -73,6 +82,58 @@ namespace {
 
 using namespace mcsn;
 using Clock = std::chrono::steady_clock;
+
+/// Selected by --metrics-format; every stderr stats dump honours it, so
+/// all modes emit one schema (registry-rendered, not hand-assembled).
+wire::StatsFormat g_stats_format = wire::StatsFormat::json;
+
+void dump_stats(const SortService& service) {
+  if (g_stats_format == wire::StatsFormat::prometheus) {
+    std::cerr << service.stats_prometheus();
+  } else {
+    std::cerr << service.stats_json() << "\n";
+  }
+  std::cerr << std::flush;
+}
+
+std::atomic<bool> g_dump_requested{false};
+
+void on_dump_signal(int) { g_dump_requested.store(true); }
+
+/// Background periodic/on-demand stats dumper: every service mode gets
+/// SIGUSR1 = dump-now for free, and --stats-interval SECS adds a steady
+/// cadence. Dumps go to stderr through dump_stats(), so they carry the
+/// same schema as the end-of-run dump. RAII: joins in the destructor.
+class StatsDumper {
+ public:
+  StatsDumper(const SortService& service, long interval_s)
+      : service_(service), interval_s_(interval_s) {
+    std::signal(SIGUSR1, on_dump_signal);
+    thread_ = std::thread([this] { run(); });
+  }
+  ~StatsDumper() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    auto next = Clock::now() + std::chrono::seconds(interval_s_);
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (g_dump_requested.exchange(false)) dump_stats(service_);
+      if (interval_s_ > 0 && Clock::now() >= next) {
+        dump_stats(service_);
+        next = Clock::now() + std::chrono::seconds(interval_s_);
+      }
+    }
+  }
+
+  const SortService& service_;
+  long interval_s_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 int run_stdin(SortService& service, std::size_t bits) {
   const std::uint64_t limit = std::uint64_t{1} << bits;
@@ -106,7 +167,7 @@ int run_stdin(SortService& service, std::size_t bits) {
     }
     std::cout << "\n";
   }
-  std::cerr << service.metrics_json() << "\n";
+  dump_stats(service);
   return 0;
 }
 
@@ -154,7 +215,7 @@ int run_framed(SortService& service) {
   }
   drain(true);
   std::cout.flush();
-  std::cerr << service.metrics_json() << "\n";
+  dump_stats(service);
   return 0;
 }
 
@@ -261,19 +322,10 @@ int run_listen(SortService& service, const net::SocketOptions& sopt) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.stop();
-  // Aggregated over every event loop (stats() sums the per-loop counters).
-  const net::SocketServer::Stats stats = server.stats();
-  std::cerr << "{\"socket\": {\"loops\": " << server.loop_count()
-            << ", \"accepted\": " << stats.accepted
-            << ", \"rejected\": " << stats.rejected
-            << ", \"closed\": " << stats.closed
-            << ", \"requests\": " << stats.requests
-            << ", \"batch_requests\": " << stats.batch_requests
-            << ", \"rounds\": " << stats.rounds
-            << ", \"responses\": " << stats.responses
-            << ", \"protocol_errors\": " << stats.protocol_errors
-            << ", \"idle_closed\": " << stats.idle_closed
-            << "},\n \"service\": " << service.metrics_json() << "}\n";
+  // One registry-rendered document: the per-loop socket_*_total series
+  // (labeled loop="i") sit next to the service series, replacing the old
+  // hand-assembled {"socket": ..., "service": ...} blob.
+  dump_stats(service);
   return 0;
 }
 
@@ -312,6 +364,9 @@ int run_load(SortService& service, int channels, std::size_t bits,
             << ", \"elapsed_s\": " << elapsed << ", \"throughput_vps\": "
             << static_cast<double>(completed) / elapsed
             << ",\n \"service\": " << service.metrics_json() << "}\n";
+  // The bench JSON above keeps its schema for scripts; the registry
+  // document goes to stderr like every other mode.
+  dump_stats(service);
   return 0;
 }
 
@@ -323,7 +378,9 @@ int usage() {
                " --decode-frames | --listen PORT | --listen-unix PATH]\n"
                "       server knobs: [--host H] [--loops N>=1]"
                " [--max-conns N>=1] [--conn-inflight N>=1]"
-               " [--idle-timeout-ms T>=0] [--poll]\n";
+               " [--idle-timeout-ms T>=0] [--poll]\n"
+               "       observability: [--metrics-format json|prometheus]"
+               " [--stats-interval SECS>=0]  (SIGUSR1 dumps now)\n";
   return 2;
 }
 
@@ -360,6 +417,19 @@ int main(int argc, char** argv) {
 
   if (args.has("encode-frames")) return run_encode_frames(bits);
   if (args.has("decode-frames")) return run_decode_frames();
+
+  const std::string metrics_format = args.get_or("metrics-format", "json");
+  if (metrics_format == "prometheus") {
+    g_stats_format = wire::StatsFormat::prometheus;
+  } else if (metrics_format != "json") {
+    std::cerr << "sortd: --metrics-format must be json or prometheus\n";
+    return usage();
+  }
+  const long stats_interval_s = args.get_long_or("stats-interval", 0);
+  if (stats_interval_s < 0) {
+    std::cerr << "sortd: --stats-interval must be >= 0\n";
+    return usage();
+  }
 
   ServeOptions opt;
   opt.workers = static_cast<int>(workers);
@@ -416,6 +486,9 @@ int main(int argc, char** argv) {
     return usage();
   }
   SortService service(opt);
+  // Joined after the mode returns but before the service is destroyed, so
+  // periodic/SIGUSR1 dumps can read the registry for the mode's lifetime.
+  const StatsDumper dumper(service, stats_interval_s);
 
   if (serve_sockets) return run_listen(service, sopt);
   if (args.has("framed")) return run_framed(service);
