@@ -1,0 +1,47 @@
+#pragma once
+// Shared bits of the wire-codec fuzz harnesses (fuzz_wire_decode,
+// fuzz_wire_stream). Harnesses are built either as libFuzzer targets
+// (Clang, -fsanitize=fuzzer) or against the file-replay driver in
+// standalone_main.cpp (any compiler) — see the fuzz section of the
+// top-level CMakeLists.txt and docs/VERIFICATION.md.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcsn::fuzz {
+
+/// Property-violation trap: unlike assert(), active in every build the
+/// harness ships in (fuzzing a release-mode binary with asserts compiled
+/// out would silently stop checking the round-trip properties).
+inline void require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz: property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Fixed clock instant for every decode/encode in a harness run, so
+/// deadline budgets round-trip exactly and replays are deterministic.
+/// (Scripts may not observe real time anyway; an arbitrary positive
+/// instant is all the codec needs.)
+inline std::chrono::steady_clock::time_point fixed_now() {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(std::int64_t{1} << 40));
+}
+
+/// xorshift32 — deterministic split-point generator for the stream
+/// harness (std::mt19937 would be overkill for picking chunk sizes).
+struct XorShift32 {
+  std::uint32_t state;
+  explicit XorShift32(std::uint32_t seed) : state(seed | 1u) {}
+  std::uint32_t next() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+};
+
+}  // namespace mcsn::fuzz

@@ -1,0 +1,142 @@
+// Differential fuzz target over the incremental framing path.
+//
+// A SocketServer connection never sees a frame in one piece: recv()
+// hands it arbitrary byte chunks, and parse_frames() re-runs
+// try_parse_frame over the growing buffer until a frame completes. The
+// property this harness checks is that framing is split-invariant —
+// feeding a byte stream through the incremental path in ANY chunking
+// must produce exactly the same frame sequence, decode results and
+// terminal condition as parsing the whole stream in one shot. An
+// off-by-one in the "incomplete prefix" logic (the classic framing bug)
+// breaks that equivalence long before it corrupts memory.
+//
+// Input layout: byte 0 seeds the deterministic chunk-size generator;
+// bytes 1.. are the stream. The oracle run parses the stream whole; the
+// subject run appends pseudo-random 1..24-byte chunks to a connection
+// buffer, consuming complete frames from the front after each append,
+// exactly like SocketServer::parse_frames. Every completed frame is also
+// pushed through its body decoder (fixed clock), and the per-frame
+// decode status codes must match between the two runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "mcsn/serve/wire.hpp"
+
+namespace {
+
+using namespace mcsn;
+using fuzz::require;
+
+/// What one framing run observed, in order.
+struct Event {
+  wire::FrameType type{};
+  std::size_t body_size = 0;
+  StatusCode decode_code{};  // body decoder's verdict
+};
+
+struct RunResult {
+  std::vector<Event> events;
+  bool stream_error = false;  // try_parse_frame reported corruption
+};
+
+StatusCode decode_code_for(wire::FrameType type,
+                           std::span<const std::uint8_t> body) {
+  const auto now = fuzz::fixed_now();
+  switch (type) {
+    case wire::FrameType::request:
+      return wire::decode_request(body, now).status().code();
+    case wire::FrameType::response:
+      return wire::decode_response(body).status().code();
+    case wire::FrameType::batch_request:
+      return wire::decode_batch_request(body, now).status().code();
+    case wire::FrameType::batch_response:
+      return wire::decode_batch_response(body).status().code();
+    case wire::FrameType::stats_request:
+      return wire::decode_stats_request(body).status().code();
+    case wire::FrameType::stats_response:
+      return wire::decode_stats_response(body).status().code();
+  }
+  return StatusCode::kInternal;
+}
+
+/// Oracle: parse the whole stream in one pass.
+RunResult run_oneshot(std::span<const std::uint8_t> stream) {
+  RunResult result;
+  std::size_t off = 0;
+  while (true) {
+    StatusOr<std::optional<wire::FrameView>> parsed =
+        wire::try_parse_frame(stream.subspan(off));
+    if (!parsed.ok()) {
+      result.stream_error = true;
+      return result;
+    }
+    if (!parsed->has_value()) return result;  // incomplete tail
+    const wire::FrameView& view = **parsed;
+    result.events.push_back(
+        {view.type, view.body.size(), decode_code_for(view.type, view.body)});
+    off += view.frame_size;
+  }
+}
+
+/// Subject: the same stream through a growing connection buffer fed in
+/// `seed`-derived chunks, frames consumed from the front — the
+/// SocketServer::parse_frames shape.
+RunResult run_incremental(std::span<const std::uint8_t> stream,
+                          std::uint32_t seed) {
+  RunResult result;
+  fuzz::XorShift32 rng(seed);
+  std::vector<std::uint8_t> rbuf;
+  std::size_t fed = 0;
+  while (fed < stream.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rng.next() % 24, stream.size() - fed);
+    rbuf.insert(rbuf.end(), stream.begin() + fed, stream.begin() + fed + chunk);
+    fed += chunk;
+    while (true) {
+      StatusOr<std::optional<wire::FrameView>> parsed =
+          wire::try_parse_frame(rbuf);
+      if (!parsed.ok()) {
+        result.stream_error = true;
+        return result;
+      }
+      if (!parsed->has_value()) break;  // need more bytes
+      const wire::FrameView& view = **parsed;
+      result.events.push_back(
+          {view.type, view.body.size(), decode_code_for(view.type, view.body)});
+      rbuf.erase(rbuf.begin(),
+                 rbuf.begin() + static_cast<std::ptrdiff_t>(view.frame_size));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const std::uint32_t seed = data[0];
+  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+
+  const RunResult oracle = run_oneshot(stream);
+  const RunResult subject = run_incremental(stream, seed);
+
+  require(oracle.stream_error == subject.stream_error,
+          "split points must not change stream corruption verdicts");
+  require(oracle.events.size() == subject.events.size(),
+          "split points must not change the frame count");
+  for (std::size_t i = 0; i < oracle.events.size(); ++i) {
+    require(oracle.events[i].type == subject.events[i].type,
+            "split points must not change frame types");
+    require(oracle.events[i].body_size == subject.events[i].body_size,
+            "split points must not change body sizes");
+    require(oracle.events[i].decode_code == subject.events[i].decode_code,
+            "split points must not change decode results");
+  }
+  return 0;
+}

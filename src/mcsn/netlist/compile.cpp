@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#if !defined(NDEBUG) || defined(MCSN_VERIFY)
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcsn/netlist/verify_ir.hpp"
+#endif
+
 namespace mcsn {
 
 CompiledProgram CompiledProgram::compile(const Netlist& nl,
@@ -130,6 +137,18 @@ CompiledProgram CompiledProgram::compile(const Netlist& nl,
   for (const NodeId id : nl.inputs()) {
     p.input_slots_.push_back(p.slot_of_node_[id]);
   }
+
+#if !defined(NDEBUG) || defined(MCSN_VERIFY)
+  // Debug and sanitizer builds re-check every structural invariant of the
+  // freshly lowered program (see verify_ir.hpp). A failure here is a
+  // compiler bug, not a caller error — abort loudly instead of handing an
+  // unchecked instruction stream to the branch-free executors.
+  if (const Status s = verify_ir(p, verify_options_for(opt)); !s.ok()) {
+    std::fprintf(stderr, "CompiledProgram::compile: %s\n",
+                 s.to_string().c_str());
+    std::abort();
+  }
+#endif
   return p;
 }
 

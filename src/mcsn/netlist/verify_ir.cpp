@@ -1,0 +1,280 @@
+#include "mcsn/netlist/verify_ir.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "mcsn/netlist/cell.hpp"
+
+namespace mcsn {
+namespace {
+
+std::string slot_str(std::uint32_t slot) { return std::to_string(slot); }
+
+Status fail(const char* token, std::string detail) {
+  return Status::internal(std::string("verify_ir: ") + token + ": " +
+                          std::move(detail));
+}
+
+/// Who wrote a slot, for double-write diagnostics. Encoded as:
+/// kUnwritten, kInput + i, kConst + i, or kOp + i.
+constexpr std::size_t kUnwritten = static_cast<std::size_t>(-1);
+
+std::string writer_str(std::size_t tag, const IrImage& ir) {
+  if (tag < ir.input_slots.size()) {
+    return "input #" + std::to_string(tag);
+  }
+  tag -= ir.input_slots.size();
+  if (tag < ir.const_inits.size()) {
+    return "const init #" + std::to_string(tag);
+  }
+  tag -= ir.const_inits.size();
+  return "op #" + std::to_string(tag);
+}
+
+}  // namespace
+
+IrImage ir_image_of(const CompiledProgram& prog) {
+  IrImage ir;
+  ir.slot_count = prog.slot_count();
+  ir.ops.assign(prog.ops().begin(), prog.ops().end());
+  for (std::size_t l = 0; l + 1 <= prog.level_count(); ++l) {
+    if (ir.level_offsets.empty()) ir.level_offsets.push_back(0);
+    ir.level_offsets.push_back(ir.level_offsets.back() +
+                               prog.level_ops(l).size());
+  }
+  ir.input_slots.assign(prog.input_slots().begin(), prog.input_slots().end());
+  ir.output_slots.assign(prog.output_slots().begin(),
+                         prog.output_slots().end());
+  ir.const_inits.assign(prog.const_inits().begin(), prog.const_inits().end());
+  return ir;
+}
+
+Status verify_ir(const IrImage& ir, const VerifyIrOptions& opt) {
+  const std::size_t n_ops = ir.ops.size();
+
+  // --- level-structure: level_offsets is a monotone partition of ops.
+  if (ir.level_offsets.empty()) {
+    if (opt.require_levelized) {
+      return fail("level-structure",
+                  "program is not levelized but a levelized schedule was "
+                  "required");
+    }
+  } else {
+    if (ir.level_offsets.front() != 0) {
+      return fail("level-structure",
+                  "level_offsets[0] = " +
+                      std::to_string(ir.level_offsets.front()) + ", want 0");
+    }
+    if (ir.level_offsets.back() != n_ops) {
+      return fail("level-structure",
+                  "level_offsets.back() = " +
+                      std::to_string(ir.level_offsets.back()) + ", want " +
+                      std::to_string(n_ops) + " (the op count)");
+    }
+    for (std::size_t l = 0; l + 1 < ir.level_offsets.size(); ++l) {
+      if (ir.level_offsets[l] > ir.level_offsets[l + 1]) {
+        return fail("level-structure",
+                    "level_offsets not monotone at level " +
+                        std::to_string(l));
+      }
+    }
+  }
+
+  // --- slot-bounds: every slot index anyone will dereference is in range.
+  // Note the executors read all three operand pins regardless of arity
+  // (branch-free replay), so even unused pins must be in bounds.
+  for (std::size_t i = 0; i < ir.input_slots.size(); ++i) {
+    const std::uint32_t s = ir.input_slots[i];
+    if (s != CompiledProgram::kNoSlot && s >= ir.slot_count) {
+      return fail("slot-bounds", "input #" + std::to_string(i) + " slot " +
+                                     slot_str(s) + " >= slot_count " +
+                                     std::to_string(ir.slot_count));
+    }
+  }
+  for (std::size_t i = 0; i < ir.const_inits.size(); ++i) {
+    if (ir.const_inits[i].slot >= ir.slot_count) {
+      return fail("slot-bounds",
+                  "const init #" + std::to_string(i) + " slot " +
+                      slot_str(ir.const_inits[i].slot) + " >= slot_count " +
+                      std::to_string(ir.slot_count));
+    }
+  }
+  for (std::size_t o = 0; o < ir.output_slots.size(); ++o) {
+    if (ir.output_slots[o] >= ir.slot_count) {
+      return fail("slot-bounds", "output #" + std::to_string(o) + " slot " +
+                                     slot_str(ir.output_slots[o]) +
+                                     " >= slot_count " +
+                                     std::to_string(ir.slot_count));
+    }
+  }
+  for (std::size_t k = 0; k < n_ops; ++k) {
+    const CompiledOp& op = ir.ops[k];
+    if (op.out >= ir.slot_count) {
+      return fail("slot-bounds", "op #" + std::to_string(k) + " out slot " +
+                                     slot_str(op.out) + " >= slot_count " +
+                                     std::to_string(ir.slot_count));
+    }
+    for (int j = 0; j < 3; ++j) {
+      if (op.in[j] >= ir.slot_count) {
+        return fail("slot-bounds",
+                    "op #" + std::to_string(k) + " operand pin " +
+                        std::to_string(j) + " slot " + slot_str(op.in[j]) +
+                        " >= slot_count " + std::to_string(ir.slot_count));
+      }
+    }
+  }
+
+  // --- bad-op: the instruction stream holds gates only — input/const
+  // kinds have no evaluation rule in the backends.
+  for (std::size_t k = 0; k < n_ops; ++k) {
+    if (!is_gate(ir.ops[k].kind)) {
+      return fail("bad-op", "op #" + std::to_string(k) +
+                                " has non-gate kind " +
+                                std::string(cell_name(ir.ops[k].kind)));
+    }
+  }
+
+  // --- double-write: each slot has at most one writer across live
+  // inputs, const inits and op destinations.
+  std::vector<std::size_t> writer(ir.slot_count, kUnwritten);
+  const auto record_write = [&](std::uint32_t slot,
+                                std::size_t tag) -> Status {
+    if (writer[slot] != kUnwritten) {
+      return fail("double-write", "slot " + slot_str(slot) + " written by " +
+                                      writer_str(writer[slot], ir) +
+                                      " and " + writer_str(tag, ir));
+    }
+    writer[slot] = tag;
+    return Status();
+  };
+  for (std::size_t i = 0; i < ir.input_slots.size(); ++i) {
+    if (ir.input_slots[i] == CompiledProgram::kNoSlot) continue;
+    if (Status s = record_write(ir.input_slots[i], i); !s.ok()) return s;
+  }
+  for (std::size_t i = 0; i < ir.const_inits.size(); ++i) {
+    if (Status s = record_write(ir.const_inits[i].slot,
+                                ir.input_slots.size() + i);
+        !s.ok()) {
+      return s;
+    }
+  }
+  for (std::size_t k = 0; k < n_ops; ++k) {
+    if (Status s = record_write(
+            ir.ops[k].out, ir.input_slots.size() + ir.const_inits.size() + k);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  // --- dangling-read / operand-order: walking the stream in schedule
+  // order, every operand an op actually reads (per cell_arity) must
+  // already hold a value — written by an input, a const init, or an
+  // earlier op. A read of a slot nobody ever writes is a dangling read; a
+  // read of a slot written only later is a schedule-order violation.
+  std::vector<char> written(ir.slot_count, 0);
+  for (const std::uint32_t s : ir.input_slots) {
+    if (s != CompiledProgram::kNoSlot) written[s] = 1;
+  }
+  for (const CompiledProgram::ConstInit& c : ir.const_inits) {
+    written[c.slot] = 1;
+  }
+  for (std::size_t k = 0; k < n_ops; ++k) {
+    const CompiledOp& op = ir.ops[k];
+    const int arity = cell_arity(op.kind);
+    for (int j = 0; j < arity; ++j) {
+      if (written[op.in[j]]) continue;
+      if (writer[op.in[j]] == kUnwritten) {
+        return fail("dangling-read",
+                    "op #" + std::to_string(k) + " reads slot " +
+                        slot_str(op.in[j]) + ", which is never written");
+      }
+      return fail("operand-order",
+                  "op #" + std::to_string(k) + " reads slot " +
+                      slot_str(op.in[j]) + " before its writer " +
+                      writer_str(writer[op.in[j]], ir) + " runs");
+    }
+    written[op.out] = 1;
+  }
+
+  // --- operand-level: in a levelized schedule, an op's operands must come
+  // from strictly earlier levels (inputs/consts count as level 0, ops in
+  // bucket l produce level l + 1). Same-level reads can pass the stream-
+  // order check above yet still break level_ops() parallel slicing, which
+  // assumes ops within one level are mutually independent.
+  if (!ir.level_offsets.empty()) {
+    std::vector<std::size_t> slot_level(ir.slot_count, 0);
+    for (std::size_t l = 0; l + 1 < ir.level_offsets.size(); ++l) {
+      for (std::size_t k = ir.level_offsets[l]; k < ir.level_offsets[l + 1];
+           ++k) {
+        slot_level[ir.ops[k].out] = l + 1;
+      }
+    }
+    for (std::size_t l = 0; l + 1 < ir.level_offsets.size(); ++l) {
+      for (std::size_t k = ir.level_offsets[l]; k < ir.level_offsets[l + 1];
+           ++k) {
+        const CompiledOp& op = ir.ops[k];
+        const int arity = cell_arity(op.kind);
+        for (int j = 0; j < arity; ++j) {
+          if (slot_level[op.in[j]] > l) {
+            return fail("operand-level",
+                        "op #" + std::to_string(k) + " in level " +
+                            std::to_string(l) + " reads slot " +
+                            slot_str(op.in[j]) + " written in level " +
+                            std::to_string(slot_level[op.in[j]]) +
+                            " (want a strictly earlier level)");
+          }
+        }
+      }
+    }
+  }
+
+  // --- unwritten-output / unwritten-slot: declared outputs must carry a
+  // value, and dense renumbering means every slot has a writer — a
+  // writer-less slot is a renumbering bug (or a mutation).
+  for (std::size_t o = 0; o < ir.output_slots.size(); ++o) {
+    if (writer[ir.output_slots[o]] == kUnwritten) {
+      return fail("unwritten-output",
+                  "output #" + std::to_string(o) + " slot " +
+                      slot_str(ir.output_slots[o]) + " has no writer");
+    }
+  }
+  for (std::size_t s = 0; s < ir.slot_count; ++s) {
+    if (writer[s] == kUnwritten) {
+      return fail("unwritten-slot",
+                  "slot " + std::to_string(s) +
+                      " has no writer (dense renumbering left a hole)");
+    }
+  }
+
+  // --- orphan-op: with dead-node elimination on, every op must be
+  // transitively reachable from a declared output. One reverse pass
+  // suffices — the stream is a topological order, so an op's readers all
+  // come later.
+  if (opt.require_reachable) {
+    std::vector<char> needed(ir.slot_count, 0);
+    for (const std::uint32_t s : ir.output_slots) needed[s] = 1;
+    for (std::size_t k = n_ops; k-- > 0;) {
+      const CompiledOp& op = ir.ops[k];
+      if (!needed[op.out]) continue;
+      const int arity = cell_arity(op.kind);
+      for (int j = 0; j < arity; ++j) needed[op.in[j]] = 1;
+    }
+    for (std::size_t k = 0; k < n_ops; ++k) {
+      if (!needed[ir.ops[k].out]) {
+        return fail("orphan-op",
+                    "op #" + std::to_string(k) + " (out slot " +
+                        slot_str(ir.ops[k].out) +
+                        ") is unreachable from every declared output, but "
+                        "dead-node elimination was enabled");
+      }
+    }
+  }
+
+  return Status();
+}
+
+Status verify_ir(const CompiledProgram& prog, const VerifyIrOptions& opt) {
+  return verify_ir(ir_image_of(prog), opt);
+}
+
+}  // namespace mcsn

@@ -1,0 +1,101 @@
+#pragma once
+// Structural verifier for the compiled netlist IR.
+//
+// CompiledProgram is the trusted core of every execution path — the lane
+// backends replay its instruction stream with zero per-op checking, so a
+// malformed program (an out-of-range slot, an operand scheduled after its
+// reader, a double-written slot) is silent memory corruption or a wrong
+// sort, not an error message. verify_ir() makes those invariants checked
+// instead of assumed:
+//
+//   * bounds         — every slot index (inputs, outputs, const inits, op
+//                      operands and destinations) is < slot_count(), and
+//                      level_offsets is a monotone partition of the ops;
+//   * gate stream    — the instruction stream contains only real gates
+//                      (no input/const kinds) with in-arity operands;
+//   * single write   — each slot has exactly one writer (a live input, a
+//                      const init, or one op destination): no double
+//                      writes and no never-written slots;
+//   * schedule order — every operand an op actually reads (per
+//                      cell_arity) was written strictly earlier in the
+//                      stream, and — for levelized programs — in a
+//                      strictly earlier level;
+//   * reachability   — every declared output has a writer, and (when the
+//                      program was compiled with dead-node elimination)
+//                      every op is transitively reachable from an output,
+//                      i.e. elimination left no orphan ops.
+//
+// Each violated invariant produces a distinct, greppable diagnostic token
+// in the Status message ("slot-bounds", "level-structure", "bad-op",
+// "double-write", "unwritten-slot", "dangling-read", "operand-order",
+// "operand-level", "unwritten-output", "orphan-op") with the offending
+// indices — precise enough that a failed CI sweep names the broken op.
+//
+// The pass runs automatically at the end of CompiledProgram::compile() in
+// debug builds and in sanitizer builds (MCSN_VERIFY, defined by CMake
+// whenever MCSN_SANITIZE is set); release builds pay nothing. It is also
+// exposed as `tool_mcsverify`, which sweeps the whole catalog plus
+// composed/PPC-elaborated networks under every compile-option combination.
+//
+// IrImage exists for negative testing: CompiledProgram's fields are
+// private and compile() only ever produces valid programs, so the
+// mutation suite (tests/verify_ir_test.cpp) perturbs an owning snapshot
+// instead — one mutator per invariant class proves each check actually
+// fires, with its own diagnostic.
+
+#include <cstdint>
+#include <vector>
+
+#include "mcsn/api/status.hpp"
+#include "mcsn/netlist/compile.hpp"
+
+namespace mcsn {
+
+/// An owning, mutable snapshot of a CompiledProgram's structure — same
+/// fields, public. Extract with ir_image_of(), perturb freely, verify.
+struct IrImage {
+  std::size_t slot_count = 0;
+  std::vector<CompiledOp> ops;
+  /// Level l's ops are [level_offsets[l], level_offsets[l + 1]); empty
+  /// means the program is not levelized (creation-order schedule).
+  std::vector<std::size_t> level_offsets;
+  std::vector<std::uint32_t> input_slots;   // kNoSlot = dead input
+  std::vector<std::uint32_t> output_slots;
+  std::vector<CompiledProgram::ConstInit> const_inits;
+};
+
+/// Snapshot of `prog` for mutation testing / standalone verification.
+[[nodiscard]] IrImage ir_image_of(const CompiledProgram& prog);
+
+struct VerifyIrOptions {
+  /// Require every op to be transitively reachable from a declared output
+  /// (dead-node elimination left no orphans). Turn off for programs
+  /// compiled with eliminate_dead = false or retain_all_nodes = true,
+  /// which intentionally keep dead gates.
+  bool require_reachable = true;
+  /// Require a levelized schedule (non-empty, consistent level_offsets
+  /// with every operand in a strictly earlier level). Turn off for
+  /// programs compiled with levelize = false; the strict
+  /// written-before-read stream order is checked either way.
+  bool require_levelized = true;
+};
+
+/// Matching options for how `opt` compiled the program.
+[[nodiscard]] constexpr VerifyIrOptions verify_options_for(
+    const CompileOptions& opt) noexcept {
+  return VerifyIrOptions{
+      .require_reachable = opt.eliminate_dead && !opt.retain_all_nodes,
+      .require_levelized = opt.levelize,
+  };
+}
+
+/// Checks every invariant above; OK, or the first violation found with a
+/// precise diagnostic. Runs in O(slots + ops) time and memory.
+[[nodiscard]] Status verify_ir(const IrImage& ir,
+                               const VerifyIrOptions& opt = {});
+
+/// Convenience overload over a live program (snapshots internally).
+[[nodiscard]] Status verify_ir(const CompiledProgram& prog,
+                               const VerifyIrOptions& opt = {});
+
+}  // namespace mcsn

@@ -78,8 +78,9 @@ Status connect_bounded(int fd, const sockaddr* addr, socklen_t addr_len,
       return Status::unavailable(errno_text("getsockopt(SO_ERROR)"));
     }
     if (err != 0) {
-      return Status::unavailable(std::string("connect: ") +
-                                 std::strerror(err));
+      return Status::unavailable(
+          "connect: " +
+          std::error_code(err, std::generic_category()).message());
     }
   }
   if (::fcntl(fd, F_SETFL, flags) < 0) {

@@ -1,0 +1,193 @@
+// Checked lifecycle state machine for a SocketServer connection.
+//
+// socket_server.cpp tracks a connection's life with a handful of
+// booleans and counters (peer_eof, teardown, pending_rounds, fd < 0)
+// whose legal combinations are implicit in the event-loop code. This
+// header makes the lifecycle explicit:
+//
+//            request_admitted                  response_written
+//          ┌────────────────────┐            ┌──(owed drops to 0)──┐
+//          ▼                    │            ▼                     │
+//   ┌──────────┐  request   ┌───┴────┐  last response   ┌──────────┴───┐
+//   │ kReading │──────────▶│ kOwed  │ ... (kOwed stays while owed > 0) │
+//   └──────────┘  admitted  └────────┘                  └──────────────┘
+//        │  │                   │ │
+//        │  │ protocol_error    │ │ peer_half_closed
+//        │  └───────┬───────────┘ └───────────┬───────────
+//        │          ▼                         ▼
+//        │   ┌────────────────┐        ┌───────────────┐
+//        │   │ kErrorDraining │◀───────│ kEofDraining  │ (truncated tail)
+//        │   └────────────────┘        └───────────────┘
+//        │          │    connection_closed     │
+//        └──────────┴──────────┬───────────────┘   (also: idle_expired
+//                              ▼                    from any live state)
+//                         ┌─────────┐
+//                         │ kClosed │
+//                         └─────────┘
+//
+// Events and their legality:
+//
+//   request_admitted   kReading, kOwed, kEofDraining (frames already
+//                      buffered at half-close still parse and are owed
+//                      answers). Illegal once torn down or closed:
+//                      parse_frames stops at a protocol error.
+//   response_written   any live state with owed > 0 — a fully-written
+//                      frame with nothing owed is the invariant breach
+//                      this checker exists for.
+//   protocol_error     kReading, kOwed, kEofDraining (a truncated tail
+//                      after EOF is reported as data loss). The error
+//                      response itself becomes owed. Illegal twice:
+//                      framing stops at the first bad byte.
+//   peer_half_closed   kReading, kOwed → kEofDraining. Idempotent in the
+//                      draining states: the stop()-drain marks every
+//                      connection peer_eof, including torn-down ones.
+//   idle_expired       any live state → kClosed (the reaper may fire
+//                      with responses still owed — that backlog is the
+//                      leak it exists to cut).
+//   connection_closed  any state → kClosed, idempotent (schedule_close
+//                      runs after idle_expired already moved the FSM).
+//
+// The FSM is tracked unconditionally (it is a byte of state and a
+// counter); on an illegal transition it aborts with a diagnostic in
+// debug/sanitizer builds (!NDEBUG || MCSN_VERIFY, the same gate as the
+// IR verifier) and otherwise records the violation and coerces to a
+// safe state. Tests construct it with abort_on_violation = false to
+// assert on the violation count instead of dying.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcsn::net {
+
+enum class ConnState : std::uint8_t {
+  kReading,        ///< no responses owed; parsing frames as they arrive
+  kOwed,           ///< at least one response owed to the peer
+  kErrorDraining,  ///< protocol error: flush owed frames, then close
+  kEofDraining,    ///< peer half-closed: flush owed frames, then close
+  kClosed,         ///< fd released (or scheduled for release)
+};
+
+[[nodiscard]] constexpr const char* conn_state_name(ConnState s) noexcept {
+  switch (s) {
+    case ConnState::kReading: return "reading";
+    case ConnState::kOwed: return "owed";
+    case ConnState::kErrorDraining: return "error-draining";
+    case ConnState::kEofDraining: return "eof-draining";
+    case ConnState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+class ConnFsm {
+ public:
+  ConnFsm() = default;
+  explicit ConnFsm(bool abort_on_violation) noexcept
+      : abort_on_violation_(abort_on_violation) {}
+
+  [[nodiscard]] ConnState state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t owed() const noexcept { return owed_; }
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+
+  /// A request frame was decoded and its response became owed (sort,
+  /// batch, or inline stats — the FSM does not distinguish).
+  bool request_admitted() noexcept {
+    switch (state_) {
+      case ConnState::kReading:
+        state_ = ConnState::kOwed;
+        [[fallthrough]];
+      case ConnState::kOwed:
+      case ConnState::kEofDraining:
+        ++owed_;
+        return true;
+      case ConnState::kErrorDraining:
+      case ConnState::kClosed:
+        return violation("request_admitted");
+    }
+    return violation("request_admitted");
+  }
+
+  /// One owed response frame was fully written to the socket.
+  bool response_written() noexcept {
+    if (state_ == ConnState::kClosed || owed_ == 0) {
+      return violation("response_written");
+    }
+    --owed_;
+    if (state_ == ConnState::kOwed && owed_ == 0) {
+      state_ = ConnState::kReading;
+    }
+    return true;
+  }
+
+  /// Malformed traffic: the error response becomes owed and framing
+  /// stops for good.
+  bool protocol_error() noexcept {
+    switch (state_) {
+      case ConnState::kReading:
+      case ConnState::kOwed:
+      case ConnState::kEofDraining:
+        state_ = ConnState::kErrorDraining;
+        ++owed_;
+        return true;
+      case ConnState::kErrorDraining:
+      case ConnState::kClosed:
+        return violation("protocol_error");
+    }
+    return violation("protocol_error");
+  }
+
+  /// recv() returned 0, or the stop()-drain marked the connection.
+  /// Idempotent in the draining states (the drain marks everyone).
+  bool peer_half_closed() noexcept {
+    switch (state_) {
+      case ConnState::kReading:
+      case ConnState::kOwed:
+        state_ = ConnState::kEofDraining;
+        return true;
+      case ConnState::kErrorDraining:
+      case ConnState::kEofDraining:
+        return true;  // already draining; nothing changes
+      case ConnState::kClosed:
+        return violation("peer_half_closed");
+    }
+    return violation("peer_half_closed");
+  }
+
+  /// The idle reaper fired — legal with responses still owed.
+  bool idle_expired() noexcept {
+    if (state_ == ConnState::kClosed) return violation("idle_expired");
+    state_ = ConnState::kClosed;
+    return true;
+  }
+
+  /// The fd was scheduled for close (any reason). Idempotent.
+  bool connection_closed() noexcept {
+    state_ = ConnState::kClosed;
+    return true;
+  }
+
+ private:
+  bool violation(const char* event) noexcept {
+    ++violations_;
+#if !defined(NDEBUG) || defined(MCSN_VERIFY)
+    if (abort_on_violation_) {
+      std::fprintf(stderr,
+                   "ConnFsm: illegal event '%s' in state '%s' (owed=%zu)\n",
+                   event, conn_state_name(state_), owed_);
+      std::abort();
+    }
+#endif
+    (void)event;
+    return false;
+  }
+
+  ConnState state_ = ConnState::kReading;
+  std::size_t owed_ = 0;
+  std::size_t violations_ = 0;
+  bool abort_on_violation_ = true;
+};
+
+}  // namespace mcsn::net

@@ -4,8 +4,8 @@
 
 #include <cerrno>
 #include <cstddef>
-#include <cstring>
 #include <string>
+#include <system_error>
 
 namespace mcsn::net::detail {
 
@@ -14,10 +14,13 @@ namespace mcsn::net::detail {
 /// means no more data is waiting).
 inline constexpr std::size_t kReadChunk = 64 * 1024;
 
-/// "what: strerror(errno)" — evaluate immediately after the failing call,
-/// before anything else can clobber errno.
+/// "what: <errno message>" — evaluate immediately after the failing call,
+/// before anything else can clobber errno. Uses std::error_code's
+/// thread-safe message lookup (strerror races concurrent event loops;
+/// clang-tidy concurrency-mt-unsafe).
 inline std::string errno_text(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  return std::string(what) + ": " +
+         std::error_code(errno, std::generic_category()).message();
 }
 
 }  // namespace mcsn::net::detail

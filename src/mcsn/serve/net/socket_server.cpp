@@ -30,6 +30,7 @@
 #include <sys/epoll.h>
 #endif
 
+#include "mcsn/serve/net/conn_fsm.hpp"
 #include "mcsn/serve/net/detail.hpp"
 #include "mcsn/serve/wire.hpp"
 #include "mcsn/util/metrics_registry.hpp"
@@ -255,6 +256,10 @@ struct Connection : std::enable_shared_from_this<Connection> {
   bool want_read = true;  ///< current poller read interest
   bool want_write = false;
   Clock::time_point last_activity = Clock::now();
+  /// Checked lifecycle mirror of the booleans above (loop-thread-only,
+  /// like them). Aborts on an illegal transition in debug/MCSN_VERIFY
+  /// builds — see conn_fsm.hpp for the legal event table.
+  ConnFsm fsm;
 
   /// Responses completed but not yet released in sequence order. The only
   /// cross-thread state: service completions insert, the loop drains.
@@ -437,6 +442,7 @@ struct SocketServer::Impl {
             // No new requests: stop reading everywhere, keep flushing.
             for (auto& [fd, conn] : conns) {
               conn->peer_eof = true;
+              if (conn->fd >= 0) conn->fsm.peer_half_closed();
               update_interest(*conn);
             }
           }
@@ -577,6 +583,7 @@ struct SocketServer::Impl {
         }
         if (n == 0) {
           conn.peer_eof = true;
+          conn.fsm.peer_half_closed();
           parse_frames(conn, now);
           pump_completions(conn, now);  // flush what's ready; close if drained
           return;
@@ -662,6 +669,7 @@ struct SocketServer::Impl {
       const std::uint64_t seq = conn.next_seq++;
       const std::size_t weight = std::max<std::size_t>(request.rounds, 1);
       conn.pending_rounds += weight;
+      conn.fsm.request_admitted();
       requests->add();
       rounds->add(weight);
       if (as_batch) batch_requests->add();
@@ -726,6 +734,7 @@ struct SocketServer::Impl {
       }
       const std::uint64_t seq = conn.next_seq++;
       conn.pending_rounds += 1;
+      conn.fsm.request_admitted();
       {
         std::lock_guard lock(conn.mu);
         conn.done.emplace(
@@ -749,6 +758,7 @@ struct SocketServer::Impl {
           SortResponse::failure(std::move(status), SortShape{1, 1});
       const std::uint64_t seq = conn.next_seq++;
       conn.pending_rounds += 1;
+      conn.fsm.protocol_error();  // the error frame itself becomes owed
       {
         std::lock_guard lock(conn.mu);
         conn.done.emplace(seq, OwedFrame{wire::encode_response(error), 1,
@@ -836,6 +846,7 @@ struct SocketServer::Impl {
           conn.wqueue.pop_front();
           conn.woff = 0;
           ++conn.written;
+          conn.fsm.response_written();
           responses->add();
         }
       }
@@ -872,6 +883,7 @@ struct SocketServer::Impl {
     /// from accept() can't collide with a stale event in the same batch.
     void schedule_close(Connection& conn) {
       if (conn.fd < 0) return;
+      conn.fsm.connection_closed();
       pending_close.push_back(conn.fd);
       poller->remove(conn.fd);
       conn.fd = -1;
@@ -897,6 +909,7 @@ struct SocketServer::Impl {
         if (conn->fd < 0) continue;
         if (now - conn->last_activity >= srv->opt.idle_timeout) {
           idle_closed->add();
+          conn->fsm.idle_expired();
           schedule_close(*conn);
         }
       }

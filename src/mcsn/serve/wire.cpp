@@ -1,5 +1,6 @@
 #include "mcsn/serve/wire.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <string>
@@ -172,6 +173,20 @@ StatusOr<SortShape> decode_shape(std::uint32_t channels, std::uint32_t bits) {
   }
   return SortShape{static_cast<int>(channels), static_cast<std::size_t>(bits)};
 }
+
+/// Decoded deadline budgets are clamped here (~36 years). The wire field
+/// is a full u64, but a budget is re-anchored as `now + nanoseconds(b)`
+/// whose rep is a signed 64-bit count: an unclamped attacker-controlled
+/// budget near 2^63 overflows that addition (undefined behavior), and one
+/// above 2^63 wraps negative — turning "practically no deadline" into
+/// "already expired". Found by the fuzz harness (fuzz/) under UBSan;
+/// regression frames live in wire_test.
+constexpr std::uint64_t kMaxDeadlineNs = std::uint64_t{1} << 60;
+
+/// Same guard for decoded latency reports: nanoseconds' rep is signed, so
+/// a u64 above 2^63 would convert to a negative latency.
+constexpr std::uint64_t kMaxLatencyNs =
+    static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
 
 constexpr std::size_t kRequestFixed = 20;   // channels..deadline
 constexpr std::size_t kResponseFixed = 28;  // status..message length
@@ -479,7 +494,8 @@ StatusOr<SortRequest> decode_request(std::span<const std::uint8_t> body,
     request = SortRequest::own(*shape, std::move(trits));
   }
   if (request.ok() && deadline_ns != 0) {
-    request->deadline = now + std::chrono::nanoseconds(deadline_ns);
+    request->deadline =
+        now + std::chrono::nanoseconds(std::min(deadline_ns, kMaxDeadlineNs));
   }
   return request;
 }
@@ -514,7 +530,8 @@ StatusOr<SortResponse> decode_response(std::span<const std::uint8_t> body) {
   SortResponse response;
   response.shape = *shape;
   response.status = Status(static_cast<StatusCode>(code), std::move(message));
-  response.latency = std::chrono::nanoseconds(latency_ns);
+  response.latency =
+      std::chrono::nanoseconds(std::min(latency_ns, kMaxLatencyNs));
   response.values_requested = (flags & kFlagValues) != 0;
   if (!response.status.ok()) {
     if (!payload.empty()) {
@@ -616,7 +633,8 @@ StatusOr<SortRequest> decode_batch_request(std::span<const std::uint8_t> body,
     request = SortRequest::own_batch(*shape, rounds, std::move(trits));
   }
   if (request.ok() && deadline_ns != 0) {
-    request->deadline = now + std::chrono::nanoseconds(deadline_ns);
+    request->deadline =
+        now + std::chrono::nanoseconds(std::min(deadline_ns, kMaxDeadlineNs));
   }
   return request;
 }
@@ -656,7 +674,8 @@ StatusOr<SortResponse> decode_batch_response(
   response.shape = *shape;
   response.rounds = rounds;
   response.status = Status(static_cast<StatusCode>(code), std::move(message));
-  response.latency = std::chrono::nanoseconds(latency_ns);
+  response.latency =
+      std::chrono::nanoseconds(std::min(latency_ns, kMaxLatencyNs));
   response.values_requested = (flags & kFlagValues) != 0;
   if (!response.status.ok()) {
     if (!payload.empty()) {

@@ -18,7 +18,10 @@
 //   4      4     bits
 //   8      4     flags (bit 0: payload is u64 values, not trits)
 //   12     8     deadline budget in ns (0 = no deadline), relative to
-//                receipt — steady-clock instants don't cross processes
+//                receipt — steady-clock instants don't cross processes.
+//                Decoders clamp the budget at 2^60 ns (~36 years): beyond
+//                that it is effectively "none", and re-anchoring an
+//                arbitrary u64 at receipt would overflow the signed clock
 //   20     ...   payload: either ceil(channels*bits/4) bytes of trits
 //                packed 2 bits each (00=0, 01=1, 10=M, 11=invalid, trit i
 //                in byte i/4 at bit 2*(i%4)), or channels x u64 values

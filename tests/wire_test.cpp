@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -120,6 +121,81 @@ TEST(Wire, DeadlineTravelsAsRelativeBudget) {
   ASSERT_TRUE(decoded.ok());
   ASSERT_TRUE(decoded->deadline.has_value());
   EXPECT_EQ(*decoded->deadline, decode_now + 1ns);
+}
+
+// Fuzz regression: a deadline budget near 2^64 ns used to feed
+// steady_clock::now() + nanoseconds(u64) straight into a signed 64-bit
+// rep — UB at the top of the range, a deadline in the past after wrap.
+// Decoders now clamp the budget at 2^60 ns (~36 years) before anchoring.
+TEST(Wire, HostileDeadlineBudgetSaturatesInsteadOfOverflowing) {
+  Xoshiro256 rng(6);
+  SortRequest req =
+      std::move(SortRequest::own(SortShape{2, 2}, random_flat(rng, {2, 2}))
+                    .value());
+  req.deadline = Clock::now() + 5ms;  // any nonzero budget; bytes patched below
+  std::vector<std::uint8_t> frame = wire::encode_request(req, Clock::now());
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame[wire::kHeaderSize + 12 + i] = 0xFF;  // budget = u64 max
+  }
+  const auto decode_now = Clock::now();
+  StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+  ASSERT_TRUE(view.ok());
+  StatusOr<SortRequest> decoded = wire::decode_request(view->body, decode_now);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_TRUE(decoded->deadline.has_value());
+  // Clamped to the saturation cap — and, critically, still in the future.
+  EXPECT_EQ(*decoded->deadline,
+            decode_now + std::chrono::nanoseconds(std::int64_t{1} << 60));
+  EXPECT_GT(*decoded->deadline, decode_now);
+
+  // Same hole on the batch path (offset 12 in the batch body too).
+  req.rounds = 2;
+  std::vector<Trit> batch_flat = random_flat(rng, {2, 2});
+  const std::vector<Trit> more = random_flat(rng, {2, 2});
+  batch_flat.insert(batch_flat.end(), more.begin(), more.end());
+  SortRequest batch =
+      std::move(SortRequest::own_batch(SortShape{2, 2}, 2,
+                                       std::move(batch_flat))
+                    .value());
+  batch.deadline = Clock::now() + 5ms;
+  std::vector<std::uint8_t> bframe =
+      wire::encode_batch_request(batch, Clock::now());
+  for (std::size_t i = 0; i < 8; ++i) {
+    bframe[wire::kHeaderSize + 12 + i] = 0xFF;
+  }
+  view = wire::parse_frame(bframe);
+  ASSERT_TRUE(view.ok());
+  decoded = wire::decode_batch_request(view->body, decode_now);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_TRUE(decoded->deadline.has_value());
+  EXPECT_GT(*decoded->deadline, decode_now);
+}
+
+// Companion regression: a hostile latency field in a response must clamp
+// at int64 max, not wrap std::chrono::nanoseconds negative.
+TEST(Wire, HostileResponseLatencySaturatesInsteadOfWrapping) {
+  SortResponse rsp;
+  rsp.status = Status();
+  rsp.shape = SortShape{2, 2};
+  rsp.payload.assign(4, Trit::zero);
+  rsp.latency = 1ms;
+  for (const bool batch : {false, true}) {
+    if (batch) rsp.rounds = 1;
+    std::vector<std::uint8_t> frame =
+        batch ? wire::encode_batch_response(rsp) : wire::encode_response(rsp);
+    for (std::size_t i = 0; i < 8; ++i) {
+      frame[wire::kHeaderSize + 16 + i] = 0xFF;  // latency = u64 max
+    }
+    StatusOr<wire::FrameView> view = wire::parse_frame(frame);
+    ASSERT_TRUE(view.ok());
+    StatusOr<SortResponse> decoded = batch
+                                         ? wire::decode_batch_response(view->body)
+                                         : wire::decode_response(view->body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded->latency.count(),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_GT(decoded->latency.count(), 0);
+  }
 }
 
 TEST(Wire, ResponseRoundTripsPayloadStatusAndLatency) {
