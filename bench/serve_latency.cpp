@@ -365,6 +365,118 @@ double serve_vps(int workers, std::chrono::microseconds window,
   return static_cast<double>(rounds.size()) / secs;
 }
 
+/// Cold-start vs warmed first-request latency for a non-catalog shape:
+/// the cold service pays composer + elaboration + compile inside its first
+/// request, the warmed service pre-builds via warmup_shapes so the first
+/// request only pays queueing + execution. The gap is what --warmup buys.
+struct ColdWarmResult {
+  double cold_first_us = -1.0;
+  double warm_first_us = -1.0;
+  double warm_build_ms = 0.0;
+  bool ok = false;
+};
+
+ColdWarmResult cold_vs_warm(int workers, SortShape shape, std::uint64_t seed) {
+  ColdWarmResult res;
+  Xoshiro256 rng(seed);
+  const std::vector<Word> round =
+      random_valid_round(rng, shape.channels, shape.bits);
+  const auto first_request_us = [&round](ServeOptions opt) -> double {
+    SortService service(std::move(opt));
+    StatusOr<SortRequest> request = SortRequest::from_words(round);
+    if (!request.ok()) return -1.0;
+    const auto t0 = Clock::now();
+    const SortResponse response = service.submit(std::move(*request)).get();
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    return response.status.ok() ? us : -1.0;
+  };
+
+  ServeOptions cold;
+  cold.workers = workers;
+  res.cold_first_us = first_request_us(std::move(cold));
+
+  std::uint64_t build_ns = 0;
+  ServeOptions warm;
+  warm.workers = workers;
+  warm.warmup_shapes = {shape};
+  warm.warmup_observer = [&build_ns](const SortShape&, const Status&,
+                                     std::uint64_t ns) { build_ns = ns; };
+  res.warm_first_us = first_request_us(std::move(warm));
+  res.warm_build_ms = static_cast<double>(build_ns) / 1e6;
+  res.ok = res.cold_first_us >= 0.0 && res.warm_first_us >= 0.0;
+  return res;
+}
+
+/// Mixed-shape churn against a bounded pool: more distinct shapes than the
+/// pool holds, submitted in per-shape bursts (so resident shapes score
+/// hits) cycling through the whole mix (so cold shapes force misses and
+/// LRU evictions). The series demonstrates the capacity contract: the pool
+/// stays within its bound, evictions happen, and no request ever fails.
+struct ChurnResult {
+  double vps = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t resident = 0;
+  std::size_t pool_capacity = 0;
+  int shapes = 0;
+  bool ok = false;
+};
+
+ChurnResult churn_series(int workers, std::size_t bits, std::uint64_t seed) {
+  const std::vector<int> channel_mix{4, 6, 11, 12, 13, 14};
+  ChurnResult res;
+  res.shapes = static_cast<int>(channel_mix.size());
+  res.pool_capacity = 3;
+
+  ServeOptions opt;
+  opt.workers = workers;
+  opt.pool_capacity = res.pool_capacity;
+  opt.flush_window = std::chrono::microseconds(50);
+  SortService service(opt);
+  Xoshiro256 rng(seed);
+
+  constexpr int kCycles = 24;
+  constexpr int kBurst = 4;  // rounds per shape per cycle: burst => hits
+  bool all_ok = true;
+  const auto t0 = Clock::now();
+  std::size_t completed = 0;
+  for (int cycle = 0; cycle < kCycles && all_ok; ++cycle) {
+    for (const int channels : channel_mix) {
+      std::vector<std::future<SortResponse>> burst;
+      for (int r = 0; r < kBurst; ++r) {
+        StatusOr<SortRequest> request = SortRequest::from_words(
+            random_valid_round(rng, channels, bits));
+        if (!request.ok()) {
+          all_ok = false;
+          break;
+        }
+        burst.push_back(service.submit(std::move(*request)));
+      }
+      // Draining per burst keeps the previous shape idle by the time the
+      // next one arrives — the LRU can actually evict.
+      for (auto& f : burst) {
+        const SortResponse response = f.get();
+        if (!response.status.ok()) {
+          std::cerr << "churn: " << response.status.to_string() << "\n";
+          all_ok = false;
+        }
+        ++completed;
+      }
+    }
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  res.vps = static_cast<double>(completed) / secs;
+  res.hits = service.registry().counter("pool_hits_total").value();
+  res.misses = service.registry().counter("pool_misses_total").value();
+  res.evictions = service.registry().counter("pool_evictions_total").value();
+  res.resident = service.shapes();
+  res.ok = all_ok && res.evictions > 0 &&
+           res.resident <= res.pool_capacity + 1;  // +1: one in-flight build
+  return res;
+}
+
 struct SweepResult {
   double rate = 0.0;
   long window_us = 0;
@@ -496,6 +608,12 @@ int main(int argc, char** argv) {
                      socket_batch_sum == expect_chain &&
                      uds_sum == expect_chain;
 
+  // Arbitrary-shape serving series: what warmup saves on a non-catalog
+  // (composed) shape, and how a bounded pool behaves under shape churn.
+  const SortShape composed_shape{24, bits};
+  const ColdWarmResult cw = cold_vs_warm(workers, composed_shape, seed + 2);
+  const ChurnResult churn = churn_series(workers, bits, seed + 3);
+
   std::cout << "{\n  \"workload\": {\"channels\": " << channels
             << ", \"bits\": " << bits << ", \"workers\": " << workers
             << ", \"requests\": " << requests << "},\n"
@@ -516,6 +634,21 @@ int main(int argc, char** argv) {
             << socket_batch_metrics.mean_occupancy()
             << ", \"uds_mean_occupancy\": " << uds_metrics.mean_occupancy()
             << ", \"results_match_sort_batch\": " << (agree ? "true" : "false")
+            << "},\n"
+            << "  \"cold_vs_warm\": {\"channels\": " << composed_shape.channels
+            << ", \"bits\": " << composed_shape.bits
+            << ", \"cold_first_us\": " << cw.cold_first_us
+            << ", \"warm_first_us\": " << cw.warm_first_us
+            << ", \"warm_build_ms\": " << cw.warm_build_ms
+            << ", \"ok\": " << (cw.ok ? "true" : "false") << "},\n"
+            << "  \"churn\": {\"shapes\": " << churn.shapes
+            << ", \"pool_capacity\": " << churn.pool_capacity
+            << ", \"throughput_vps\": " << churn.vps
+            << ", \"pool_hits\": " << churn.hits
+            << ", \"pool_misses\": " << churn.misses
+            << ", \"pool_evictions\": " << churn.evictions
+            << ", \"resident_shapes\": " << churn.resident
+            << ", \"zero_serve_errors\": " << (churn.ok ? "true" : "false")
             << "},\n  \"sweep\": [\n";
   bool first = true;
   for (const double window_us : windows) {
@@ -535,5 +668,5 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "\n  ]\n}\n";
-  return agree ? 0 : 1;
+  return (agree && cw.ok && churn.ok) ? 0 : 1;
 }

@@ -37,9 +37,15 @@ int main(int argc, char** argv) {
   const std::string host = args.get_or("host", "127.0.0.1");
   const std::string unix_path = args.get_or("unix", "");
   const long port = args.get_long_or("port", 0);
-  if (unix_path.empty() && (port < 1 || port > 65535)) {
-    std::cerr << "usage: example_net_client --port P [--host H]\n"
-                 "       example_net_client --unix PATH\n";
+  // --channels N sizes the integer round: anything beyond the optimal
+  // catalog (n > 10) makes the server compose the network on demand, so
+  // CI smokes a non-catalog shape with e.g. --channels 24.
+  const long round_channels = args.get_long_or("channels", 6);
+  if ((unix_path.empty() && (port < 1 || port > 65535)) ||
+      round_channels < 2 || round_channels > 4096) {
+    std::cerr << "usage: example_net_client --port P [--host H]"
+                 " [--channels N]\n"
+                 "       example_net_client --unix PATH [--channels N]\n";
     return 2;
   }
 
@@ -102,8 +108,12 @@ int main(int argc, char** argv) {
   }
 
   // 2. Integer round trip: from_values Gray-encodes on the client; the
-  //    response decodes straight back to integers.
-  const std::vector<std::uint64_t> values{42, 7, 255, 0, 99, 7};
+  //    response decodes straight back to integers. A fixed pseudo-random
+  //    pattern (with repeats) fills whatever --channels asks for.
+  std::vector<std::uint64_t> values;
+  for (long i = 0; i < round_channels; ++i) {
+    values.push_back((static_cast<std::uint64_t>(i) * 97 + 41) % 256);
+  }
   const SortShape shape{static_cast<int>(values.size()), 8};
   StatusOr<SortRequest> request = SortRequest::from_values(shape, values);
   if (!request.ok()) {

@@ -17,6 +17,19 @@ Reads the document from stdin (or a file argument). Two modes:
                               its metric, and the stage histograms must
                               report non-zero _count samples.
 
+Flags (both modes):
+
+  --require-cache             also assert the sorter-pool cache series
+                              (pool_hits_total / pool_misses_total /
+                              pool_evictions_total, plus the pool_capacity
+                              and pool_shapes gauges) are present and that
+                              at least one miss was recorded — i.e. the
+                              scrape saw a pool that actually built a
+                              shape.
+  --require-evictions         additionally assert pool_evictions_total > 0
+                              — the churn smoke's point: under more shapes
+                              than capacity, the LRU must have evicted.
+
 Exits non-zero listing every violation, so a malformed or empty scrape
 fails CI loudly.
 
@@ -43,6 +56,13 @@ SLOW_KEYS = {
 
 # name or name{k="v",...} followed by a number; \" and \\ stay inside the
 # quoted label value.
+CACHE_COUNTERS = (
+    "pool_hits_total",
+    "pool_misses_total",
+    "pool_evictions_total",
+)
+CACHE_GAUGES = ("pool_capacity", "pool_shapes")
+
 SAMPLE = re.compile(
     r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
@@ -54,7 +74,26 @@ TYPE_LINE = re.compile(
 )
 
 
-def check_json(text: str) -> list:
+def check_cache(values: dict, require_evictions: bool) -> list:
+    """Shared --require-cache assertions over a {name: value} map."""
+    errors = []
+    for name in CACHE_COUNTERS + CACHE_GAUGES:
+        if name not in values:
+            errors.append(f"{name}: cache series missing")
+    misses = values.get("pool_misses_total")
+    if misses is not None and misses == 0:
+        errors.append("pool_misses_total: no cache miss recorded — did the "
+                      "pool ever build a shape?")
+    if require_evictions:
+        evictions = values.get("pool_evictions_total")
+        if evictions is not None and evictions == 0:
+            errors.append("pool_evictions_total: no eviction under churn — "
+                          "is the LRU bound enforced?")
+    return errors
+
+
+def check_json(text: str, require_cache: bool = False,
+               require_evictions: bool = False) -> list:
     errors = []
     try:
         doc = json.loads(text)
@@ -92,13 +131,20 @@ def check_json(text: str) -> list:
         for i, entry in enumerate(slow):
             if not isinstance(entry, dict) or entry.keys() != SLOW_KEYS:
                 errors.append(f"slow_requests[{i}]: bad entry {entry!r}")
+
+    if require_cache:
+        scalars = {k: v for k, v in metrics.items()
+                   if isinstance(v, int) and not isinstance(v, bool)}
+        errors += check_cache(scalars, require_evictions)
     return errors
 
 
-def check_prometheus(text: str) -> list:
+def check_prometheus(text: str, require_cache: bool = False,
+                     require_evictions: bool = False) -> list:
     errors = []
     typed = set()
     counts = {}
+    scalars = {}
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line:
             errors.append(f"line {lineno}: empty line")
@@ -121,19 +167,26 @@ def check_prometheus(text: str) -> list:
             errors.append(f"line {lineno}: sample before any # TYPE: {name}")
         if name.endswith("_count"):
             counts[name] = float(line.rsplit(" ", 1)[1])
+        if m.group(2) is None:  # unlabeled sample: eligible cache series
+            scalars[name] = float(line.rsplit(" ", 1)[1])
     for stage in STAGES:
         count = counts.get(stage + "_count")
         if count is None:
             errors.append(f"{stage}: no _count sample")
         elif count == 0:
             errors.append(f"{stage}: stage histogram is empty")
+    if require_cache:
+        errors += check_cache(scalars, require_evictions)
     return errors
 
 
 def main() -> int:
     args = sys.argv[1:]
     prometheus = "--prometheus" in args
-    paths = [a for a in args if a != "--prometheus"]
+    require_evictions = "--require-evictions" in args
+    require_cache = "--require-cache" in args or require_evictions
+    flags = {"--prometheus", "--require-cache", "--require-evictions"}
+    paths = [a for a in args if a not in flags]
     if paths:
         with open(paths[0], encoding="utf-8") as f:
             text = f.read()
@@ -142,7 +195,8 @@ def main() -> int:
     if not text.strip():
         print("check_metrics: empty document", file=sys.stderr)
         return 1
-    errors = check_prometheus(text) if prometheus else check_json(text)
+    check = check_prometheus if prometheus else check_json
+    errors = check(text, require_cache, require_evictions)
     for e in errors:
         print(f"check_metrics: {e}", file=sys.stderr)
     if not errors:

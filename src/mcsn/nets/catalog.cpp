@@ -17,9 +17,42 @@ ComparatorNetwork layered(std::string name, int n,
 
 }  // namespace
 
+ComparatorNetwork optimal_2() {
+  return layered("2-sort", 2, {{{0, 1}}});
+}
+
+ComparatorNetwork optimal_3() {
+  // 3 comparators, depth 3 — both minimal for 3 channels.
+  return layered("3-sort", 3, {{{0, 2}}, {{0, 1}}, {{1, 2}}});
+}
+
 ComparatorNetwork optimal_4() {
   return layered("4-sort", 4,
                  {{{0, 1}, {2, 3}}, {{0, 2}, {1, 3}}, {{1, 2}}});
+}
+
+ComparatorNetwork optimal_5() {
+  // 9 comparators, depth 5 (Knuth TAOCP vol. 3, Fig. 49 family).
+  return layered("5-sort", 5,
+                 {
+                     {{0, 3}, {1, 4}},
+                     {{0, 2}, {1, 3}},
+                     {{0, 1}, {2, 4}},
+                     {{1, 2}, {3, 4}},
+                     {{2, 3}},
+                 });
+}
+
+ComparatorNetwork optimal_6() {
+  // 12 comparators, depth 5.
+  return layered("6-sort", 6,
+                 {
+                     {{0, 5}, {1, 3}, {2, 4}},
+                     {{1, 2}, {3, 4}},
+                     {{0, 3}, {2, 5}},
+                     {{0, 1}, {2, 3}, {4, 5}},
+                     {{1, 2}, {3, 4}},
+                 });
 }
 
 ComparatorNetwork optimal_7() {
@@ -84,6 +117,14 @@ ComparatorNetwork depth_optimal_10() {
                      {{5, 6}, {3, 4}, {1, 2}, {7, 8}},
                      {{4, 5}, {6, 7}, {2, 3}},
                  });
+}
+
+ComparatorNetwork optimal_8() {
+  // Batcher's odd-even merge sort meets both optima at n = 8: 19
+  // comparators (minimum size) at depth 6 (minimum depth). Reuse the
+  // generator under the canonical leaf name.
+  const ComparatorNetwork b = batcher_odd_even(8);
+  return ComparatorNetwork("8-sort", 8, b.layers());
 }
 
 ComparatorNetwork batcher_odd_even(int n) {

@@ -24,8 +24,21 @@
 
 namespace mcsn {
 
+/// Optimal leaf networks for every n <= 10 — the blocks the recursive
+/// composer (nets/compose/) stitches into arbitrary-n sorters. Each is
+/// optimal in size (and, where two optima differ, the depth-optimal layer
+/// assignment is used); all are 0-1-verified in catalog_test.cpp.
+[[nodiscard]] ComparatorNetwork optimal_2();
+[[nodiscard]] ComparatorNetwork optimal_3();
 [[nodiscard]] ComparatorNetwork optimal_4();
+/// 9 comparators, depth 5; both measures optimal (Knuth, TAOCP vol. 3).
+[[nodiscard]] ComparatorNetwork optimal_5();
+/// 12 comparators, depth 5; both measures optimal.
+[[nodiscard]] ComparatorNetwork optimal_6();
 [[nodiscard]] ComparatorNetwork optimal_7();
+/// 19 comparators, depth 6; both measures optimal — Batcher's odd-even
+/// merge sort happens to achieve both bounds at n = 8.
+[[nodiscard]] ComparatorNetwork optimal_8();
 /// 25 comparators — the minimum for 9 channels ([4]'s headline result);
 /// synthesized with this library's annealer, 0-1-verified in tests.
 [[nodiscard]] ComparatorNetwork optimal_9();

@@ -1,0 +1,222 @@
+#include "mcsn/nets/compose/compose.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mcsn/nets/catalog.hpp"
+
+namespace mcsn {
+
+namespace {
+
+// Merges two sorted channel runs given as explicit channel-index lists.
+// Invariants maintained by every call: each list is strictly increasing
+// and every channel of `a` precedes every channel of `b` — so the
+// concatenation Z = a ++ b is the output order, and the cleanup pairs
+// below always land on Z-adjacent channels.
+//
+// Classic odd-even recursion generalized to arbitrary |a|, |b|: merge the
+// odd-indexed elements of both runs, merge the even-indexed elements,
+// then one cleanup layer of compare-exchanges between even-merge output i
+// and odd-merge output i+1 (Knuth TAOCP vol. 3, 5.3.4).
+void oe_merge_lists(std::vector<Comparator>& seq, const std::vector<int>& a,
+                    const std::vector<int>& b) {
+  if (a.empty() || b.empty()) return;
+  if (a.size() == 1 && b.size() == 1) {
+    seq.push_back({a[0], b[0]});
+    return;
+  }
+  std::vector<int> a_odd, a_even, b_odd, b_even;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    (i % 2 == 0 ? a_odd : a_even).push_back(a[i]);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    (i % 2 == 0 ? b_odd : b_even).push_back(b[i]);
+  }
+  oe_merge_lists(seq, a_odd, b_odd);
+  oe_merge_lists(seq, a_even, b_even);
+
+  std::vector<int> odd = std::move(a_odd);
+  odd.insert(odd.end(), b_odd.begin(), b_odd.end());
+  std::vector<int> even = std::move(a_even);
+  even.insert(even.end(), b_even.begin(), b_even.end());
+  const std::size_t pairs = std::min(even.size(), odd.size() - 1);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const int x = even[i];
+    const int y = odd[i + 1];
+    seq.push_back({std::min(x, y), std::max(x, y)});
+  }
+}
+
+std::vector<int> run_channels(int base, int count) {
+  std::vector<int> channels(static_cast<std::size_t>(count));
+  std::iota(channels.begin(), channels.end(), base);
+  return channels;
+}
+
+void check_channels(const char* who, int channels) {
+  if (channels < 1) {
+    throw std::invalid_argument(std::string(who) + ": channels must be >= 1");
+  }
+}
+
+/// The optimal catalog network for n <= 10 (nullopt-free: callers guard n).
+ComparatorNetwork catalog_leaf(int n, bool prefer_depth) {
+  switch (n) {
+    case 1: return ComparatorNetwork("1-sort", 1, {});
+    case 2: return optimal_2();
+    case 3: return optimal_3();
+    case 4: return optimal_4();
+    case 5: return optimal_5();
+    case 6: return optimal_6();
+    case 7: return optimal_7();
+    case 8: return optimal_8();
+    case 9: return optimal_9();
+    case 10: return prefer_depth ? depth_optimal_10() : size_optimal_10();
+    default: break;
+  }
+  assert(false && "catalog_leaf: n must be <= 10");
+  return {};
+}
+
+void append_shifted(std::vector<Comparator>& seq, const ComparatorNetwork& net,
+                    int base) {
+  for (const Comparator& c : net.flattened()) {
+    seq.push_back({c.lo + base, c.hi + base});
+  }
+}
+
+// Sorts [base, base + n): catalog leaf for n <= 10, otherwise recurse on
+// both halves and odd-even merge them.
+void emit_composed(std::vector<Comparator>& seq, int base, int n,
+                   bool prefer_depth) {
+  if (n <= 1) return;
+  if (n <= 10) {
+    append_shifted(seq, catalog_leaf(n, prefer_depth), base);
+    return;
+  }
+  const int left = n / 2;
+  const int right = n - left;
+  emit_composed(seq, base, left, prefer_depth);
+  emit_composed(seq, base + left, right, prefer_depth);
+  append_odd_even_merge(seq, base, left, right);
+}
+
+}  // namespace
+
+void append_odd_even_merge(std::vector<Comparator>& seq, int base, int left,
+                           int right) {
+  assert(base >= 0 && left >= 1 && right >= 1);
+  oe_merge_lists(seq, run_channels(base, left),
+                 run_channels(base + left, right));
+}
+
+ComparatorNetwork odd_even_merge_network(int left, int right) {
+  if (left < 1 || right < 1) {
+    throw std::invalid_argument(
+        "odd_even_merge_network: both runs must be >= 1 channel");
+  }
+  std::vector<Comparator> seq;
+  append_odd_even_merge(seq, 0, left, right);
+  return ComparatorNetwork::from_flat(
+      "oemerge-" + std::to_string(left) + "+" + std::to_string(right),
+      left + right, seq);
+}
+
+ComparatorNetwork composed_sort_network(int channels, bool prefer_depth) {
+  check_channels("composed_sort_network", channels);
+  if (channels <= 10) return catalog_leaf(channels, prefer_depth);
+  std::vector<Comparator> seq;
+  emit_composed(seq, 0, channels, prefer_depth);
+  return ComparatorNetwork::from_flat(
+      "composed-" + std::to_string(channels) + (prefer_depth ? "d" : "s"),
+      channels, seq);
+}
+
+bool ppc_compose_supported(PpcTopology topo) noexcept {
+  switch (topo) {
+    case PpcTopology::ladner_fischer:
+    case PpcTopology::sklansky:
+    case PpcTopology::serial:
+      return true;
+    case PpcTopology::kogge_stone:
+    case PpcTopology::han_carlson:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+// Sklansky reduction cone: split ceil/floor (the same split ppc_sklansky
+// uses), sort both halves, merge — minimal merge-tree depth ceil(log2 n).
+void emit_sklansky(std::vector<Comparator>& seq, int base, int n) {
+  if (n <= 1) return;
+  const int left = (n + 1) / 2;
+  const int right = n - left;
+  emit_sklansky(seq, base, left);
+  emit_sklansky(seq, base + left, right);
+  append_odd_even_merge(seq, base, left, right);
+}
+
+}  // namespace
+
+ComparatorNetwork ppc_sort_network(int channels, PpcTopology topo) {
+  check_channels("ppc_sort_network", channels);
+  if (!ppc_compose_supported(topo)) {
+    throw std::invalid_argument(
+        std::string("ppc_sort_network: topology ") +
+        std::string(ppc_topology_name(topo)) +
+        " reuses intermediate prefixes and cannot be realized as an "
+        "in-place comparator network (supported: ladner_fischer, sklansky, "
+        "serial)");
+  }
+  std::vector<Comparator> seq;
+  switch (topo) {
+    case PpcTopology::ladner_fischer: {
+      // Bottom-up pairing tree over runs (the ladner_fischer final-prefix
+      // cone): repeatedly merge adjacent runs; a lone trailing run passes
+      // through to the next level.
+      std::vector<std::pair<int, int>> runs;  // (base, length)
+      runs.reserve(static_cast<std::size_t>(channels));
+      for (int c = 0; c < channels; ++c) runs.push_back({c, 1});
+      while (runs.size() > 1) {
+        std::vector<std::pair<int, int>> next;
+        next.reserve((runs.size() + 1) / 2);
+        for (std::size_t k = 0; 2 * k + 1 < runs.size(); ++k) {
+          const auto [lbase, llen] = runs[2 * k];
+          const auto [rbase, rlen] = runs[2 * k + 1];
+          assert(lbase + llen == rbase);
+          append_odd_even_merge(seq, lbase, llen, rlen);
+          next.push_back({lbase, llen + rlen});
+        }
+        if (runs.size() % 2 == 1) next.push_back(runs.back());
+        runs = std::move(next);
+      }
+      break;
+    }
+    case PpcTopology::sklansky:
+      emit_sklansky(seq, 0, channels);
+      break;
+    case PpcTopology::serial:
+      // Left fold: grow a sorted prefix one channel at a time (the serial
+      // cone / FSM unrolling — quadratic size, reference route only).
+      for (int i = 1; i < channels; ++i) {
+        append_odd_even_merge(seq, 0, i, 1);
+      }
+      break;
+    case PpcTopology::kogge_stone:
+    case PpcTopology::han_carlson:
+      break;  // unreachable: rejected above
+  }
+  return ComparatorNetwork::from_flat(
+      "ppc-" + std::string(ppc_topology_name(topo)) + "-" +
+          std::to_string(channels),
+      channels, seq);
+}
+
+}  // namespace mcsn

@@ -4,7 +4,10 @@ namespace mcsn {
 
 BatchGroup MicroBatcher::drain_shard(Shard& shard, FlushCause cause) {
   BatchGroup group;
-  group.sorter = shard.sorter;
+  // Move, don't copy: an empty shard must not pin the compiled program — a
+  // lingering reference would make the sorter pool's LRU see the shape as
+  // busy forever and never evict it. add() re-pins on the next request.
+  group.sorter = std::move(shard.sorter);
   group.requests = std::move(shard.requests);
   group.flat = std::move(shard.flat);
   group.cause = cause;

@@ -60,16 +60,41 @@ Status ServeOptions::validate() const {
     complain("sorter.batch.threads must be >= 0 (got " +
              std::to_string(sorter.batch.threads) + ")");
   }
+  if (sorter.max_channels < 1) {
+    complain("sorter.max_channels must be >= 1 (got " +
+             std::to_string(sorter.max_channels) + ")");
+  }
+  for (const SortShape& shape : warmup_shapes) {
+    const std::string name = std::to_string(shape.channels) + "x" +
+                             std::to_string(shape.bits);
+    if (Status s = shape.validate(); !s.ok()) {
+      complain("warmup shape " + name + ": " + s.message());
+    } else if (shape.channels > sorter.max_channels) {
+      complain("warmup shape " + name + " exceeds sorter.max_channels (" +
+               std::to_string(sorter.max_channels) + ")");
+    }
+  }
+  if (pool_capacity > 0 && warmup_shapes.size() > pool_capacity) {
+    complain("warmup_shapes lists " + std::to_string(warmup_shapes.size()) +
+             " shapes but pool_capacity is " + std::to_string(pool_capacity) +
+             " — warmed shapes would be evicted immediately");
+  }
   if (!bad.empty()) return Status::invalid_argument("ServeOptions: " + bad);
   return Status();
 }
 
 SortService::SortService(ServeOptions opt)
     : opt_(sanitize(std::move(opt))),
-      pool_(opt_.sorter, opt_.registry.get()),
+      pool_(opt_.sorter, opt_.registry.get(), opt_.pool_capacity),
       batcher_(opt_.max_lanes, opt_.flush_window, opt_.registry.get()),
       ready_(opt_.ready_capacity),
       metrics_(*opt_.registry, opt_.max_lanes) {
+  // Warm the pool before traffic: first requests for the listed shapes
+  // hit compiled programs. Failures reach warmup_observer; the service
+  // still starts (a bad warmup shape must not take serving down).
+  if (!opt_.warmup_shapes.empty()) {
+    (void)pool_.warmup(opt_.warmup_shapes, opt_.warmup_observer);
+  }
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i) {
     workers_.emplace_back(&SortService::worker_loop, this);
@@ -88,20 +113,15 @@ Status SortService::try_admit(SortRequest& request, SortCompletion& done) {
   }
 
   // Compiles the shape's sorter on first sight (milliseconds); later
-  // requests hit the pool. Deliberately outside the lifecycle lock.
-  std::shared_ptr<const McSorter> sorter;
-  try {
-    sorter = pool_.acquire(request.shape.channels, request.shape.bits);
-  } catch (const std::bad_alloc&) {
-    // A legal-but-huge shape can exhaust memory during elaboration; that
-    // is a resource condition (possibly transient), not a caller error.
-    return Status::resource_exhausted("sorter build failed: out of memory");
-  } catch (const std::invalid_argument& e) {
-    return Status::invalid_argument(std::string("sorter build failed: ") +
-                                    e.what());
-  } catch (const std::exception& e) {
-    return Status::internal(std::string("sorter build failed: ") + e.what());
-  }
+  // requests hit the pool cache. Deliberately outside the lifecycle lock.
+  // The pool maps every construction failure to a Status — degenerate
+  // shapes come back kInvalidArgument, shapes beyond the configured
+  // construction bound kUnimplemented, allocation failure
+  // kResourceExhausted — so unbuildable shapes become proper error
+  // responses (wire error frames) instead of exceptions in a worker.
+  StatusOr<std::shared_ptr<const McSorter>> sorter =
+      pool_.acquire(request.shape.channels, request.shape.bits);
+  if (!sorter.ok()) return sorter.status();
 
   // Backpressure: wait for an inflight slot (workers free them as batches
   // complete); stop() aborts the wait. Inflight is counted in rounds, so a
@@ -137,7 +157,7 @@ Status SortService::try_admit(SortRequest& request, SortCompletion& done) {
   // submitted in a snapshot.
   metrics_.on_submitted();
   MicroBatcher::AddResult added =
-      batcher_.add(std::move(sorter), std::move(pending), now);
+      batcher_.add(std::move(*sorter), std::move(pending), now);
   if (added.full) {
     // A refused push must not drop the group: its completions (including
     // the one this call admitted) would die uninvoked and its inflight

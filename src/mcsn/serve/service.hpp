@@ -81,6 +81,23 @@ struct ServeOptions {
   /// slicing of huge netlists.
   McSorterOptions sorter;
 
+  /// Bound on compiled shapes kept resident in the sorter pool (0 =
+  /// unbounded). With arbitrary-shape serving the shape space is
+  /// unbounded, so production deployments should set this: the pool
+  /// LRU-evicts idle shapes beyond the bound (see serve/sorter_pool.hpp)
+  /// and re-compiles on the next request for an evicted shape.
+  std::size_t pool_capacity = 0;
+
+  /// Shapes compiled before the service accepts traffic, so first
+  /// requests for them never pay the build cost. Validated by validate();
+  /// build failures are reported through warmup_observer and do not stop
+  /// the service from starting.
+  std::vector<SortShape> warmup_shapes;
+
+  /// Optional per-shape warmup observer: (shape, build status, build
+  /// nanoseconds). tool_sortd uses it to log per-shape build time.
+  SorterPool::WarmupObserver warmup_observer;
+
   /// The metrics registry every serving layer (service, batcher, sorter
   /// pool, and a socket front-end built on this service) registers into.
   /// The constructor creates one when left null; set it to share a

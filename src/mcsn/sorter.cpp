@@ -4,21 +4,10 @@
 #include <stdexcept>
 
 #include "mcsn/core/gray.hpp"
-#include "mcsn/nets/catalog.hpp"
 
 namespace mcsn {
 
 namespace {
-
-ComparatorNetwork pick_network(int channels, bool prefer_depth) {
-  switch (channels) {
-    case 4: return optimal_4();
-    case 7: return optimal_7();
-    case 9: return optimal_9();
-    case 10: return prefer_depth ? depth_optimal_10() : size_optimal_10();
-    default: return batcher_odd_even(channels);
-  }
-}
 
 int checked_shape(int channels, std::size_t bits) {
   if (channels < 1 || bits < 1) {
@@ -27,13 +16,43 @@ int checked_shape(int channels, std::size_t bits) {
   return channels;
 }
 
+BuiltNetwork build_or_throw(int channels, std::size_t bits,
+                            const McSorterOptions& opt) {
+  checked_shape(channels, bits);
+  StatusOr<BuiltNetwork> built = NetworkBuilder(builder_options(opt))
+                                     .build(channels);
+  if (!built.ok()) {
+    throw std::invalid_argument("McSorter: " + built.status().to_string());
+  }
+  return std::move(*built);
+}
+
+Sort2Options effective_sort2(const McSorterOptions& opt,
+                             PpcTopology suggested) {
+  Sort2Options sort2 = opt.sort2;
+  // smallest_depth is a whole-stack promise: the comparator network *and*
+  // the 2-sort's internal prefix tree go depth-minimal.
+  if (opt.policy == BuildPolicy::smallest_depth) sort2.topology = suggested;
+  return sort2;
+}
+
 }  // namespace
 
+NetworkBuilderOptions builder_options(const McSorterOptions& opt) noexcept {
+  return NetworkBuilderOptions{opt.policy, opt.prefer_depth, opt.max_channels};
+}
+
 McSorter::McSorter(int channels, std::size_t bits, const McSorterOptions& opt)
-    : channels_(checked_shape(channels, bits)),
+    : McSorter(build_or_throw(channels, bits, opt), bits, opt) {}
+
+McSorter::McSorter(BuiltNetwork built, std::size_t bits,
+                   const McSorterOptions& opt)
+    : channels_(checked_shape(built.network.channels(), bits)),
       bits_(bits),
-      network_(pick_network(channels, opt.prefer_depth)),
-      netlist_(elaborate_network(network_, bits, sort2_builder(opt.sort2))),
+      network_(std::move(built.network)),
+      netlist_(elaborate_network(
+          network_, bits,
+          sort2_builder(effective_sort2(opt, built.sort2_topology)))),
       batch_(netlist_, opt.batch),
       exec_(batch_.program()) {}
 

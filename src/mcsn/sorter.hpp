@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mcsn/api/sort_api.hpp"
+#include "mcsn/nets/compose/builder.hpp"
 #include "mcsn/nets/elaborate.hpp"
 #include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/stats.hpp"
@@ -20,18 +21,41 @@
 namespace mcsn {
 
 struct McSorterOptions {
-  /// Prefer minimal depth (true) or minimal comparator count (false) when
-  /// an optimal catalog network exists for `channels`; otherwise Batcher's
-  /// odd-even merge network is used.
+  /// Catalog tie-break under auto_select where two optima differ (n = 10):
+  /// prefer minimal depth (true) or minimal comparator count (false).
   bool prefer_depth = true;
+  /// Network construction policy (nets/compose/builder.hpp): any channel
+  /// count is servable — n <= 10 uses the optimal catalog, larger n picks
+  /// between recursive odd-even composition over the catalog leaves and
+  /// the PPC construction. smallest_depth also switches the 2-sort's
+  /// internal PPC topology to the depth-minimal sklansky cone, overriding
+  /// sort2.topology.
+  BuildPolicy policy = BuildPolicy::auto_select;
+  /// Channel bound forwarded to NetworkBuilder: construction beyond this
+  /// is refused (kUnimplemented through the pool, std::invalid_argument
+  /// from the constructor) instead of compiling unboundedly large
+  /// programs on demand.
+  int max_channels = 4096;
   Sort2Options sort2;
   /// Batch engine knobs (thread sharding) used by sort_batch.
   BatchOptions batch;
 };
 
+/// The NetworkBuilder configuration McSorter derives from its options —
+/// exposed so SorterPool can pre-run construction and report failures as
+/// Status values instead of catching constructor exceptions.
+[[nodiscard]] NetworkBuilderOptions builder_options(
+    const McSorterOptions& opt) noexcept;
+
 class McSorter {
  public:
   McSorter(int channels, std::size_t bits, const McSorterOptions& opt = {});
+
+  /// Constructs from an already-built network (see NetworkBuilder) —
+  /// skips re-running construction when the caller has validated the
+  /// shape, e.g. the serving pool's Status-based path.
+  McSorter(BuiltNetwork built, std::size_t bits,
+           const McSorterOptions& opt = {});
 
   // The executor holds a pointer into the owned compiled program, so copies
   // are deleted; moves re-pin that pointer, letting pools and containers

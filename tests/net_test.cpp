@@ -130,6 +130,62 @@ TEST(SocketServer, RoundTripParityVsFlatBatch) {
   EXPECT_EQ(stats.protocol_errors, 0u);
 }
 
+TEST(SocketServer, NonCatalogShapeRoundTripsWithParity) {
+  // 24 channels is beyond the paper's optimal catalog: the pool builds it
+  // through the recursive composer (nets/compose/) on first request, and
+  // the wire result must still match the direct flat engine bit-for-bit.
+  const SortShape shape{24, 3};
+  Xoshiro256 rng(24);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 16; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  Loopback loop({}, fast_flush());
+  net::SortClient client = loop.client();
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, rounds[i]);
+    ASSERT_TRUE(request.ok());
+    StatusOr<SortResponse> response = client.sort(*request);
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    ASSERT_TRUE(response->status.ok()) << response->status.to_string();
+    EXPECT_EQ(response->payload, expect[i]) << "round " << i;
+  }
+  EXPECT_EQ(loop.server->stats().protocol_errors, 0u);
+}
+
+TEST(SocketServer, UnsupportedShapeGetsUnimplementedFrameNotAClose) {
+  // A shape beyond the configured construction bound is a well-formed
+  // request the server cannot serve: it must come back as a
+  // kUnimplemented *error frame* on a connection that stays usable — not
+  // a protocol error, not a teardown.
+  ServeOptions vopt = fast_flush();
+  vopt.sorter.max_channels = 8;
+  Loopback loop({}, vopt);
+  net::SortClient client = loop.client();
+
+  const SortShape big{9, 4};
+  const std::vector<Trit> big_round(big.trits(), Trit::zero);
+  StatusOr<SortRequest> over = SortRequest::view(big, big_round);
+  ASSERT_TRUE(over.ok());
+  StatusOr<SortResponse> rejected = client.sort(*over);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().to_string();
+  EXPECT_EQ(rejected->status.code(), StatusCode::kUnimplemented);
+
+  // The same connection still serves shapes inside the bound.
+  const SortShape ok_shape{8, 4};
+  Xoshiro256 rng(88);
+  const std::vector<Trit> round = random_flat(rng, ok_shape);
+  const std::vector<std::vector<Trit>> expect =
+      expected_sorted(ok_shape, {round});
+  StatusOr<SortRequest> request = SortRequest::view(ok_shape, round);
+  ASSERT_TRUE(request.ok());
+  StatusOr<SortResponse> response = client.sort(*request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  ASSERT_TRUE(response->status.ok()) << response->status.to_string();
+  EXPECT_EQ(response->payload, expect[0]);
+  EXPECT_EQ(loop.server->stats().protocol_errors, 0u);
+}
+
 TEST(SocketServer, ValueRequestsDecodeAsIntegers) {
   Loopback loop({}, fast_flush());
   net::SortClient client = loop.client();

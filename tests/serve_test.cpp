@@ -164,25 +164,104 @@ TEST(SorterPool, ReusesCompiledSorterPerShape) {
   const auto a = pool.acquire(4, 4);
   const auto b = pool.acquire(4, 4);
   const auto c = pool.acquire(6, 3);
-  EXPECT_EQ(a.get(), b.get());  // same compiled instance
-  EXPECT_NE(a.get(), c.get());
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->get(), b->get());  // same compiled instance
+  EXPECT_NE(a->get(), c->get());
   EXPECT_EQ(pool.size(), 2u);
-  EXPECT_EQ(a->channels(), 4);
-  EXPECT_EQ(c->bits(), 3u);
+  EXPECT_EQ((*a)->channels(), 4);
+  EXPECT_EQ((*c)->bits(), 3u);
 }
 
-TEST(SorterPool, FailedBuildIsNotCached) {
+TEST(SorterPool, FailedBuildIsNotCachedAndReportsStatus) {
   SorterPool pool;
-  EXPECT_THROW((void)pool.acquire(0, 4), std::invalid_argument);
+  const auto bad = pool.acquire(0, 4);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(pool.size(), 0u);
-  EXPECT_NE(pool.acquire(4, 4), nullptr);  // pool still usable
+  EXPECT_TRUE(pool.acquire(4, 4).ok());  // pool still usable
+}
+
+TEST(SorterPool, OversizedShapeComesBackUnimplemented) {
+  McSorterOptions opt;
+  opt.max_channels = 16;
+  SorterPool pool(opt);
+  const auto result = pool.acquire(17, 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.acquire(16, 4).ok());  // at the bound is fine
+}
+
+TEST(SorterPool, EvictsLeastRecentlyUsedIdleShapeAtCapacity) {
+  MetricsRegistry registry;
+  SorterPool pool(McSorterOptions{}, &registry, /*capacity=*/2);
+  ASSERT_TRUE(pool.acquire(2, 2).ok());
+  ASSERT_TRUE(pool.acquire(3, 2).ok());
+  EXPECT_EQ(pool.size(), 2u);
+  // Touch (2,2) so (3,2) is the coldest, then overflow the capacity.
+  ASSERT_TRUE(pool.acquire(2, 2).ok());
+  ASSERT_TRUE(pool.acquire(4, 2).ok());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evictions(), 1u);
+  // (3,2) was evicted: acquiring it again is a miss (rebuild), while
+  // (2,2) survived as a hit.
+  const auto snapshot_misses = [&registry] {
+    return registry.counter("pool_misses_total").value();
+  };
+  const std::uint64_t misses_before = snapshot_misses();
+  ASSERT_TRUE(pool.acquire(2, 2).ok());
+  EXPECT_EQ(snapshot_misses(), misses_before);
+  ASSERT_TRUE(pool.acquire(3, 2).ok());
+  EXPECT_EQ(snapshot_misses(), misses_before + 1);
+  EXPECT_EQ(registry.counter("pool_evictions_total").value(),
+            pool.evictions());
+}
+
+TEST(SorterPool, BusyShapesAreNotEvicted) {
+  SorterPool pool(McSorterOptions{}, nullptr, /*capacity=*/1);
+  const auto held = pool.acquire(2, 2);  // keep a reference: busy
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(pool.acquire(3, 2).ok());  // result dropped: idle
+  // The busy (2,2) must survive; the pool rides over capacity instead.
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evictions(), 0u);
+  // Once only the cache holds (3,2), the next insertion evicts it.
+  ASSERT_TRUE(pool.acquire(4, 2).ok());
+  EXPECT_EQ(pool.evictions(), 1u);
+  EXPECT_EQ(pool.size(), 2u);  // held (2,2) + fresh (4,2)
+}
+
+TEST(SorterPool, WarmupBuildsShapesAndReportsPerShapeTiming) {
+  SorterPool pool;
+  std::vector<SortShape> shapes = {{2, 2}, {3, 2}};
+  std::vector<std::pair<SortShape, std::uint64_t>> observed;
+  const Status status = pool.warmup(
+      shapes, [&observed](const SortShape& s, const Status& st,
+                          std::uint64_t ns) {
+        EXPECT_TRUE(st.ok());
+        observed.push_back({s, ns});
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(pool.size(), 2u);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_GT(observed[0].second, 0u);
+  // A failing shape reports its status but later shapes still build.
+  std::vector<SortShape> mixed = {{0, 2}, {4, 2}};
+  Status seen;
+  const Status warm = pool.warmup(
+      mixed, [&seen](const SortShape&, const Status& st, std::uint64_t) {
+        if (!st.ok()) seen = st;
+      });
+  EXPECT_EQ(warm.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(seen.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool.size(), 3u);
 }
 
 // --- MicroBatcher -----------------------------------------------------------
 
 TEST(MicroBatcher, FlushesOnLaneFull) {
   SorterPool pool;
-  const auto sorter = pool.acquire(2, 2);
+  const auto sorter = *pool.acquire(2, 2);
   MicroBatcher batcher(4, 1ms);
   Xoshiro256 rng(1);
   const auto t0 = Clock::now();
@@ -203,7 +282,7 @@ TEST(MicroBatcher, FlushesOnLaneFull) {
 
 TEST(MicroBatcher, FlushesOnWindowExpiry) {
   SorterPool pool;
-  const auto sorter = pool.acquire(2, 2);
+  const auto sorter = *pool.acquire(2, 2);
   MicroBatcher batcher(256, 1ms);
   Xoshiro256 rng(2);
   const auto t0 = Clock::now();
@@ -227,9 +306,9 @@ TEST(MicroBatcher, ShardsByShapeAndDrainsAll) {
   MicroBatcher batcher(256, 1ms);
   Xoshiro256 rng(3);
   const auto t0 = Clock::now();
-  (void)batcher.add(pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
-  (void)batcher.add(pool.acquire(4, 3), make_pending(rng, 4, 3, t0), t0);
-  (void)batcher.add(pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
+  (void)batcher.add(*pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
+  (void)batcher.add(*pool.acquire(4, 3), make_pending(rng, 4, 3, t0), t0);
+  (void)batcher.add(*pool.acquire(2, 2), make_pending(rng, 2, 2, t0), t0);
   EXPECT_EQ(batcher.pending(), 3u);
 
   auto groups = batcher.take_all();

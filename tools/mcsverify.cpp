@@ -28,6 +28,7 @@
 #include "mcsn/netlist/compile.hpp"
 #include "mcsn/netlist/verify_ir.hpp"
 #include "mcsn/nets/catalog.hpp"
+#include "mcsn/nets/compose/compose.hpp"
 #include "mcsn/nets/elaborate.hpp"
 
 namespace {
@@ -58,6 +59,19 @@ std::vector<NamedNetwork> sweep_networks(bool quick) {
   nets.push_back({"merger_8", odd_even_merger(8)});
   nets.push_back({"transposition_6", odd_even_transposition(6)});
   nets.push_back({"insertion_6", insertion_network(6)});
+  // The arbitrary-shape composer families the serving stack builds on
+  // demand (nets/compose/): recursive odd-even composition, the PPC
+  // construction under both realizable tree cones, and an uneven merger.
+  for (const int n : {12, 17, 24}) {
+    nets.push_back({"composed_" + std::to_string(n),
+                    composed_sort_network(n, /*prefer_depth=*/true)});
+  }
+  nets.push_back({"composed_11s", composed_sort_network(11, false)});
+  nets.push_back(
+      {"ppc_lf_13", ppc_sort_network(13, PpcTopology::ladner_fischer)});
+  nets.push_back({"ppc_sklansky_11",
+                  ppc_sort_network(11, PpcTopology::sklansky)});
+  nets.push_back({"oemerge_5_3", odd_even_merge_network(5, 3)});
   return nets;
 }
 

@@ -52,8 +52,16 @@
 // dumps the document every SECS seconds while serving, and SIGUSR1 forces
 // a dump immediately (in any service mode, interval set or not).
 //
+// Arbitrary-shape serving: the sorter pool compiles any requested shape on
+// first use (nets/compose/). --pool-capacity N bounds resident compiled
+// shapes (LRU-evicting idle ones; 0 = unbounded), and --warmup CxB[,CxB...]
+// pre-builds the listed shapes before traffic is accepted, logging each
+// shape's build time to stderr — so the first request of a known-hot shape
+// never pays the compile.
+//
 // Shared knobs: --channels C --bits B --workers W --window-us U
 //               --max-lanes L --max-inflight N --seed S
+//               --pool-capacity N --warmup CxB[,CxB...]
 //               --metrics-format json|prometheus --stats-interval SECS
 
 #include <algorithm>
@@ -61,6 +69,7 @@
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdlib>
 #include <deque>
 #include <future>
 #include <iostream>
@@ -370,11 +379,43 @@ int run_load(SortService& service, int channels, std::size_t bits,
   return 0;
 }
 
+/// Parses "CxB[,CxB...]" (e.g. "24x8,12x4") into shapes. Returns false and
+/// prints a diagnostic on malformed input; shape-range errors are left to
+/// ServeOptions::validate(), which names them precisely.
+bool parse_warmup_shapes(const std::string& arg,
+                         std::vector<SortShape>& shapes) {
+  const char* p = arg.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long channels = std::strtol(p, &end, 10);
+    if (end == p || *end != 'x') {
+      std::cerr << "sortd: --warmup wants CxB[,CxB...], got: " << arg << "\n";
+      return false;
+    }
+    p = end + 1;
+    const long bits = std::strtol(p, &end, 10);
+    if (end == p || (*end != ',' && *end != '\0') || channels < 1 ||
+        bits < 1) {
+      std::cerr << "sortd: --warmup wants CxB[,CxB...], got: " << arg << "\n";
+      return false;
+    }
+    shapes.push_back(SortShape{static_cast<int>(channels),
+                               static_cast<std::size_t>(bits)});
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (shapes.empty()) {
+    std::cerr << "sortd: --warmup list is empty\n";
+    return false;
+  }
+  return true;
+}
+
 int usage() {
   std::cerr << "usage: tool_sortd [--channels C>=2] [--bits 1..16]"
                " [--workers W>=1] [--window-us U>=0] [--max-lanes L>=1]"
                " [--max-inflight N>=1] [--rate R>0] [--duration-s S>0]"
-               " [--seed S] [--stdin | --framed | --encode-frames |"
+               " [--seed S] [--pool-capacity N>=0] [--warmup CxB[,CxB...]]"
+               " [--stdin | --framed | --encode-frames |"
                " --decode-frames | --listen PORT | --listen-unix PATH]\n"
                "       server knobs: [--host H] [--loops N>=1]"
                " [--max-conns N>=1] [--conn-inflight N>=1]"
@@ -440,6 +481,31 @@ int main(int argc, char** argv) {
       max_lanes < 0 ? 0 : static_cast<std::size_t>(max_lanes);
   opt.max_inflight =
       max_inflight < 0 ? 0 : static_cast<std::size_t>(max_inflight);
+
+  const long pool_capacity = args.get_long_or("pool-capacity", 0);
+  if (pool_capacity < 0) {
+    std::cerr << "sortd: --pool-capacity must be >= 0\n";
+    return usage();
+  }
+  opt.pool_capacity = static_cast<std::size_t>(pool_capacity);
+  if (args.has("warmup")) {
+    if (!parse_warmup_shapes(args.get_or("warmup", ""), opt.warmup_shapes)) {
+      return usage();
+    }
+    // Per-shape build-time log: the whole point of warming up is knowing
+    // what the compile would have cost on the serving path.
+    opt.warmup_observer = [](const SortShape& shape, const Status& status,
+                             std::uint64_t build_ns) {
+      std::cerr << "sortd: warmup " << shape.channels << "x" << shape.bits
+                << ": ";
+      if (status.ok()) {
+        std::cerr << "built in "
+                  << static_cast<double>(build_ns) / 1e6 << " ms\n";
+      } else {
+        std::cerr << status.to_string() << "\n";
+      }
+    };
+  }
 
   net::SocketOptions sopt;
   const bool serve_sockets = args.has("listen") || args.has("listen-unix");
