@@ -29,6 +29,11 @@ Flags (both modes):
   --require-evictions         additionally assert pool_evictions_total > 0
                               — the churn smoke's point: under more shapes
                               than capacity, the LRU must have evicted.
+  --require-process-stats     assert the process_rss_bytes and
+                              process_open_fds gauges are present and
+                              positive — i.e. the scrape came from a
+                              server whose /proc sampling works (the soak
+                              harness leans on these for leak detection).
 
 Exits non-zero listing every violation, so a malformed or empty scrape
 fails CI loudly.
@@ -62,6 +67,7 @@ CACHE_COUNTERS = (
     "pool_evictions_total",
 )
 CACHE_GAUGES = ("pool_capacity", "pool_shapes")
+PROCESS_GAUGES = ("process_rss_bytes", "process_open_fds")
 
 SAMPLE = re.compile(
     r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
@@ -92,8 +98,27 @@ def check_cache(values: dict, require_evictions: bool) -> list:
     return errors
 
 
+def check_process_stats(values: dict) -> list:
+    """Shared --require-process-stats assertions over a {name: value} map.
+
+    The gauges publish -1 when /proc sampling is unsupported, so "present
+    but non-positive" is as much a failure as "missing": CI runs on Linux
+    where the sampling must work.
+    """
+    errors = []
+    for name in PROCESS_GAUGES:
+        value = values.get(name)
+        if value is None:
+            errors.append(f"{name}: process-stats gauge missing")
+        elif value <= 0:
+            errors.append(f"{name}: non-positive ({value}) — /proc "
+                          "sampling unsupported or broken")
+    return errors
+
+
 def check_json(text: str, require_cache: bool = False,
-               require_evictions: bool = False) -> list:
+               require_evictions: bool = False,
+               require_process: bool = False) -> list:
     errors = []
     try:
         doc = json.loads(text)
@@ -132,15 +157,19 @@ def check_json(text: str, require_cache: bool = False,
             if not isinstance(entry, dict) or entry.keys() != SLOW_KEYS:
                 errors.append(f"slow_requests[{i}]: bad entry {entry!r}")
 
-    if require_cache:
+    if require_cache or require_process:
         scalars = {k: v for k, v in metrics.items()
                    if isinstance(v, int) and not isinstance(v, bool)}
-        errors += check_cache(scalars, require_evictions)
+        if require_cache:
+            errors += check_cache(scalars, require_evictions)
+        if require_process:
+            errors += check_process_stats(scalars)
     return errors
 
 
 def check_prometheus(text: str, require_cache: bool = False,
-                     require_evictions: bool = False) -> list:
+                     require_evictions: bool = False,
+                     require_process: bool = False) -> list:
     errors = []
     typed = set()
     counts = {}
@@ -177,6 +206,8 @@ def check_prometheus(text: str, require_cache: bool = False,
             errors.append(f"{stage}: stage histogram is empty")
     if require_cache:
         errors += check_cache(scalars, require_evictions)
+    if require_process:
+        errors += check_process_stats(scalars)
     return errors
 
 
@@ -185,7 +216,9 @@ def main() -> int:
     prometheus = "--prometheus" in args
     require_evictions = "--require-evictions" in args
     require_cache = "--require-cache" in args or require_evictions
-    flags = {"--prometheus", "--require-cache", "--require-evictions"}
+    require_process = "--require-process-stats" in args
+    flags = {"--prometheus", "--require-cache", "--require-evictions",
+             "--require-process-stats"}
     paths = [a for a in args if a not in flags]
     if paths:
         with open(paths[0], encoding="utf-8") as f:
@@ -196,7 +229,7 @@ def main() -> int:
         print("check_metrics: empty document", file=sys.stderr)
         return 1
     check = check_prometheus if prometheus else check_json
-    errors = check(text, require_cache, require_evictions)
+    errors = check(text, require_cache, require_evictions, require_process)
     for e in errors:
         print(f"check_metrics: {e}", file=sys.stderr)
     if not errors:

@@ -374,6 +374,7 @@ struct SocketServer::Impl {
     Counter* protocol_errors = nullptr;
     Counter* idle_closed = nullptr;
     Counter* stats_requests = nullptr;
+    Counter* fsm_violations = nullptr;
 
     [[nodiscard]] bool owns_listener(int fd) const {
       return std::any_of(listeners.begin(), listeners.end(),
@@ -572,9 +573,15 @@ struct SocketServer::Impl {
         // interest update — leave the bytes in the socket buffer.
         return;
       }
+      // Fault hook: a recv cap simulates a peer trickling bytes — each
+      // recv sees at most recv_cap bytes, so frames land fragmented at
+      // arbitrary boundaries (the loop below still drains the socket; it
+      // just takes more iterations).
+      const std::size_t cap = srv->opt.fault.recv_cap;
+      const std::size_t want =
+          cap > 0 ? std::min(cap, read_scratch.size()) : read_scratch.size();
       for (;;) {
-        const ssize_t n =
-            ::recv(conn.fd, read_scratch.data(), read_scratch.size(), 0);
+        const ssize_t n = ::recv(conn.fd, read_scratch.data(), want, 0);
         if (n < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -598,7 +605,7 @@ struct SocketServer::Impl {
           return;                       // else is owed ahead of it
         }
         if (conn.pending() >= srv->opt.max_inflight) break;  // paused
-        if (static_cast<std::size_t>(n) < kReadChunk) break;
+        if (static_cast<std::size_t>(n) < want) break;
       }
       update_interest(conn);
     }
@@ -825,8 +832,14 @@ struct SocketServer::Impl {
       if (conn.fd < 0) return;
       while (!conn.wqueue.empty()) {
         const OwedFrame& front = conn.wqueue.front();
+        // Fault hook: a send cap splits every response across many
+        // partial writes, exercising the woff resume path continuously.
+        std::size_t len = front.bytes.size() - conn.woff;
+        if (const std::size_t cap = srv->opt.fault.send_cap; cap > 0) {
+          len = std::min(len, cap);
+        }
         const ssize_t n = ::send(conn.fd, front.bytes.data() + conn.woff,
-                                 front.bytes.size() - conn.woff, MSG_NOSIGNAL);
+                                 len, MSG_NOSIGNAL);
         if (n < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -884,6 +897,12 @@ struct SocketServer::Impl {
     void schedule_close(Connection& conn) {
       if (conn.fd < 0) return;
       conn.fsm.connection_closed();
+      // In release builds the FSM counts violations instead of aborting;
+      // surface them as a metric so a soak run can assert the count is
+      // zero across hours of hostile traffic.
+      if (conn.fsm.violations() > 0) {
+        fsm_violations->add(conn.fsm.violations());
+      }
       pending_close.push_back(conn.fd);
       poller->remove(conn.fd);
       conn.fd = -1;
@@ -930,6 +949,7 @@ struct SocketServer::Impl {
     s.protocol_errors += l.protocol_errors->value();
     s.idle_closed += l.idle_closed->value();
     s.stats_requests += l.stats_requests->value();
+    s.fsm_violations += l.fsm_violations->value();
   }
 
   /// Registers one loop's counters in the service registry, labeled with
@@ -948,6 +968,8 @@ struct SocketServer::Impl {
         &reg.counter("socket_protocol_errors_total", labels);
     loop.idle_closed = &reg.counter("socket_idle_closed_total", labels);
     loop.stats_requests = &reg.counter("socket_stats_requests_total", labels);
+    loop.fsm_violations =
+        &reg.counter("socket_fsm_violations_total", labels);
   }
 
   /// Next loop for shared-acceptor dispatch (called only from the loop

@@ -138,6 +138,21 @@ struct SocketOptions {
   /// fallback path is exercised in tests on every platform this way).
   bool force_poll = false;
 
+  /// Test-only fault hooks (soak harness, adversarial tests). All off by
+  /// default; production callers never set these.
+  struct FaultInjection {
+    /// Cap bytes consumed per recv(2) call (0 = no cap). Forces the
+    /// incremental decoder through hostile fragmentation — every frame
+    /// arrives split at arbitrary byte boundaries — without needing a
+    /// peer that actually trickles bytes.
+    std::size_t recv_cap = 0;
+    /// Cap bytes offered per send(2) call (0 = no cap). Splits response
+    /// frames across many partial writes, exercising the EPOLLOUT resume
+    /// path and write-offset bookkeeping on every response.
+    std::size_t send_cap = 0;
+  };
+  FaultInjection fault;
+
   /// Reports every out-of-range knob in one kInvalidArgument status;
   /// start() calls it, CLI front-ends can call it earlier for better
   /// error placement.
@@ -185,6 +200,10 @@ class SocketServer {
     std::uint64_t protocol_errors = 0;  ///< malformed frames answered
     std::uint64_t idle_closed = 0;      ///< idle-timeout teardowns
     std::uint64_t stats_requests = 0;   ///< stats admin frames served
+    std::uint64_t fsm_violations = 0;   ///< ConnFsm violations observed at
+                                        ///< teardown (always 0 in verify
+                                        ///< builds, which abort instead;
+                                        ///< the soak asserts it stays 0)
   };
   /// Aggregated across every loop (each loop keeps its own counters; this
   /// sums them — never just loop 0's view).

@@ -88,7 +88,8 @@ SortService::SortService(ServeOptions opt)
       pool_(opt_.sorter, opt_.registry.get(), opt_.pool_capacity),
       batcher_(opt_.max_lanes, opt_.flush_window, opt_.registry.get()),
       ready_(opt_.ready_capacity),
-      metrics_(*opt_.registry, opt_.max_lanes) {
+      metrics_(*opt_.registry, opt_.max_lanes),
+      proc_stats_(*opt_.registry) {
   // Warm the pool before traffic: first requests for the listed shapes
   // hit compiled programs. Failures reach warmup_observer; the service
   // still starts (a bad warmup shape must not take serving down).
@@ -430,6 +431,7 @@ void SortService::execute(BatchGroup group) {
 }
 
 std::string SortService::stats_json() const {
+  proc_stats_.refresh();
   std::string out = "{\"metrics\": ";
   out += opt_.registry->json();
   out += ", \"slow_requests\": ";
@@ -439,6 +441,7 @@ std::string SortService::stats_json() const {
 }
 
 std::string SortService::stats_prometheus() const {
+  proc_stats_.refresh();
   return opt_.registry->prometheus();
 }
 

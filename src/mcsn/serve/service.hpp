@@ -48,6 +48,7 @@
 #include "mcsn/serve/metrics.hpp"
 #include "mcsn/serve/queue.hpp"
 #include "mcsn/serve/sorter_pool.hpp"
+#include "mcsn/util/proc_stats.hpp"
 
 namespace mcsn {
 
@@ -222,6 +223,9 @@ class SortService {
   BoundedQueue<BatchGroup> ready_;
   ServiceMetrics metrics_;
   SlowRequestRing slow_ring_;
+  /// process_rss_bytes / process_open_fds gauges, refreshed on every
+  /// stats_json()/stats_prometheus() render so scrapes carry live values.
+  ProcStatsGauges proc_stats_;
 
   // Guards the submit-vs-stop race: submit holds it shared across
   // admission-check + batcher add + ready push; stop takes it exclusive to

@@ -3,6 +3,7 @@
 // (JSON + Prometheus text), and the serve-layer slow-request ring.
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 
 #include "mcsn/serve/metrics.hpp"
 #include "mcsn/util/metrics_registry.hpp"
+#include "mcsn/util/proc_stats.hpp"
 
 namespace mcsn {
 namespace {
@@ -261,6 +263,40 @@ TEST(ServiceMetrics, SnapshotCompatViewMatchesRegistrySeries) {
   EXPECT_EQ(reg.counter("serve_submitted_total").value(), 2u);
   EXPECT_EQ(reg.counter("serve_flush_total", {{"cause", "window"}}).value(),
             1u);
+}
+
+#if defined(__linux__)
+TEST(ProcStats, ReadsPositiveRssAndFds) {
+  const ProcStats s = read_proc_stats();
+  // Any live test process has resident pages and at least stdio open.
+  EXPECT_GT(s.rss_bytes, 0);
+  EXPECT_GT(s.open_fds, 0);
+}
+
+TEST(ProcStats, FdCountTracksAnOpenedDescriptor) {
+  const std::int64_t before = read_proc_stats().open_fds;
+  ASSERT_GT(before, 0);
+  FILE* f = std::fopen("/proc/self/status", "r");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(read_proc_stats().open_fds, before + 1);
+  std::fclose(f);
+  EXPECT_EQ(read_proc_stats().open_fds, before);
+}
+#endif
+
+TEST(ProcStats, GaugesPublishIntoRegistry) {
+  MetricsRegistry reg;
+  ProcStatsGauges gauges(reg);
+  const ProcStats s = gauges.refresh();
+  EXPECT_EQ(reg.gauge("process_rss_bytes").value(), s.rss_bytes);
+  EXPECT_EQ(reg.gauge("process_open_fds").value(), s.open_fds);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"process_rss_bytes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"process_open_fds\""), std::string::npos) << json;
+  const std::string prom = reg.prometheus();
+  EXPECT_NE(prom.find("# TYPE process_rss_bytes gauge"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("process_open_fds "), std::string::npos) << prom;
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -1296,6 +1297,210 @@ TEST(SocketServer, SlowRequestRingCapturesDeadlineExceeded) {
   const StatusOr<wire::StatsReply> reply = client.stats();
   ASSERT_TRUE(reply.ok());
   EXPECT_NE(reply->text.find("\"slow_requests\": [{"), std::string::npos);
+}
+
+// --- abruptly killed server -------------------------------------------------
+
+/// A stand-in for a server that dies: a raw listener on an ephemeral
+/// loopback port whose accept thread runs `behavior` on the accepted fd
+/// and then closes it. No SocketServer involved — the point is to control
+/// the exact byte position at which the peer disappears.
+class DyingServer {
+ public:
+  explicit DyingServer(std::function<void(int)> behavior) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    accept_thread_ = std::thread([this, behavior = std::move(behavior)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      behavior(fd);
+      ::close(fd);
+    });
+  }
+
+  ~DyingServer() {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+};
+
+/// Lets the client's request bytes arrive (and discards them) so the
+/// client's send() succeeds and the failure surfaces in receive().
+void drain_briefly(int fd) {
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::uint8_t buf[4096];
+  (void)::recv(fd, buf, sizeof(buf), 0);
+}
+
+SortRequest small_request(Xoshiro256& rng, std::vector<Trit>& storage) {
+  const SortShape shape{4, 4};
+  storage = random_flat(rng, shape);
+  StatusOr<SortRequest> request = SortRequest::view(shape, storage);
+  EXPECT_TRUE(request.ok());
+  return std::move(*request);
+}
+
+TEST(SortClient, ServerClosingBeforeResponseFailsSortCleanly) {
+  // The server reads the request and closes cleanly between frames: the
+  // client must return kUnavailable — not hang, not crash.
+  Xoshiro256 rng(91);
+  std::vector<Trit> storage;
+  const SortRequest request = small_request(rng, storage);
+  {
+    DyingServer server(drain_briefly);
+    StatusOr<net::SortClient> client =
+        net::SortClient::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    const StatusOr<SortResponse> rsp = client->sort(request);
+    ASSERT_FALSE(rsp.ok());
+    EXPECT_EQ(rsp.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    DyingServer server(drain_briefly);
+    StatusOr<net::SortClient> client =
+        net::SortClient::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    const StatusOr<SortResponse> rsp = client->sort_batch(request);
+    ASSERT_FALSE(rsp.ok());
+    EXPECT_EQ(rsp.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    DyingServer server(drain_briefly);
+    StatusOr<net::SortClient> client =
+        net::SortClient::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().to_string();
+    const StatusOr<wire::StatsReply> rsp = client->stats();
+    ASSERT_FALSE(rsp.ok());
+    EXPECT_EQ(rsp.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(SortClient, ServerDyingMidResponseFrameReportsDataLoss) {
+  // The server answers with a valid header promising a body it never
+  // delivers, then dies: a close mid-frame is data loss, distinguishable
+  // from a clean shutdown.
+  DyingServer server([](int fd) {
+    drain_briefly(fd);
+    std::uint8_t partial[wire::kHeaderSize + 5] = {};
+    partial[0] = 'M';
+    partial[1] = 'C';
+    partial[2] = wire::kVersion;
+    partial[3] = static_cast<std::uint8_t>(wire::FrameType::response);
+    partial[4] = 100;  // length 100 LE; only 5 body bytes follow.
+    (void)::send(fd, partial, sizeof(partial), MSG_NOSIGNAL);
+  });
+  StatusOr<net::SortClient> client =
+      net::SortClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Xoshiro256 rng(92);
+  std::vector<Trit> storage;
+  const StatusOr<SortResponse> rsp = client->sort(small_request(rng, storage));
+  ASSERT_FALSE(rsp.ok());
+  EXPECT_EQ(rsp.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SortClient, ServerResetFailsEveryPipelinedInFlightCall) {
+  // SIGKILL of a serving process manifests to the peer as either a clean
+  // FIN or an RST depending on socket state; SO_LINGER{1,0} forces the
+  // harsher RST case. Several requests and a stats scrape are in flight —
+  // every receive must come back with a Status, none may hang.
+  DyingServer server([](int fd) {
+    drain_briefly(fd);
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  });
+  StatusOr<net::SortClient> client =
+      net::SortClient::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Xoshiro256 rng(93);
+  std::vector<Trit> storage[3];
+  // Pipeline: the sends may themselves fail (EPIPE after the RST lands) —
+  // that is fine, as long as they fail with a Status.
+  (void)client->send(small_request(rng, storage[0]));
+  (void)client->send(small_request(rng, storage[1]));
+  (void)client->send(small_request(rng, storage[2]));
+  (void)client->send_stats();
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<SortResponse> rsp = client->receive();
+    EXPECT_FALSE(rsp.ok());
+  }
+  const StatusOr<wire::StatsReply> stats = client->receive_stats();
+  EXPECT_FALSE(stats.ok());
+  // The connection is dead; further calls keep returning Status values.
+  const StatusOr<SortResponse> again =
+      client->sort(small_request(rng, storage[0]));
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(SocketServer, FaultInjectionByteCapsPreserveParity) {
+  // The soak harness's syscall byte caps (SocketOptions::fault) slice
+  // every recv/send into tiny pieces; the framing layer must reassemble
+  // and the answers must stay bit-identical to the direct engine.
+  net::SocketOptions sopt;
+  sopt.fault.recv_cap = 3;
+  sopt.fault.send_cap = 5;
+  Loopback loop(sopt, fast_flush());
+  net::SortClient client = loop.client();
+
+  const SortShape shape{5, 4};
+  Xoshiro256 rng(94);
+  std::vector<std::vector<Trit>> rounds;
+  for (int i = 0; i < 8; ++i) rounds.push_back(random_flat(rng, shape));
+  const std::vector<std::vector<Trit>> expect = expected_sorted(shape, rounds);
+
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    StatusOr<SortRequest> request = SortRequest::view(shape, rounds[i]);
+    ASSERT_TRUE(request.ok());
+    const StatusOr<SortResponse> rsp = client.sort(*request);
+    ASSERT_TRUE(rsp.ok()) << rsp.status().to_string();
+    ASSERT_TRUE(rsp->status.ok()) << rsp->status.to_string();
+    EXPECT_EQ(rsp->payload, expect[i]) << "single round " << i;
+  }
+
+  std::vector<Trit> flat;
+  for (const std::vector<Trit>& r : rounds) {
+    flat.insert(flat.end(), r.begin(), r.end());
+  }
+  StatusOr<SortRequest> batch =
+      SortRequest::view_batch(shape, rounds.size(), flat);
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+  const StatusOr<SortResponse> rsp = client.sort_batch(*batch);
+  ASSERT_TRUE(rsp.ok()) << rsp.status().to_string();
+  ASSERT_TRUE(rsp->status.ok()) << rsp->status.to_string();
+  std::vector<Trit> expect_flat;
+  for (const std::vector<Trit>& r : expect) {
+    expect_flat.insert(expect_flat.end(), r.begin(), r.end());
+  }
+  EXPECT_EQ(rsp->payload, expect_flat);
+
+  // A stats document (much larger than the caps) survives the slicing too.
+  const StatusOr<wire::StatsReply> stats = client.stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_NE(stats->text.find("process_rss_bytes"), std::string::npos);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <iterator>
 #include <locale>
 #include <string>
 #include <thread>
@@ -229,6 +230,54 @@ TEST(SorterPool, BusyShapesAreNotEvicted) {
   ASSERT_TRUE(pool.acquire(4, 2).ok());
   EXPECT_EQ(pool.evictions(), 1u);
   EXPECT_EQ(pool.size(), 2u);  // held (2,2) + fresh (4,2)
+}
+
+TEST(SorterPool, ConcurrentEvictWhileBusyNeverFreesARunningProgram) {
+  // Hammer a capacity-1 pool from several threads across more shapes than
+  // fit: every acquire of a novel shape triggers an eviction sweep while
+  // other threads are mid-sort_batch_flat on entries the sweep considers.
+  // The busy-entry guard (use_count > 2) must keep every running program
+  // alive — a wrong eviction is a use-after-free ASan/TSan catches — and
+  // the soft bound must re-tighten once the churn stops.
+  MetricsRegistry registry;
+  SorterPool pool(McSorterOptions{}, &registry, /*capacity=*/1);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 24;
+  const SortShape shapes[] = {{2, 3}, {3, 3}, {4, 3}, {5, 3}, {6, 3}, {7, 3}};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, &shapes, &failures, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(1000 + t));
+      for (int i = 0; i < kIters; ++i) {
+        const SortShape shape = shapes[rng.below(std::size(shapes))];
+        const auto sorter = pool.acquire(shape.channels, shape.bits);
+        if (!sorter.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::vector<Trit> in;
+        in.reserve(shape.trits());
+        for (const Word& w :
+             random_valid_round(rng, shape.channels, shape.bits)) {
+          in.insert(in.end(), w.begin(), w.end());
+        }
+        std::vector<Trit> out(in.size());
+        if (!(*sorter)->sort_batch_flat(in, out).ok()) failures.fetch_add(1);
+        pool.record_batch(shape.channels, shape.bits, 1, 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All outside references are gone now; one fresh insert sweeps the
+  // backlog of idle entries down to the bound.
+  ASSERT_TRUE(pool.acquire(8, 3).ok());
+  EXPECT_LE(pool.size(), 1u);
+  EXPECT_GT(pool.evictions(), 0u);
+  EXPECT_EQ(registry.counter("pool_evictions_total").value(),
+            pool.evictions());
 }
 
 TEST(SorterPool, WarmupBuildsShapesAndReportsPerShapeTiming) {

@@ -325,8 +325,10 @@ int run_listen(SortService& service, const net::SocketOptions& sopt) {
   }
   std::cout << std::flush;
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
+  // SIGINT/SIGTERM handlers were installed in main() *before* the service
+  // was constructed — a SIGTERM that lands during a long --warmup build
+  // latches into g_signal instead of killing the process mid-construction,
+  // and this loop then exits immediately into the ordinary drain path.
   while (g_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -550,6 +552,18 @@ int main(int argc, char** argv) {
   if (Status s = opt.validate(); !s.ok()) {
     std::cerr << "sortd: " << s.to_string() << "\n";
     return usage();
+  }
+  // Latch shutdown signals before the service exists: --warmup builds
+  // composed shapes inside the SortService constructor (milliseconds to
+  // seconds for big shapes), and the default SIGTERM disposition would
+  // kill the process mid-construction — pool threads racing teardown.
+  // Latched early, a signal during warmup just makes run_listen's wait
+  // loop fall through to the ordinary stop()/drain path. Socket modes
+  // only: the pipe/load modes keep the default die-on-signal behavior
+  // their drivers (and the CI smokes) expect.
+  if (serve_sockets) {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
   }
   SortService service(opt);
   // Joined after the mode returns but before the service is destroyed, so
